@@ -1,0 +1,633 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation section, plus ablations over the GA design choices and
+// micro-benchmarks of the hot kernels. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each figure bench renders from a shared full-scale suite (the
+// paper's 400x300 GA on NW = 4/8/12, computed once) and emits the
+// reproduced rows/series to standard output exactly once, so the
+// bench log doubles as the reproduction record. The
+// BenchmarkExploration* targets measure the cost of generating the
+// underlying data per comb size.
+package repro_test
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/expt"
+	"repro/internal/graph"
+	"repro/internal/nsga2"
+	"repro/internal/pareto"
+	"repro/internal/phys"
+	"repro/internal/ring"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+var (
+	suiteOnce sync.Once
+	suiteVal  *expt.Suite
+	suiteErr  error
+
+	printMu   sync.Mutex
+	printSeen = map[string]bool{}
+)
+
+// fullSuite runs the paper-scale experiment suite once per bench
+// binary invocation. Parallel evaluation is bit-for-bit identical to
+// the serial run (see TestParallelEvaluationIdenticalToSerial in
+// internal/nsga2), so the workers only cut wall time.
+func fullSuite(b *testing.B) *expt.Suite {
+	b.Helper()
+	suiteOnce.Do(func() {
+		cfg := expt.DefaultConfig()
+		cfg.Workers = runtime.NumCPU()
+		suiteVal, suiteErr = expt.Run(cfg)
+	})
+	if suiteErr != nil {
+		b.Fatal(suiteErr)
+	}
+	return suiteVal
+}
+
+// printOnce emits a reproduced artifact a single time across all
+// bench iterations and repetitions.
+func printOnce(name, content string) {
+	printMu.Lock()
+	defer printMu.Unlock()
+	if printSeen[name] {
+		return
+	}
+	printSeen[name] = true
+	fmt.Fprintf(os.Stdout, "\n===== %s =====\n%s\n", name, content)
+}
+
+// BenchmarkTable1 regenerates the paper's Table I (device power
+// parameters).
+func BenchmarkTable1(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = expt.Table1()
+	}
+	if len(out) == 0 {
+		b.Fatal("empty table")
+	}
+	printOnce("Table I", out)
+}
+
+// BenchmarkFig6a regenerates Fig. 6(a): bit energy vs execution time
+// Pareto fronts for NW = 4/8/12, and checks the paper's shape
+// anchors.
+func BenchmarkFig6a(b *testing.B) {
+	s := fullSuite(b)
+	b.ResetTimer()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = expt.Fig6a(s)
+	}
+	b.StopTimer()
+	// Shape anchors (Section IV): best time improves with NW with
+	// diminishing returns, never beating the 20 k-cc floor; the
+	// minimum-energy solution is the all-ones allocation.
+	t4, t8, t12 := s.Results[4].BestTimeKCC(), s.Results[8].BestTimeKCC(), s.Results[12].BestTimeKCC()
+	if !(t4 > t8 && t8 > t12 && t12 >= 20) {
+		b.Fatalf("best-time anchor broken: %.2f / %.2f / %.2f k-cc", t4, t8, t12)
+	}
+	if (t4 - t8) <= (t8 - t12) {
+		b.Fatalf("diminishing-returns anchor broken: gain 4->8 %.2f vs 8->12 %.2f", t4-t8, t8-t12)
+	}
+	for _, nw := range s.NWs() {
+		sol, ok := s.Results[nw].MinEnergySolution()
+		if !ok {
+			b.Fatalf("NW=%d: no valid solutions", nw)
+		}
+		for _, c := range sol.Counts {
+			if c != 1 {
+				b.Fatalf("NW=%d: min-energy allocation %v, want all ones", nw, sol.Counts)
+			}
+		}
+	}
+	printOnce("Fig. 6(a)", out)
+	printOnce("Summary", expt.Summary(s))
+}
+
+// BenchmarkFig6b regenerates Fig. 6(b): BER vs execution time Pareto
+// fronts.
+func BenchmarkFig6b(b *testing.B) {
+	s := fullSuite(b)
+	b.ResetTimer()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = expt.Fig6b(s)
+	}
+	b.StopTimer()
+	// Shape anchor: along each front, the fastest solutions carry the
+	// worst BER (crosstalk pays for parallelism).
+	for _, nw := range s.NWs() {
+		front := s.Results[nw].FrontTimeBER
+		if len(front) < 2 {
+			continue
+		}
+		first, last := front[0], front[len(front)-1]
+		if first.MeanBER <= last.MeanBER {
+			b.Fatalf("NW=%d: fastest point BER %.3e not worse than slowest %.3e",
+				nw, first.MeanBER, last.MeanBER)
+		}
+	}
+	printOnce("Fig. 6(b)", out)
+}
+
+// BenchmarkFig7 regenerates Fig. 7: the full valid-solution cloud for
+// NW = 8 with its Pareto front.
+func BenchmarkFig7(b *testing.B) {
+	s := fullSuite(b)
+	b.ResetTimer()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = expt.Fig7(s)
+	}
+	b.StopTimer()
+	res := s.Results[8]
+	if len(res.FrontTimeBER) >= len(res.Valid) {
+		b.Fatal("the front must be a small subset of the cloud")
+	}
+	printOnce("Fig. 7", out)
+}
+
+// BenchmarkTable2 regenerates Table II: solution counts per comb
+// size.
+func BenchmarkTable2(b *testing.B) {
+	s := fullSuite(b)
+	b.ResetTimer()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = expt.Table2(s)
+	}
+	b.StopTimer()
+	// Shape anchor: valid counts and front sizes grow with NW.
+	if !(s.Results[4].ValidEvaluations < s.Results[8].ValidEvaluations &&
+		s.Results[8].ValidEvaluations < s.Results[12].ValidEvaluations) {
+		b.Fatalf("valid-count anchor broken: %d / %d / %d",
+			s.Results[4].ValidEvaluations, s.Results[8].ValidEvaluations, s.Results[12].ValidEvaluations)
+	}
+	if !(len(s.Results[4].FrontTimeBER) < len(s.Results[8].FrontTimeBER) &&
+		len(s.Results[8].FrontTimeBER) < len(s.Results[12].FrontTimeBER)) {
+		b.Fatalf("front-size anchor broken: %d / %d / %d",
+			len(s.Results[4].FrontTimeBER), len(s.Results[8].FrontTimeBER), len(s.Results[12].FrontTimeBER))
+	}
+	printOnce("Table II", out)
+}
+
+// BenchmarkExploration measures the full paper-scale GA exploration
+// per comb size — the data-generation cost behind Figs. 6/7 and
+// Table II.
+func BenchmarkExploration(b *testing.B) {
+	for _, nw := range []int{4, 8, 12} {
+		b.Run(fmt.Sprintf("NW=%d", nw), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := expt.RunNW(expt.DefaultConfig(), nw)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Valid) == 0 {
+					b.Fatal("no valid solutions")
+				}
+			}
+		})
+	}
+}
+
+// hypervolume scores a time/energy front against a fixed reference
+// box for the ablation comparisons (bigger is better).
+func hypervolume(res *core.Result) float64 {
+	pts := make([][]float64, 0, len(res.FrontTimeEnergy))
+	for _, s := range res.FrontTimeEnergy {
+		pts = append(pts, []float64{s.TimeKCC, s.BitEnergyFJ})
+	}
+	return pareto.Hypervolume2D(pts, [2]float64{40, 10})
+}
+
+// BenchmarkAblationPopulation sweeps the GA population size at fixed
+// generations: the design choice behind the paper's 400-individual
+// setting.
+func BenchmarkAblationPopulation(b *testing.B) {
+	for _, pop := range []int{100, 200, 400} {
+		b.Run(fmt.Sprintf("pop=%d", pop), func(b *testing.B) {
+			var hv float64
+			for i := 0; i < b.N; i++ {
+				p, err := core.New(core.Config{NW: 8,
+					GA: nsga2.Config{PopSize: pop, Generations: 80, Seed: 9}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := p.Optimize()
+				if err != nil {
+					b.Fatal(err)
+				}
+				hv = hypervolume(res)
+			}
+			b.ReportMetric(hv, "hypervolume")
+			printOnce(fmt.Sprintf("ablation-pop-%d", pop),
+				fmt.Sprintf("population %d -> time/energy hypervolume %.1f", pop, hv))
+		})
+	}
+}
+
+// BenchmarkAblationCrossover sweeps the crossover probability of the
+// paper's two-point operator.
+func BenchmarkAblationCrossover(b *testing.B) {
+	for _, pc := range []float64{0.1, 0.5, 0.9} {
+		b.Run(fmt.Sprintf("pc=%.1f", pc), func(b *testing.B) {
+			var hv float64
+			for i := 0; i < b.N; i++ {
+				p, err := core.New(core.Config{NW: 8,
+					GA: nsga2.Config{PopSize: 120, Generations: 80, CrossoverProb: pc, Seed: 9}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := p.Optimize()
+				if err != nil {
+					b.Fatal(err)
+				}
+				hv = hypervolume(res)
+			}
+			b.ReportMetric(hv, "hypervolume")
+		})
+	}
+}
+
+// BenchmarkAblationMutation compares the paper's single-gene
+// inversion with classic per-bit mutation.
+func BenchmarkAblationMutation(b *testing.B) {
+	cases := []struct {
+		name string
+		cfg  nsga2.Config
+	}{
+		{"single-flip", nsga2.Config{PopSize: 120, Generations: 80, Seed: 9}},
+		{"per-bit", nsga2.Config{PopSize: 120, Generations: 80, Seed: 9, PerBitMutation: 1.0 / 48}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var hv float64
+			for i := 0; i < b.N; i++ {
+				p, err := core.New(core.Config{NW: 8, GA: c.cfg})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := p.Optimize()
+				if err != nil {
+					b.Fatal(err)
+				}
+				hv = hypervolume(res)
+			}
+			b.ReportMetric(hv, "hypervolume")
+		})
+	}
+}
+
+// BenchmarkAblationObjectives compares the 3-objective exploration
+// (the paper's) against direct 2-objective runs.
+func BenchmarkAblationObjectives(b *testing.B) {
+	for _, set := range []core.ObjectiveSet{core.TimeEnergyBER, core.TimeEnergy, core.TimeBER} {
+		b.Run(set.String(), func(b *testing.B) {
+			var hv float64
+			for i := 0; i < b.N; i++ {
+				p, err := core.New(core.Config{NW: 8, Objectives: set,
+					GA: nsga2.Config{PopSize: 120, Generations: 80, Seed: 9}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := p.Optimize()
+				if err != nil {
+					b.Fatal(err)
+				}
+				hv = hypervolume(res)
+			}
+			b.ReportMetric(hv, "hypervolume")
+		})
+	}
+}
+
+// BenchmarkHeuristicsVsGA measures the related-work baseline
+// allocators and reports how many of their operating points the GA
+// front dominates.
+func BenchmarkHeuristicsVsGA(b *testing.B) {
+	s := fullSuite(b)
+	in, err := alloc.DefaultInstance(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	budgets := [][]int{alloc.UniformCounts(6, 1), alloc.UniformCounts(6, 2), {1, 4, 2, 3, 2, 3}}
+	policies := []alloc.Policy{alloc.FirstFit, alloc.RandomFit, alloc.MostUsed, alloc.LeastUsed}
+	b.ResetTimer()
+	var dominated, total int
+	for i := 0; i < b.N; i++ {
+		dominated, total = 0, 0
+		for _, budget := range budgets {
+			for _, pol := range policies {
+				g, err := alloc.Assign(in, budget, pol, rng)
+				if err != nil {
+					continue
+				}
+				ev := in.Evaluate(g)
+				if !ev.Valid {
+					b.Fatalf("heuristic produced invalid genome: %s", ev.Reason)
+				}
+				total++
+				for _, sol := range s.Results[8].FrontTimeEnergy {
+					if pareto.Dominates([]float64{sol.TimeKCC, sol.BitEnergyFJ},
+						[]float64{ev.TimeKCC(), ev.BitEnergyFJ}) {
+						dominated++
+						break
+					}
+				}
+			}
+		}
+	}
+	b.StopTimer()
+	printOnce("heuristics-vs-GA",
+		fmt.Sprintf("GA front dominates %d of %d heuristic operating points", dominated, total))
+}
+
+// ---- micro-benchmarks of the hot kernels ----
+
+// BenchmarkEvaluateValid measures the full chromosome evaluation
+// (schedule + optics + energy) on a feasible genome: the GA's inner
+// loop.
+func BenchmarkEvaluateValid(b *testing.B) {
+	in, err := alloc.DefaultInstance(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := alloc.Assign(in, []int{1, 4, 2, 3, 2, 3}, alloc.LeastUsed, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := in.Evaluate(g)
+		if !ev.Valid {
+			b.Fatal(ev.Reason)
+		}
+	}
+}
+
+// BenchmarkEvaluateInvalid measures the fast-reject path.
+func BenchmarkEvaluateInvalid(b *testing.B) {
+	in, err := alloc.DefaultInstance(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := in.NewZeroGenome()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ev := in.Evaluate(g); ev.Valid {
+			b.Fatal("zero genome cannot be valid")
+		}
+	}
+}
+
+// BenchmarkSchedule measures the analytic time model alone.
+func BenchmarkSchedule(b *testing.B) {
+	g := graph.PaperApp()
+	lambdas := []int{1, 4, 2, 3, 2, 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.Compute(g, lambdas, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSignalArrival measures one loss-budget walk.
+func BenchmarkSignalArrival(b *testing.B) {
+	r, err := ring.New(ring.DefaultConfig(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := r.PathBetween(1, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bank := ring.NewBank(r.Size(), r.Channels())
+	bank.Set(10, 3, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.SignalArrivalDB(p, 3, bank)
+	}
+}
+
+// BenchmarkBEROOK measures the Eq. 9 kernel.
+func BenchmarkBEROOK(b *testing.B) {
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += phys.BEROOK(float64(i%40) + 2)
+	}
+	_ = sink
+}
+
+// BenchmarkLorentzian measures the Eq. 1 kernel.
+func BenchmarkLorentzian(b *testing.B) {
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += phys.Lorentzian(float64(i%16)*0.1, 0.0807)
+	}
+	_ = sink
+}
+
+// BenchmarkSimulator measures a full cycle-resolution run of the
+// paper application.
+func BenchmarkSimulator(b *testing.B) {
+	in, err := alloc.DefaultInstance(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := alloc.Assign(in, []int{1, 4, 2, 3, 2, 3}, alloc.LeastUsed, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(in, g, sim.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHeuristicAssign measures the baseline allocators.
+func BenchmarkHeuristicAssign(b *testing.B) {
+	in, err := alloc.DefaultInstance(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for _, pol := range []alloc.Policy{alloc.FirstFit, alloc.RandomFit, alloc.MostUsed, alloc.LeastUsed} {
+		b.Run(pol.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := alloc.Assign(in, alloc.UniformCounts(6, 2), pol, rng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFront2D measures the sweep-line front extraction on a
+// Table II-scale archive.
+func BenchmarkFront2D(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	pts := make([][]float64, 50000)
+	for i := range pts {
+		pts[i] = []float64{20 + 20*rng.Float64(), 3 + 6*rng.Float64()}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := pareto.FrontIndices2D(pts); len(got) == 0 {
+			b.Fatal("empty front")
+		}
+	}
+}
+
+// BenchmarkGAGeneration measures one NSGA-II generation at the
+// paper's population size.
+func BenchmarkGAGeneration(b *testing.B) {
+	p, err := core.New(core.Config{NW: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// One generation = pop evaluations + one survival pass; the
+		// engine's per-generation structure is measured through a
+		// 1-generation run.
+		if _, err := nsga2.Run(p, nsga2.Config{PopSize: 400, Generations: 1, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationBidirectional compares the paper's unidirectional
+// ring against the ORNoC-style twin-waveguide variant at equal GA
+// budgets: shorter routes cut laser energy and relax the
+// wavelength-sharing constraints.
+func BenchmarkAblationBidirectional(b *testing.B) {
+	for _, bidir := range []bool{false, true} {
+		name := "unidirectional"
+		if bidir {
+			name = "bidirectional"
+		}
+		b.Run(name, func(b *testing.B) {
+			var hv float64
+			var minE float64
+			for i := 0; i < b.N; i++ {
+				rcfg := ring.DefaultConfig(8)
+				rcfg.Bidirectional = bidir
+				p, err := core.New(core.Config{NW: 8, Ring: &rcfg,
+					GA: nsga2.Config{PopSize: 120, Generations: 80, Seed: 9}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := p.Optimize()
+				if err != nil {
+					b.Fatal(err)
+				}
+				hv = hypervolume(res)
+				if s, ok := res.MinEnergySolution(); ok {
+					minE = s.BitEnergyFJ
+				}
+			}
+			b.ReportMetric(hv, "hypervolume")
+			b.ReportMetric(minE, "minfJ/bit")
+			printOnce("ablation-"+name,
+				fmt.Sprintf("%s: hypervolume %.1f, min energy %.2f fJ/bit", name, hv, minE))
+		})
+	}
+}
+
+// BenchmarkAblationWarmStart compares cold random initialization with
+// heuristic-seeded populations.
+func BenchmarkAblationWarmStart(b *testing.B) {
+	for _, warm := range []bool{false, true} {
+		name := "cold"
+		if warm {
+			name = "warm"
+		}
+		b.Run(name, func(b *testing.B) {
+			var hv float64
+			for i := 0; i < b.N; i++ {
+				p, err := core.New(core.Config{NW: 8, WarmStart: warm,
+					GA: nsga2.Config{PopSize: 120, Generations: 40, Seed: 9}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := p.Optimize()
+				if err != nil {
+					b.Fatal(err)
+				}
+				hv = hypervolume(res)
+			}
+			b.ReportMetric(hv, "hypervolume")
+		})
+	}
+}
+
+// BenchmarkExplain measures the full link-budget expansion.
+func BenchmarkExplain(b *testing.B) {
+	in, err := alloc.DefaultInstance(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := alloc.Assign(in, []int{1, 4, 2, 3, 2, 3}, alloc.LeastUsed, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.Explain(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationCrosstalkSources attributes the BER between the two
+// noise sources the paper's introduction names: intra-communication
+// (same transfer's wavelengths, unavoidable) and inter-communication
+// (simultaneous transfers, avoidable by mapping/scheduling).
+func BenchmarkAblationCrosstalkSources(b *testing.B) {
+	modes := []alloc.CrosstalkMode{
+		alloc.XtalkBoth, alloc.XtalkIntraOnly, alloc.XtalkInterOnly, alloc.XtalkNone,
+	}
+	for _, mode := range modes {
+		b.Run(mode.String(), func(b *testing.B) {
+			in, err := alloc.DefaultInstance(8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			in.Xtalk = mode
+			g, err := alloc.Assign(in, []int{1, 4, 2, 3, 2, 3}, alloc.LeastUsed, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var ber float64
+			for i := 0; i < b.N; i++ {
+				ev := in.Evaluate(g)
+				if !ev.Valid {
+					b.Fatal(ev.Reason)
+				}
+				ber = ev.MeanBER
+			}
+			b.ReportMetric(phys.Log10BER(ber), "log10BER")
+			printOnce("xtalk-"+mode.String(),
+				fmt.Sprintf("crosstalk %s: mean log10(BER) %.2f", mode, phys.Log10BER(ber)))
+		})
+	}
+}

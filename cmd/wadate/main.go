@@ -1,0 +1,171 @@
+// Command wadate reproduces the evaluation section of "Performance
+// and Energy Aware Wavelength Allocation on Ring-Based WDM 3D Optical
+// NoC" (Luo et al., DATE 2017): it runs the NSGA-II wavelength
+// allocation exploration on the paper's virtual application and
+// renders each table and figure as text, optionally dumping CSV for
+// external plotting.
+//
+// Usage:
+//
+//	wadate [flags]
+//
+//	-exp string    experiment: all, summary, table1, table2, fig6a,
+//	               fig6b, fig7, app, convergence, robustness,
+//	               sensitivity (default "all")
+//	-nw string     comma-separated comb sizes (default "4,8,12")
+//	-pop int       GA population size (default 400, the paper's)
+//	-gens int      GA generations (default 300, the paper's)
+//	-seed int      PRNG seed (default 42)
+//	-seeds int     seed count for -exp robustness (default 5)
+//	-workers int   parallel evaluation goroutines (results identical)
+//	-quick         use the reduced smoke-test configuration
+//	-csv string    write all fronts (and the NW=8 cloud) to this file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/expt"
+	"repro/internal/graph"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: all, summary, table1, table2, fig6a, fig6b, fig7, app, convergence, robustness, sensitivity")
+		nws     = flag.String("nw", "4,8,12", "comma-separated wavelength counts")
+		pop     = flag.Int("pop", 400, "GA population size")
+		gens    = flag.Int("gens", 300, "GA generations")
+		seed    = flag.Int64("seed", 42, "PRNG seed")
+		quick   = flag.Bool("quick", false, "reduced smoke-test configuration")
+		csv     = flag.String("csv", "", "write solution CSV to this file")
+		seeds   = flag.Int("seeds", 5, "seed count for -exp robustness")
+		workers = flag.Int("workers", 0, "parallel evaluation goroutines (0 = serial; results identical)")
+	)
+	flag.Parse()
+	if err := run(*exp, *nws, *pop, *gens, *seed, *quick, *csv, *seeds, *workers); err != nil {
+		fmt.Fprintf(os.Stderr, "wadate: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp, nws string, pop, gens int, seed int64, quick bool, csvPath string, seeds, workers int) error {
+	switch exp {
+	case "table1":
+		fmt.Print(expt.Table1())
+		return nil
+	case "app":
+		fmt.Println("Fig. 5: virtual application and design-time mapping")
+		fmt.Print(graph.FormatString(graph.PaperApp(), graph.PaperMapping()))
+		return nil
+	case "sensitivity":
+		out, err := expt.Sensitivity()
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	}
+
+	cfg := expt.Config{Pop: pop, Generations: gens, Seed: seed, Workers: workers}
+	if quick {
+		cfg = expt.QuickConfig()
+	}
+	var err error
+	cfg.NWs, err = parseNWs(nws)
+	if err != nil {
+		return err
+	}
+	switch exp {
+	case "convergence":
+		out, err := expt.ConvergenceReport(cfg, cfg.NWs[0])
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	case "robustness":
+		out, err := expt.MultiSeedReport(cfg, seeds)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	}
+	if exp == "fig7" && !contains(cfg.NWs, 8) {
+		return fmt.Errorf("fig7 needs NW=8 in -nw (have %v)", cfg.NWs)
+	}
+	suite, err := expt.Run(cfg)
+	if err != nil {
+		return err
+	}
+	switch exp {
+	case "all":
+		fmt.Print(expt.Table1())
+		fmt.Println()
+		fmt.Print(expt.Fig6a(suite))
+		fmt.Println()
+		fmt.Print(expt.Fig6b(suite))
+		fmt.Println()
+		fmt.Print(expt.Fig7(suite))
+		fmt.Println()
+		fmt.Print(expt.Table2(suite))
+		fmt.Println()
+		fmt.Print(expt.Summary(suite))
+	case "summary":
+		fmt.Print(expt.Summary(suite))
+	case "table2":
+		fmt.Print(expt.Table2(suite))
+	case "fig6a":
+		fmt.Print(expt.Fig6a(suite))
+	case "fig6b":
+		fmt.Print(expt.Fig6b(suite))
+	case "fig7":
+		fmt.Print(expt.Fig7(suite))
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := expt.WriteSuiteCSV(f, suite); err != nil {
+			return err
+		}
+		fmt.Printf("\nCSV written to %s\n", csvPath)
+	}
+	return nil
+}
+
+func parseNWs(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad wavelength count %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no wavelength counts in %q", s)
+	}
+	return out, nil
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,81 @@
+// Command wagen generates synthetic task graphs in the textual format
+// the other tools consume, with an optional random one-to-one mapping
+// onto the ring cores — the workload generator of the benchmark
+// harness.
+//
+// Usage:
+//
+//	wagen [flags]
+//
+//	-kind string   chain, forkjoin, layered, random, sp, paper
+//	-tasks int     task budget (chain/random/sp; default 8)
+//	-layers int    layers for -kind layered (default 3)
+//	-width int     width for -kind layered / workers for forkjoin
+//	-p float       edge probability (layered/random; default 0.3)
+//	-seed int      PRNG seed (default 1)
+//	-cores int     emit a random mapping onto this many cores (0: none)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/graph"
+)
+
+func main() {
+	var (
+		kind   = flag.String("kind", "layered", "chain, forkjoin, layered, random, sp, paper")
+		tasks  = flag.Int("tasks", 8, "task budget")
+		layers = flag.Int("layers", 3, "layers (layered)")
+		width  = flag.Int("width", 3, "layer width / fork workers")
+		p      = flag.Float64("p", 0.3, "edge probability")
+		seed   = flag.Int64("seed", 1, "PRNG seed")
+		cores  = flag.Int("cores", 16, "emit random mapping onto this many cores (0: none)")
+	)
+	flag.Parse()
+	if err := run(*kind, *tasks, *layers, *width, *p, *seed, *cores); err != nil {
+		fmt.Fprintf(os.Stderr, "wagen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind string, tasks, layers, width int, p float64, seed int64, cores int) error {
+	rng := rand.New(rand.NewSource(seed))
+	cfg := graph.DefaultGenConfig()
+	var (
+		g   *graph.TaskGraph
+		err error
+	)
+	switch kind {
+	case "paper":
+		g = graph.PaperApp()
+	case "chain":
+		g, err = graph.Chain(rng, tasks, cfg)
+	case "forkjoin":
+		g, err = graph.ForkJoin(rng, width, cfg)
+	case "layered":
+		g, err = graph.Layered(rng, layers, width, p, cfg)
+	case "random":
+		g, err = graph.RandomDAG(rng, tasks, p, cfg)
+	case "sp":
+		g, err = graph.SeriesParallel(rng, tasks, cfg)
+	default:
+		return fmt.Errorf("unknown kind %q", kind)
+	}
+	if err != nil {
+		return err
+	}
+	var m graph.Mapping
+	if kind == "paper" && cores == 16 {
+		m = graph.PaperMapping()
+	} else if cores > 0 {
+		m, err = graph.RandomMapping(rng, g, cores)
+		if err != nil {
+			return err
+		}
+	}
+	return graph.Format(os.Stdout, g, m)
+}

@@ -1,0 +1,91 @@
+// Paperapp walks through the paper's evaluation end to end on one
+// comb size: the virtual application and its mapping, the analytic
+// schedule of the energy-optimal all-ones allocation, a
+// cycle-resolution simulation cross-check, and the NSGA-II
+// exploration with both projected Pareto fronts.
+//
+// Run with:
+//
+//	go run ./examples/paperapp            (reduced GA, ~2 s)
+//	go run ./examples/paperapp -full      (paper-scale GA, ~10 s)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/expt"
+	"repro/internal/graph"
+	"repro/internal/nsga2"
+	"repro/internal/sim"
+)
+
+func main() {
+	full := flag.Bool("full", false, "use the paper's 400x300 GA settings")
+	flag.Parse()
+
+	// 1. The workload: Fig. 5's virtual application on the serpentine
+	// ring.
+	app := graph.PaperApp()
+	fmt.Println("virtual application (Fig. 5):")
+	fmt.Print(graph.FormatString(app, graph.PaperMapping()))
+	floor, _ := app.CriticalPathCycles()
+	fmt.Printf("critical path without communication: %.0f cycles (the 20 k-cc floor)\n\n", floor)
+
+	// 2. The energy-optimal baseline: one wavelength per
+	// communication, spread across the comb.
+	in, err := alloc.DefaultInstance(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ones, err := alloc.Assign(in, alloc.UniformCounts(in.Edges(), 1), alloc.LeastUsed, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev := in.Evaluate(ones)
+	fmt.Printf("all-ones allocation %v:\n", ev.Counts)
+	fmt.Printf("  analytic: %.2f k-cc, %.2f fJ/bit, mean BER %.2e\n",
+		ev.TimeKCC(), ev.BitEnergyFJ, ev.MeanBER)
+
+	// 3. Cross-check with the cycle-resolution simulator.
+	simRes, err := sim.Run(in, ones, sim.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  simulated: %.2f k-cc, %d occupancy violations\n\n",
+		float64(simRes.MakespanCycles)/1000, len(simRes.Violations))
+
+	// 4. The exploration: NSGA-II over the chromosome space.
+	ga := nsga2.Config{PopSize: 120, Generations: 100, Seed: 42}
+	if *full {
+		ga = nsga2.Config{PopSize: 400, Generations: 300, Seed: 42}
+	}
+	problem, err := core.New(core.Config{NW: 8, GA: ga})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := problem.Optimize()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exploration: %d evaluations, %d distinct valid allocations\n",
+		res.Evaluations, res.DistinctValid)
+	fmt.Printf("best time %.2f k-cc (paper full-scale anchor: 23.8)\n\n", res.BestTimeKCC())
+
+	fmt.Println("Pareto front, bit energy vs time (Fig. 6(a) series for 8 lambda):")
+	for _, s := range res.FrontTimeEnergy {
+		fmt.Printf("  %6.2f k-cc  %5.2f fJ/bit  %v\n", s.TimeKCC, s.BitEnergyFJ, s.Counts)
+	}
+	fmt.Println("\nPareto front, BER vs time (Fig. 6(b) series for 8 lambda):")
+	for _, s := range res.FrontTimeBER {
+		fmt.Printf("  %6.2f k-cc  log10(BER) %6.2f  %v\n", s.TimeKCC, s.Log10BER(), s.Counts)
+	}
+
+	// 5. The cloud view of Fig. 7 for this run.
+	suite := &expt.Suite{Results: map[int]*core.Result{8: res}}
+	fmt.Println()
+	fmt.Print(expt.Fig7(suite))
+}

@@ -1,0 +1,195 @@
+// Cross-module integration tests: the full pipeline from workload
+// generation through optimization to simulation, exercised end to end
+// the way the CLIs drive it.
+package repro_test
+
+import (
+	"encoding/csv"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/expt"
+	"repro/internal/graph"
+	"repro/internal/nsga2"
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+// quickResult runs one reduced exploration shared by the integration
+// tests.
+func quickResult(t *testing.T) *core.Result {
+	t.Helper()
+	p, err := core.New(core.Config{NW: 8,
+		GA: nsga2.Config{PopSize: 60, Generations: 40, Seed: 11}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestFrontSolutionsSimulateCleanly(t *testing.T) {
+	// Every Pareto-front allocation the optimizer reports must run on
+	// the cycle-resolution simulator without occupancy violations,
+	// with a makespan bracketing the analytic one.
+	res := quickResult(t)
+	in, err := alloc.DefaultInstance(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, sol := range res.FrontTimeEnergy {
+		simRes, err := sim.Run(in, sol.Genome, sim.Options{})
+		if err != nil {
+			t.Fatalf("front solution %v rejected by the simulator: %v", sol.Counts, err)
+		}
+		if len(simRes.Violations) != 0 {
+			t.Fatalf("front solution %v double-books the waveguide: %v", sol.Counts, simRes.Violations)
+		}
+		analytic := sol.TimeKCC * 1000
+		simT := float64(simRes.MakespanCycles)
+		if simT < analytic-1e-6 || simT > analytic+float64(in.Edges()) {
+			t.Fatalf("front solution %v: sim %v vs analytic %v out of bracket", sol.Counts, simT, analytic)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no front solutions to check")
+	}
+}
+
+func TestCSVGenomesRoundTripThroughEvaluation(t *testing.T) {
+	// The CSV the harness exports carries enough to re-evaluate every
+	// solution bit-for-bit.
+	s, err := expt.Run(expt.Config{NWs: []int{8}, Pop: 40, Generations: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := expt.WriteSolutionsCSV(&sb, 8, "front", s.Results[8].FrontTimeEnergy); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := alloc.DefaultInstance(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows[1:] {
+		g, err := alloc.ParseGenome(row[7], in.Edges(), in.Channels())
+		if err != nil {
+			t.Fatalf("CSV genome %q: %v", row[7], err)
+		}
+		ev := in.Evaluate(g)
+		if !ev.Valid {
+			t.Fatalf("CSV genome %q re-evaluates invalid: %s", row[7], ev.Reason)
+		}
+	}
+}
+
+func TestGeneratedWorkloadEndToEnd(t *testing.T) {
+	// wagen -> textio -> instance -> heuristic assignment -> sim, all
+	// in process: the CLI pipeline without the processes.
+	rng := rand.New(rand.NewSource(17))
+	app, err := graph.Layered(rng, 3, 3, 0.35, graph.DefaultGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := graph.RandomMapping(rng, app, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := graph.FormatString(app, m)
+	app2, m2, err := graph.ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := ring.New(ring.DefaultConfig(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := alloc.NewInstance(r, app2, m2, 1, energy.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := alloc.Assign(in, alloc.UniformCounts(in.Edges(), 1), alloc.LeastUsed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := in.Evaluate(g)
+	if !ev.Valid {
+		t.Fatalf("generated workload allocation invalid: %s", ev.Reason)
+	}
+	simRes, err := sim.Run(in, g, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(simRes.Violations) != 0 {
+		t.Fatalf("violations: %v", simRes.Violations)
+	}
+	if simRes.MakespanCycles <= 0 {
+		t.Fatal("empty simulation")
+	}
+}
+
+func TestPipelineDeterminism(t *testing.T) {
+	// The same configuration must reproduce the same rendered figure,
+	// byte for byte.
+	run := func() string {
+		s, err := expt.Run(expt.Config{NWs: []int{4}, Pop: 30, Generations: 15, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return expt.Fig6a(s)
+	}
+	if run() != run() {
+		t.Fatal("identical configurations rendered different figures")
+	}
+}
+
+func TestBidirectionalEndToEnd(t *testing.T) {
+	// The ORNoC-style twin-waveguide variant must run the whole
+	// pipeline too, and its energy optimum cannot lose to the
+	// unidirectional one.
+	rcfg := ring.DefaultConfig(8)
+	rcfg.Bidirectional = true
+	p, err := core.New(core.Config{NW: 8, Ring: &rcfg, WarmStart: true,
+		GA: nsga2.Config{PopSize: 60, Generations: 30, Seed: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	biMin, ok := res.MinEnergySolution()
+	if !ok {
+		t.Fatal("bidirectional run found no valid solutions")
+	}
+	uni, err := core.New(core.Config{NW: 8, WarmStart: true,
+		GA: nsga2.Config{PopSize: 60, Generations: 30, Seed: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniRes, err := uni.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniMin, ok := uniRes.MinEnergySolution()
+	if !ok {
+		t.Fatal("unidirectional run found no valid solutions")
+	}
+	if biMin.BitEnergyFJ > uniMin.BitEnergyFJ {
+		t.Errorf("twin waveguide min energy %v fJ/bit loses to unidirectional %v",
+			biMin.BitEnergyFJ, uniMin.BitEnergyFJ)
+	}
+}

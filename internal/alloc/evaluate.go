@@ -1,0 +1,331 @@
+package alloc
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/phys"
+	"repro/internal/ring"
+	"repro/internal/sched"
+)
+
+// Eval is the full figure-of-merit vector of one chromosome. Invalid
+// chromosomes (the paper sets their fitness to infinity) carry the
+// Reason and infinite objectives.
+type Eval struct {
+	// Valid reports whether the chromosome satisfies the paper's
+	// validity rules; when false, Reason explains which rule fired
+	// first and Violation grades how badly the rules are broken (the
+	// number of missing reservations plus the number of shared
+	// wavelength/link/time collisions). The GA uses the magnitude as
+	// Deb's constraint violation, which gives evolution a gradient
+	// toward the feasible region.
+	Valid     bool
+	Reason    string
+	Violation float64
+
+	// MakespanCycles is the global execution time (Eq. 11).
+	MakespanCycles float64
+	// BitEnergyFJ is the laser energy per transmitted bit (Fig 6(a)).
+	BitEnergyFJ float64
+	// MeanBER and WorstBER aggregate the per-wavelength BER of every
+	// reserved (communication, wavelength) pair (Fig 6(b) plots the
+	// mean).
+	MeanBER  float64
+	WorstBER float64
+
+	// Counts is the per-communication wavelength count vector.
+	Counts []int
+	// CommBER is the mean BER per communication.
+	CommBER []float64
+	// CommEnergyFJ is the laser energy per communication.
+	CommEnergyFJ []float64
+	// Schedule is the analytic schedule the metrics were derived
+	// from.
+	Schedule *sched.Schedule
+}
+
+// TimeKCC returns the makespan in kilo-clock-cycles, the unit of the
+// paper's plots.
+func (e Eval) TimeKCC() float64 { return e.MakespanCycles / 1000 }
+
+// Log10MeanBER returns the display form used by Figs. 6(b) and 7.
+func (e Eval) Log10MeanBER() float64 { return phys.Log10BER(e.MeanBER) }
+
+func invalid(reason string, violation float64) Eval {
+	inf := math.Inf(1)
+	if violation <= 0 {
+		violation = 1
+	}
+	return Eval{Valid: false, Reason: reason, Violation: violation,
+		MakespanCycles: inf, BitEnergyFJ: inf, MeanBER: inf, WorstBER: inf}
+}
+
+// Evaluate computes the objective vector of one chromosome:
+//
+//  1. decode and check the validity rules (every loaded communication
+//     needs at least one wavelength; communications whose ring paths
+//     share a segment and whose activity windows overlap must use
+//     disjoint wavelength sets),
+//  2. run the analytic time model,
+//  3. assemble the per-window receiver-bank states and walk the
+//     optics for the signal and every first-order crosstalk
+//     contributor (Eqs. 2-7),
+//  4. aggregate SNR -> BER (Eqs. 8-9) and the loss-compensating laser
+//     energy.
+func (in *Instance) Evaluate(g Genome) Eval {
+	if g.Edges() != in.Edges() || g.Channels() != in.Channels() {
+		return invalid(fmt.Sprintf("genome shape %dx%d does not match instance %dx%d",
+			g.Edges(), g.Channels(), in.Edges(), in.Channels()), 1)
+	}
+	counts := g.Counts()
+	sets := make([][]int, in.Edges())
+	var violation float64
+	var reason string
+	note := func(v float64, format string, args ...interface{}) {
+		violation += v
+		if reason == "" {
+			reason = fmt.Sprintf(format, args...)
+		}
+	}
+	// Effective counts let the scheduler produce windows even for a
+	// broken chromosome, so the conflict grading below stays
+	// meaningful while the genome is repaired by evolution.
+	eff := make([]int, in.Edges())
+	for e := range sets {
+		sets[e] = g.ChannelSet(e)
+		eff[e] = counts[e]
+		if counts[e] == 0 && in.App.Edges[e].VolumeBits > 0 {
+			note(1, "communication %s reserves no wavelength", in.App.Edges[e].Name)
+			eff[e] = 1
+		}
+	}
+
+	s, err := sched.Compute(in.App, eff, in.BitsPerCycle)
+	if err != nil {
+		return invalid(err.Error(), violation+1)
+	}
+
+	// Validity: time-overlapping communications sharing waveguide
+	// segments must not share wavelengths (the paper's "same
+	// wavelength assigned to the same link"). Every shared channel
+	// adds to the violation grade.
+	for i := 0; i < in.Edges(); i++ {
+		for j := i + 1; j < in.Edges(); j++ {
+			if !s.Comm[i].Overlaps(s.Comm[j]) || !in.paths[i].Overlaps(in.paths[j]) {
+				continue
+			}
+			if shared := countShared(sets[i], sets[j]); shared > 0 {
+				note(float64(shared), "communications %s and %s share wavelength %d on a common link while both active",
+					in.App.Edges[i].Name, in.App.Edges[j].Name, intersects(sets[i], sets[j]))
+			}
+		}
+	}
+	if violation > 0 {
+		return invalid(reason, violation)
+	}
+
+	par := in.Ring.Config().Params
+	pv := par.LaserOnDBm
+	p0 := par.LaserOffDBm.MilliWatt()
+
+	ev := Eval{
+		Valid:        true,
+		Counts:       counts,
+		CommBER:      make([]float64, in.Edges()),
+		CommEnergyFJ: make([]float64, in.Edges()),
+		Schedule:     s,
+	}
+	ev.MakespanCycles = s.MakespanCycles
+
+	var berSum float64
+	var berN int
+	var totalFJ, totalBits float64
+	for e := 0; e < in.Edges(); e++ {
+		if in.App.Edges[e].VolumeBits <= 0 || counts[e] == 0 {
+			continue
+		}
+		bank := in.bankFor(e, s, sets)
+		dst := in.dstCore[e]
+		powers := make([]phys.MilliWatt, 0, counts[e])
+		var commBERSum float64
+		for _, ch := range sets[e] {
+			sigLoss := in.Ring.SignalArrivalDB(in.paths[e], ch, bank)
+			psig := pv.Add(sigLoss).MilliWatt()
+
+			var noise phys.MilliWatt
+			// Intra-communication crosstalk: the same transfer's
+			// other wavelengths leak into this detector.
+			for _, other := range sets[e] {
+				if other == ch || !in.Xtalk.intra() {
+					continue
+				}
+				arr, err := in.Ring.ArrivalAlongDB(in.paths[e], dst, other, ch, bank)
+				if err == nil {
+					noise += pv.Add(arr).MilliWatt()
+				}
+			}
+			// Inter-communication crosstalk: wavelengths of other
+			// transfers whose light crosses this receiver while this
+			// transfer is active, walked along the interferer's own
+			// route.
+			for o := 0; in.Xtalk.inter() && o < in.Edges(); o++ {
+				if o == e || counts[o] == 0 || in.App.Edges[o].VolumeBits <= 0 {
+					continue
+				}
+				// Counter-propagating transfers live on the twin
+				// waveguide and pass a different receiver bank: no
+				// coupling.
+				if in.paths[o].Dir != in.paths[e].Dir {
+					continue
+				}
+				if !s.Comm[e].Overlaps(s.Comm[o]) || !in.paths[o].Through(dst) {
+					continue
+				}
+				for _, other := range sets[o] {
+					if other == ch {
+						// Impossible in valid genomes (the shared
+						// incoming segment would have tripped the
+						// validity rule); skip defensively.
+						continue
+					}
+					arr, err := in.Ring.ArrivalAlongDB(in.paths[o], dst, other, ch, bank)
+					if err == nil {
+						noise += pv.Add(arr).MilliWatt()
+					}
+				}
+			}
+			ber := phys.BEROOK(phys.SNR(psig, noise, p0))
+			commBERSum += ber
+			berSum += ber
+			berN++
+			if ber > ev.WorstBER {
+				ev.WorstBER = ber
+			}
+			// Laser sizing: fixed receive-power target by default,
+			// or the BER-target mode where crosstalk directly drives
+			// the emitted power (the paper's introduction).
+			powers = append(powers, in.Energy.WavelengthLaserMW(sigLoss, noise, p0))
+		}
+		ev.CommBER[e] = commBERSum / float64(len(sets[e]))
+		ev.CommEnergyFJ[e] = in.Energy.EnergyFJ(powers, s.Comm[e].Duration())
+		totalFJ += ev.CommEnergyFJ[e]
+		totalBits += in.App.Edges[e].VolumeBits
+	}
+	if berN > 0 {
+		ev.MeanBER = berSum / float64(berN)
+	}
+	if totalBits > 0 {
+		ev.BitEnergyFJ = totalFJ / totalBits
+	}
+	return ev
+}
+
+// bankFor builds the receiver-bank state seen by communication e's
+// light: the micro-ring for channel ch at ONI oni is ON when some
+// communication whose activity window overlaps e's (including e
+// itself) is dropping ch at oni on e's waveguide. On bidirectional
+// rings each direction carries its own bank, so counter-propagating
+// receivers never appear in e's view.
+func (in *Instance) bankFor(e int, s *sched.Schedule, sets [][]int) ring.BankState {
+	nw := in.Channels()
+	bank := ring.NewBank(in.Ring.Size(), nw)
+	for o := 0; o < in.Edges(); o++ {
+		if in.App.Edges[o].VolumeBits <= 0 {
+			continue
+		}
+		if in.paths[o].Dir != in.paths[e].Dir {
+			continue
+		}
+		if o != e && !s.Comm[e].Overlaps(s.Comm[o]) {
+			continue
+		}
+		for _, ch := range sets[o] {
+			bank.Set(in.dstCore[o], ch, true)
+		}
+	}
+	return bank
+}
+
+// intersects returns a channel present in both sorted sets, or -1.
+func intersects(a, b []int) int {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			return a[i]
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return -1
+}
+
+// countShared returns how many channels two sorted sets share.
+func countShared(a, b []int) int {
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			n++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return n
+}
+
+// Objectives projects an evaluation onto a minimization vector.
+// Invalid evaluations map to +Inf in every coordinate, mirroring the
+// paper's "set the fitness to infinity".
+func (e Eval) Objectives(objs []Objective) []float64 {
+	out := make([]float64, len(objs))
+	for i, o := range objs {
+		if !e.Valid {
+			out[i] = math.Inf(1)
+			continue
+		}
+		switch o {
+		case ObjTime:
+			out[i] = e.MakespanCycles
+		case ObjEnergy:
+			out[i] = e.BitEnergyFJ
+		case ObjBER:
+			out[i] = e.MeanBER
+		default:
+			out[i] = math.Inf(1)
+		}
+	}
+	return out
+}
+
+// Objective selects one of the paper's three optimization criteria.
+type Objective int
+
+const (
+	// ObjTime is the global execution time (Eq. 11).
+	ObjTime Objective = iota
+	// ObjEnergy is the energy per transmitted bit.
+	ObjEnergy
+	// ObjBER is the mean bit-error rate (Eq. 9).
+	ObjBER
+)
+
+// String names the objective for reports.
+func (o Objective) String() string {
+	switch o {
+	case ObjTime:
+		return "execution time"
+	case ObjEnergy:
+		return "bit energy"
+	case ObjBER:
+		return "mean BER"
+	}
+	return fmt.Sprintf("objective(%d)", int(o))
+}

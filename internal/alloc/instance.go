@@ -1,0 +1,142 @@
+package alloc
+
+import (
+	"fmt"
+
+	"repro/internal/energy"
+	"repro/internal/graph"
+	"repro/internal/ring"
+)
+
+// CrosstalkMode selects which first-order crosstalk sources the
+// evaluation accounts. The paper's introduction distinguishes the two:
+// intra-communication crosstalk ("undesirable coupling between
+// different wavelengths used for the same transmission... will always
+// be there until the communication finishes") and inter-communication
+// crosstalk ("two different transmissions share the same waveguide
+// simultaneously"). The ablation modes quantify each contribution.
+type CrosstalkMode int
+
+const (
+	// XtalkBoth is the physical model (default).
+	XtalkBoth CrosstalkMode = iota
+	// XtalkIntraOnly keeps only same-transmission coupling.
+	XtalkIntraOnly
+	// XtalkInterOnly keeps only cross-transmission coupling.
+	XtalkInterOnly
+	// XtalkNone disables crosstalk: the BER floor set by the laser's
+	// 0-level residue alone.
+	XtalkNone
+)
+
+// String names the mode for reports.
+func (m CrosstalkMode) String() string {
+	switch m {
+	case XtalkBoth:
+		return "intra+inter"
+	case XtalkIntraOnly:
+		return "intra-only"
+	case XtalkInterOnly:
+		return "inter-only"
+	case XtalkNone:
+		return "none"
+	}
+	return fmt.Sprintf("xtalk(%d)", int(m))
+}
+
+func (m CrosstalkMode) intra() bool { return m == XtalkBoth || m == XtalkIntraOnly }
+func (m CrosstalkMode) inter() bool { return m == XtalkBoth || m == XtalkInterOnly }
+
+// Instance binds one wavelength-allocation problem: an application
+// task graph mapped onto a ring ONoC, with the data rate and energy
+// calibration. It precomputes the per-communication ring paths so the
+// GA's evaluation loop does no repeated path construction.
+type Instance struct {
+	Ring *ring.Ring
+	App  *graph.TaskGraph
+	Map  graph.Mapping
+	// BitsPerCycle is B of Eq. 10 (1 in all paper experiments).
+	BitsPerCycle float64
+	// Energy is the bit-energy calibration.
+	Energy energy.Model
+	// Xtalk selects the crosstalk sources accounted by Evaluate and
+	// Explain; the zero value is the full physical model.
+	Xtalk CrosstalkMode
+
+	paths   []ring.Path // per edge: src core -> dst core route
+	srcCore []int       // per edge
+	dstCore []int       // per edge
+}
+
+// NewInstance validates the pieces and precomputes the routes.
+func NewInstance(r *ring.Ring, app *graph.TaskGraph, m graph.Mapping, bitsPerCycle float64, em energy.Model) (*Instance, error) {
+	if r == nil || app == nil {
+		return nil, fmt.Errorf("alloc: nil ring or application")
+	}
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(app, r.Size()); err != nil {
+		return nil, err
+	}
+	if bitsPerCycle <= 0 {
+		return nil, fmt.Errorf("alloc: bits per cycle must be positive, got %v", bitsPerCycle)
+	}
+	if err := em.Validate(); err != nil {
+		return nil, err
+	}
+	in := &Instance{
+		Ring:         r,
+		App:          app,
+		Map:          m,
+		BitsPerCycle: bitsPerCycle,
+		Energy:       em,
+		paths:        make([]ring.Path, app.NumEdges()),
+		srcCore:      make([]int, app.NumEdges()),
+		dstCore:      make([]int, app.NumEdges()),
+	}
+	for ei, e := range app.Edges {
+		src, dst := m[e.Src], m[e.Dst]
+		p, err := r.PathBetween(src, dst)
+		if err != nil {
+			return nil, fmt.Errorf("alloc: edge %s: %v", e.Name, err)
+		}
+		in.paths[ei] = p
+		in.srcCore[ei] = src
+		in.dstCore[ei] = dst
+	}
+	return in, nil
+}
+
+// DefaultInstance assembles the paper's evaluation platform: the
+// virtual application and its mapping on a 4x4 serpentine ring with
+// Table I parameters, an nw-channel comb, B = 1 bit/cycle and the
+// default energy calibration.
+func DefaultInstance(nw int) (*Instance, error) {
+	r, err := ring.New(ring.DefaultConfig(nw))
+	if err != nil {
+		return nil, err
+	}
+	return NewInstance(r, graph.PaperApp(), graph.PaperMapping(), 1, energy.Default())
+}
+
+// Channels returns NW of the underlying comb.
+func (in *Instance) Channels() int { return in.Ring.Channels() }
+
+// Edges returns Nl.
+func (in *Instance) Edges() int { return in.App.NumEdges() }
+
+// Path returns the precomputed route of edge e.
+func (in *Instance) Path(e int) ring.Path { return in.paths[e] }
+
+// SrcCore and DstCore return the mapped endpoint cores of edge e.
+func (in *Instance) SrcCore(e int) int { return in.srcCore[e] }
+
+// DstCore returns the destination core of edge e.
+func (in *Instance) DstCore(e int) int { return in.dstCore[e] }
+
+// NewZeroGenome returns an all-zero chromosome of this instance's
+// shape.
+func (in *Instance) NewZeroGenome() Genome {
+	return NewGenome(in.Edges(), in.Channels())
+}

@@ -1,0 +1,380 @@
+// Package core is the paper's primary contribution as a library: the
+// multi-objective wavelength-allocation (WA) explorer for ring-based
+// WDM optical NoCs. It ties the substrates together — the photonic
+// device models (internal/phys), the ring architecture and loss
+// budget (internal/ring), the application time model (internal/sched)
+// and the chromosome evaluation (internal/alloc) — and drives the
+// NSGA-II engine (internal/nsga2) to produce the Pareto fronts of
+// execution time, bit energy and BER that Section IV of the paper
+// reports.
+//
+// Typical use:
+//
+//	p, err := core.New(core.Config{NW: 8})   // paper's defaults
+//	res, err := p.Optimize()
+//	for _, s := range res.FrontTimeEnergy { ... }
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/alloc"
+	"repro/internal/energy"
+	"repro/internal/graph"
+	"repro/internal/nsga2"
+	"repro/internal/pareto"
+	"repro/internal/ring"
+)
+
+// ObjectiveSet selects which of the paper's criteria the GA optimizes
+// simultaneously.
+type ObjectiveSet int
+
+const (
+	// TimeEnergyBER explores all three criteria at once; the paper's
+	// two plots are projections of this run's archive.
+	TimeEnergyBER ObjectiveSet = iota
+	// TimeEnergy matches Fig. 6(a).
+	TimeEnergy
+	// TimeBER matches Fig. 6(b) and Fig. 7.
+	TimeBER
+)
+
+// String names the set for reports.
+func (s ObjectiveSet) String() string {
+	switch s {
+	case TimeEnergyBER:
+		return "time+energy+BER"
+	case TimeEnergy:
+		return "time+energy"
+	case TimeBER:
+		return "time+BER"
+	}
+	return fmt.Sprintf("objectives(%d)", int(s))
+}
+
+func (s ObjectiveSet) objectives() ([]alloc.Objective, error) {
+	switch s {
+	case TimeEnergyBER:
+		return []alloc.Objective{alloc.ObjTime, alloc.ObjEnergy, alloc.ObjBER}, nil
+	case TimeEnergy:
+		return []alloc.Objective{alloc.ObjTime, alloc.ObjEnergy}, nil
+	case TimeBER:
+		return []alloc.Objective{alloc.ObjTime, alloc.ObjBER}, nil
+	}
+	return nil, fmt.Errorf("core: unknown objective set %d", int(s))
+}
+
+// Config assembles a WA problem. Zero fields default to the paper's
+// evaluation setup: the 6-task virtual application mapped on the 4x4
+// serpentine ring with Table I parameters, B = 1 bit/cycle, NSGA-II
+// with population 400 over 300 generations.
+type Config struct {
+	// NW is the number of wavelengths of the comb (required).
+	NW int
+	// Ring optionally overrides the platform; its Grid.Channels must
+	// equal NW when set.
+	Ring *ring.Config
+	// App and Mapping optionally override the workload.
+	App     *graph.TaskGraph
+	Mapping graph.Mapping
+	// BitsPerCycle is B of the time model.
+	BitsPerCycle float64
+	// Energy overrides the bit-energy calibration.
+	Energy *energy.Model
+	// Objectives selects the optimization criteria.
+	Objectives ObjectiveSet
+	// WarmStart seeds the GA's initial population with the
+	// related-work heuristic allocations (First-Fit / Most-Used /
+	// Least-Used at small uniform budgets): the all-ones energy
+	// optimum is then present from generation zero instead of having
+	// to be discovered.
+	WarmStart bool
+	// GA tunes the engine; GA.ArchiveAll is forced on because the
+	// result assembly needs the archive.
+	GA nsga2.Config
+}
+
+// Problem is a configured wavelength-allocation exploration. It
+// implements nsga2.Problem; Evaluate is safe for concurrent calls, so
+// the engine may be run with Workers > 1.
+type Problem struct {
+	cfg  Config
+	in   *alloc.Instance
+	objs []alloc.Objective
+
+	mu      sync.Mutex
+	metrics map[string]Metrics // full metric triple per evaluated genotype
+}
+
+// Metrics is the full figure-of-merit triple of a valid genome.
+type Metrics struct {
+	TimeKCC     float64
+	BitEnergyFJ float64
+	MeanBER     float64
+}
+
+// Log10BER is the display form of MeanBER.
+func (m Metrics) Log10BER() float64 {
+	if m.MeanBER <= 0 {
+		return -300
+	}
+	return math.Log10(m.MeanBER)
+}
+
+// New validates the configuration and builds the problem.
+func New(cfg Config) (*Problem, error) {
+	if cfg.NW <= 0 {
+		return nil, fmt.Errorf("core: NW must be positive, got %d", cfg.NW)
+	}
+	rcfg := ring.DefaultConfig(cfg.NW)
+	if cfg.Ring != nil {
+		rcfg = *cfg.Ring
+		if rcfg.Grid.Channels != cfg.NW {
+			return nil, fmt.Errorf("core: ring grid has %d channels, config says NW=%d",
+				rcfg.Grid.Channels, cfg.NW)
+		}
+	}
+	r, err := ring.New(rcfg)
+	if err != nil {
+		return nil, err
+	}
+	app := cfg.App
+	if app == nil {
+		app = graph.PaperApp()
+	}
+	m := cfg.Mapping
+	if m == nil {
+		if cfg.App != nil {
+			return nil, fmt.Errorf("core: custom application needs an explicit mapping")
+		}
+		m = graph.PaperMapping()
+	}
+	bpc := cfg.BitsPerCycle
+	if bpc == 0 {
+		bpc = 1
+	}
+	em := energy.Default()
+	if cfg.Energy != nil {
+		em = *cfg.Energy
+	}
+	in, err := alloc.NewInstance(r, app, m, bpc, em)
+	if err != nil {
+		return nil, err
+	}
+	objs, err := cfg.Objectives.objectives()
+	if err != nil {
+		return nil, err
+	}
+	return &Problem{cfg: cfg, in: in, objs: objs, metrics: make(map[string]Metrics)}, nil
+}
+
+// Instance exposes the underlying evaluation instance (heuristics,
+// simulator and CLI tooling build on it).
+func (p *Problem) Instance() *alloc.Instance { return p.in }
+
+// GenomeLen implements nsga2.Problem.
+func (p *Problem) GenomeLen() int { return p.in.Edges() * p.in.Channels() }
+
+// NumObjectives implements nsga2.Problem.
+func (p *Problem) NumObjectives() int { return len(p.objs) }
+
+// Evaluate implements nsga2.Problem: full evaluation, metric capture,
+// then projection onto the configured objectives. The returned
+// violation is 0 for valid chromosomes and the graded constraint
+// violation otherwise.
+func (p *Problem) Evaluate(genome []byte) ([]float64, float64) {
+	g, err := alloc.FromBits(append([]byte(nil), genome...), p.in.Edges(), p.in.Channels())
+	if err != nil {
+		inf := math.Inf(1)
+		out := make([]float64, len(p.objs))
+		for i := range out {
+			out[i] = inf
+		}
+		return out, inf
+	}
+	ev := p.in.Evaluate(g)
+	if ev.Valid {
+		p.mu.Lock()
+		p.metrics[g.Key()] = Metrics{
+			TimeKCC:     ev.TimeKCC(),
+			BitEnergyFJ: ev.BitEnergyFJ,
+			MeanBER:     ev.MeanBER,
+		}
+		p.mu.Unlock()
+	}
+	return ev.Objectives(p.objs), ev.Violation
+}
+
+// Solution is one valid wavelength allocation with its metrics.
+type Solution struct {
+	Genome alloc.Genome
+	Counts []int
+	Metrics
+}
+
+// AllocationVector renders the per-communication wavelength counts in
+// the paper's "[2 8 6 6 4 7]" style.
+func (s Solution) AllocationVector() string {
+	return fmt.Sprint(s.Counts)
+}
+
+// Result is the outcome of one exploration run.
+type Result struct {
+	// NW echoes the comb size of the run.
+	NW int
+	// Front is the final population's feasible first front, deduped
+	// and sorted by execution time.
+	Front []Solution
+	// Valid lists every distinct valid genome evaluated during the
+	// run (the paper's Table II "number of valid solutions").
+	Valid []Solution
+	// FrontTimeEnergy and FrontTimeBER are the global Pareto fronts
+	// over Valid, projected on (time, bit energy) and (time, mean
+	// BER): the point sets of Figs. 6(a) and 6(b).
+	FrontTimeEnergy []Solution
+	FrontTimeBER    []Solution
+	// Evaluations, ValidEvaluations, DistinctEvaluated and
+	// DistinctValid count the engine's work; ValidEvaluations
+	// (duplicates included) is what the paper's Table II reports as
+	// the "number of valid solutions" generated by the GA.
+	Evaluations       int
+	ValidEvaluations  int
+	DistinctEvaluated int
+	DistinctValid     int
+}
+
+// HeuristicSeeds builds the warm-start genomes: every related-work
+// policy at uniform budgets of 1..3 wavelengths, keeping whatever is
+// feasible on this instance.
+func (p *Problem) HeuristicSeeds() [][]byte {
+	var seeds [][]byte
+	for n := 1; n <= 3 && n <= p.in.Channels(); n++ {
+		counts := alloc.UniformCounts(p.in.Edges(), n)
+		for _, pol := range []alloc.Policy{alloc.FirstFit, alloc.MostUsed, alloc.LeastUsed} {
+			g, err := alloc.Assign(p.in, counts, pol, nil)
+			if err != nil {
+				continue
+			}
+			seeds = append(seeds, append([]byte(nil), g.Bits()...))
+		}
+	}
+	return seeds
+}
+
+// Optimize runs NSGA-II and assembles the result.
+func (p *Problem) Optimize() (*Result, error) {
+	ga := p.cfg.GA
+	ga.ArchiveAll = true
+	if p.cfg.WarmStart && len(ga.Seeds) == 0 {
+		ga.Seeds = p.HeuristicSeeds()
+	}
+	runRes, err := nsga2.Run(p, ga)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		NW:                p.in.Channels(),
+		Evaluations:       runRes.Evaluations,
+		ValidEvaluations:  runRes.ValidEvaluations,
+		DistinctEvaluated: runRes.DistinctEvaluated,
+		DistinctValid:     runRes.DistinctValid,
+	}
+	for _, ind := range nsga2.FeasibleFront(runRes.Final) {
+		if s, ok := p.solutionFor(ind.Genome); ok {
+			res.Front = append(res.Front, s)
+		}
+	}
+	sortByTime(res.Front)
+	for _, e := range runRes.Archive {
+		if !e.Feasible() {
+			continue
+		}
+		if s, ok := p.solutionFor(e.Genome); ok {
+			res.Valid = append(res.Valid, s)
+		}
+	}
+	res.FrontTimeEnergy = projectFront(res.Valid, func(s Solution) [2]float64 {
+		return [2]float64{s.TimeKCC, s.BitEnergyFJ}
+	})
+	res.FrontTimeBER = projectFront(res.Valid, func(s Solution) [2]float64 {
+		return [2]float64{s.TimeKCC, s.MeanBER}
+	})
+	return res, nil
+}
+
+// solutionFor resolves a genome to a Solution through the metric
+// cache.
+func (p *Problem) solutionFor(genome []byte) (Solution, bool) {
+	m, ok := p.metrics[string(genome)]
+	if !ok {
+		return Solution{}, false
+	}
+	g, err := alloc.FromBits(append([]byte(nil), genome...), p.in.Edges(), p.in.Channels())
+	if err != nil {
+		return Solution{}, false
+	}
+	return Solution{Genome: g, Counts: g.Counts(), Metrics: m}, true
+}
+
+// projectFront reduces the valid set to its 2D Pareto front under the
+// projection, sorted by the first coordinate.
+func projectFront(valid []Solution, proj func(Solution) [2]float64) []Solution {
+	if len(valid) == 0 {
+		return nil
+	}
+	points := make([][]float64, len(valid))
+	for i, s := range valid {
+		xy := proj(s)
+		points[i] = []float64{xy[0], xy[1]}
+	}
+	idx := pareto.FrontIndices2D(points)
+	front := make([]Solution, 0, len(idx))
+	for _, i := range idx {
+		front = append(front, valid[i])
+	}
+	sortByTime(front)
+	return front
+}
+
+func sortByTime(ss []Solution) {
+	sort.SliceStable(ss, func(i, j int) bool {
+		if ss[i].TimeKCC != ss[j].TimeKCC {
+			return ss[i].TimeKCC < ss[j].TimeKCC
+		}
+		if ss[i].BitEnergyFJ != ss[j].BitEnergyFJ {
+			return ss[i].BitEnergyFJ < ss[j].BitEnergyFJ
+		}
+		return ss[i].MeanBER < ss[j].MeanBER
+	})
+}
+
+// BestTimeKCC returns the fastest valid solution's makespan, the
+// per-NW anchor the paper quotes (28.3, 23.8, 22.96 k-cc).
+func (r *Result) BestTimeKCC() float64 {
+	best := math.Inf(1)
+	for _, s := range r.Valid {
+		if s.TimeKCC < best {
+			best = s.TimeKCC
+		}
+	}
+	return best
+}
+
+// MinEnergySolution returns the lowest-bit-energy valid solution (the
+// paper's all-ones allocation).
+func (r *Result) MinEnergySolution() (Solution, bool) {
+	if len(r.Valid) == 0 {
+		return Solution{}, false
+	}
+	best := r.Valid[0]
+	for _, s := range r.Valid[1:] {
+		if s.BitEnergyFJ < best.BitEnergyFJ {
+			best = s
+		}
+	}
+	return best, true
+}

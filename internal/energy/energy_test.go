@@ -1,0 +1,187 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/phys"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	m := Default()
+	m.Duty = 0
+	if err := m.Validate(); err == nil {
+		t.Error("zero duty must fail")
+	}
+	m = Default()
+	m.Duty = 1.5
+	if err := m.Validate(); err == nil {
+		t.Error("duty > 1 must fail")
+	}
+	m = Default()
+	m.ClockGHz = -1
+	if err := m.Validate(); err == nil {
+		t.Error("negative clock must fail")
+	}
+}
+
+func TestLaserPowerCompensatesLoss(t *testing.T) {
+	m := Default()
+	// Lossless link: average power is duty * 10^(-13/10) mW.
+	p0 := float64(m.LaserPowerMW(0))
+	want := 0.5 * math.Pow(10, -1.3)
+	if math.Abs(p0-want) > 1e-12 {
+		t.Errorf("lossless laser power = %v mW, want %v", p0, want)
+	}
+	// A 3 dB link needs twice the power.
+	p3 := float64(m.LaserPowerMW(-3.0103))
+	if math.Abs(p3/p0-2) > 1e-3 {
+		t.Errorf("3 dB loss should double the power: %v vs %v", p3, p0)
+	}
+}
+
+func TestLaserPowerMonotoneInLoss(t *testing.T) {
+	m := Default()
+	prev := phys.MilliWatt(0)
+	for loss := phys.DB(0); loss >= -10; loss -= 0.5 {
+		p := m.LaserPowerMW(loss)
+		if p <= prev {
+			t.Fatalf("power must grow with loss: %v mW at %v dB", p, loss)
+		}
+		prev = p
+	}
+}
+
+func TestCommEnergyCalibration(t *testing.T) {
+	// Single wavelength, 1.5 dB link, one bit per cycle at 10 GHz:
+	// the paper-scale baseline should land near 3.5 fJ/bit.
+	m := Default()
+	volume := 8000.0
+	duration := volume // one wavelength, 1 bit/cycle
+	fj := m.CommEnergyFJ([]phys.DB{-1.5}, duration)
+	perBit := BitEnergyFJ(fj, volume)
+	if perBit < 3 || perBit > 4.5 {
+		t.Errorf("baseline bit energy = %v fJ/bit, want ~3.5 (paper's floor)", perBit)
+	}
+}
+
+func TestMoreWavelengthsWithSameLossKeepBitEnergy(t *testing.T) {
+	// Splitting a transfer over n equal-loss wavelengths leaves the
+	// energy per bit unchanged: duration shrinks by n, power grows by
+	// n. The increase in Fig. 6(a) comes only from the extra ON-ring
+	// losses, which the allocation layer feeds through lossesDB.
+	m := Default()
+	volume := 8000.0
+	one := BitEnergyFJ(m.CommEnergyFJ([]phys.DB{-2}, volume), volume)
+	four := BitEnergyFJ(m.CommEnergyFJ([]phys.DB{-2, -2, -2, -2}, volume/4), volume)
+	if math.Abs(one-four) > 1e-9 {
+		t.Errorf("equal-loss split changed bit energy: %v vs %v", one, four)
+	}
+}
+
+func TestExtraOnRingLossRaisesBitEnergy(t *testing.T) {
+	// Same split, but the later wavelengths pay Lp1 per earlier ON
+	// ring (the physical situation at a WDM destination): bit energy
+	// must rise.
+	m := Default()
+	volume := 8000.0
+	flat := BitEnergyFJ(m.CommEnergyFJ([]phys.DB{-2, -2, -2, -2}, volume/4), volume)
+	stair := BitEnergyFJ(m.CommEnergyFJ([]phys.DB{-2, -2.5, -3, -3.5}, volume/4), volume)
+	if stair <= flat {
+		t.Errorf("staircase losses must cost more: %v vs %v fJ/bit", stair, flat)
+	}
+}
+
+func TestCommEnergyScalesWithDuration(t *testing.T) {
+	m := Default()
+	e1 := m.CommEnergyFJ([]phys.DB{-1}, 1000)
+	e2 := m.CommEnergyFJ([]phys.DB{-1}, 2000)
+	if math.Abs(e2-2*e1) > 1e-9 {
+		t.Errorf("energy must be linear in duration: %v vs %v", e1, e2)
+	}
+}
+
+func TestBitEnergyDegenerate(t *testing.T) {
+	if got := BitEnergyFJ(100, 0); got != 0 {
+		t.Errorf("zero bits bit-energy = %v, want 0", got)
+	}
+}
+
+func TestLaserPowerForBERScalesWithNoise(t *testing.T) {
+	m := Default()
+	m.BERTarget = 1e-9
+	quiet := m.LaserPowerForBERMW(-2, 0.0005, 0.001)
+	noisy := m.LaserPowerForBERMW(-2, 0.005, 0.001)
+	if noisy <= quiet {
+		t.Errorf("more crosstalk must demand more power: %v vs %v", noisy, quiet)
+	}
+	// Power is linear in (noise + p0).
+	ratio := float64(noisy) / float64(quiet)
+	want := (0.005 + 0.001) / (0.0005 + 0.001)
+	if math.Abs(ratio-want) > 1e-9 {
+		t.Errorf("scaling ratio %v, want %v", ratio, want)
+	}
+}
+
+func TestLaserPowerForBERScalesWithLoss(t *testing.T) {
+	m := Default()
+	m.BERTarget = 1e-9
+	short := m.LaserPowerForBERMW(-1, 0.001, 0.001)
+	long := m.LaserPowerForBERMW(-4, 0.001, 0.001)
+	if long <= short {
+		t.Errorf("lossier link must demand more power: %v vs %v", long, short)
+	}
+	// Fully blocked link needs infinite power.
+	if !math.IsInf(float64(m.LaserPowerForBERMW(phys.DB(math.Inf(-1)), 0.001, 0.001)), 1) {
+		t.Error("a dark link must demand infinite power")
+	}
+}
+
+func TestWavelengthLaserDispatch(t *testing.T) {
+	m := Default()
+	fixed := m.WavelengthLaserMW(-2, 0.005, 0.001)
+	if fixed != m.LaserPowerMW(-2) {
+		t.Error("zero target must use the fixed receive-power model")
+	}
+	m.BERTarget = 1e-9
+	adaptive := m.WavelengthLaserMW(-2, 0.005, 0.001)
+	if adaptive != m.LaserPowerForBERMW(-2, 0.005, 0.001) {
+		t.Error("positive target must use the BER-target model")
+	}
+}
+
+func TestValidateBERTarget(t *testing.T) {
+	m := Default()
+	m.BERTarget = 0.6
+	if err := m.Validate(); err == nil {
+		t.Error("BER target >= 0.5 must fail")
+	}
+	m.BERTarget = -1
+	if err := m.Validate(); err == nil {
+		t.Error("negative BER target must fail")
+	}
+	m.BERTarget = 1e-9
+	if err := m.Validate(); err != nil {
+		t.Errorf("valid target rejected: %v", err)
+	}
+}
+
+func TestEnergyFJMatchesCommEnergy(t *testing.T) {
+	m := Default()
+	losses := []phys.DB{-1, -2, -3}
+	powers := make([]phys.MilliWatt, len(losses))
+	for i, l := range losses {
+		powers[i] = m.LaserPowerMW(l)
+	}
+	a := m.CommEnergyFJ(losses, 4000)
+	b := m.EnergyFJ(powers, 4000)
+	if math.Abs(a-b) > 1e-12 {
+		t.Errorf("CommEnergyFJ %v vs EnergyFJ %v", a, b)
+	}
+}

@@ -1,0 +1,132 @@
+package expt
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/nsga2"
+	"repro/internal/pareto"
+)
+
+// ConvergencePoint snapshots the GA's state after one generation.
+type ConvergencePoint struct {
+	Generation int
+	// FeasibleFraction is the share of the population satisfying the
+	// validity rules — how fast constraint domination pulls the
+	// search into the feasible region.
+	FeasibleFraction float64
+	// BestTimeKCC is the fastest feasible makespan in the population.
+	BestTimeKCC float64
+	// Hypervolume is the (time k-cc, fJ/bit) dominated volume of the
+	// feasible first front against the reference box (40, 10).
+	Hypervolume float64
+}
+
+// Convergence runs one exploration and records the per-generation
+// trajectory. warmStart seeds the initial population with the
+// heuristic allocations.
+func Convergence(cfg Config, nw int, warmStart bool) ([]ConvergencePoint, error) {
+	cfg = cfg.withDefaults()
+	var points []ConvergencePoint
+	observe := func(gen int, pop []nsga2.Individual) {
+		p := ConvergencePoint{Generation: gen, BestTimeKCC: math.Inf(1)}
+		var front [][]float64
+		for _, ind := range pop {
+			if !ind.Feasible() {
+				continue
+			}
+			p.FeasibleFraction++
+			t := ind.Objs[0] / 1000 // objective 0 is time in cycles
+			if t < p.BestTimeKCC {
+				p.BestTimeKCC = t
+			}
+			if ind.Rank == 0 {
+				front = append(front, []float64{t, ind.Objs[1]})
+			}
+		}
+		p.FeasibleFraction /= float64(len(pop))
+		p.Hypervolume = pareto.Hypervolume2D(front, [2]float64{40, 10})
+		points = append(points, p)
+	}
+	problem, err := core.New(core.Config{
+		NW:        nw,
+		WarmStart: warmStart,
+		GA: nsga2.Config{
+			PopSize:      cfg.Pop,
+			Generations:  cfg.Generations,
+			Seed:         cfg.Seed + int64(nw)*1000,
+			OnGeneration: observe,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := problem.Optimize(); err != nil {
+		return nil, err
+	}
+	return points, nil
+}
+
+// ConvergenceReport renders cold- vs warm-start trajectories side by
+// side: the ablation behind the WarmStart option.
+func ConvergenceReport(cfg Config, nw int) (string, error) {
+	cold, err := Convergence(cfg, nw, false)
+	if err != nil {
+		return "", err
+	}
+	warm, err := Convergence(cfg, nw, true)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "GA convergence, NW = %d (cold vs heuristic warm start)\n\n", nw)
+	rows := make([][]string, 0)
+	marks := milestones(len(cold))
+	for _, gen := range marks {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", gen),
+			fmt.Sprintf("%.0f%%", 100*cold[gen].FeasibleFraction),
+			fmt.Sprintf("%.2f", cold[gen].BestTimeKCC),
+			fmt.Sprintf("%.1f", cold[gen].Hypervolume),
+			fmt.Sprintf("%.0f%%", 100*warm[gen].FeasibleFraction),
+			fmt.Sprintf("%.2f", warm[gen].BestTimeKCC),
+			fmt.Sprintf("%.1f", warm[gen].Hypervolume),
+		})
+	}
+	sb.WriteString(Table([]string{
+		"gen", "cold feas", "cold best t", "cold hv", "warm feas", "warm best t", "warm hv",
+	}, rows))
+	sb.WriteByte('\n')
+	coldPts := make([]Point, len(cold))
+	warmPts := make([]Point, len(warm))
+	for i := range cold {
+		coldPts[i] = Point{X: float64(i), Y: cold[i].Hypervolume}
+		warmPts[i] = Point{X: float64(i), Y: warm[i].Hypervolume}
+	}
+	sb.WriteString("front hypervolume vs generation:\n")
+	sb.WriteString(Scatter([]Series{
+		{Name: "cold", Glyph: 'c', Points: coldPts},
+		{Name: "warm", Glyph: 'w', Points: warmPts},
+	}, 64, 12))
+	return sb.String(), nil
+}
+
+// milestones picks representative generation indices for the table.
+func milestones(n int) []int {
+	if n == 0 {
+		return nil
+	}
+	idx := map[int]bool{0: true, n - 1: true}
+	for _, f := range []float64{0.1, 0.25, 0.5, 0.75} {
+		idx[int(f*float64(n-1))] = true
+	}
+	out := make([]int, 0, len(idx))
+	for i := 0; i < n; i++ {
+		if idx[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+// Package expt is the benchmark harness that regenerates every table
+// and figure of the paper's evaluation section (Section IV): the
+// Table I parameter listing, the Fig. 6(a) bit-energy/time and
+// Fig. 6(b) BER/time Pareto fronts for NW = 4/8/12, the Fig. 7 valid
+// solution cloud for NW = 8, and the Table II solution counts. All
+// runs are seeded and deterministic; reports render as text tables
+// and ASCII scatter plots, with CSV export for external plotting.
+package expt
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/nsga2"
+)
+
+// Config fixes one harness run.
+type Config struct {
+	// NWs lists the comb sizes to explore (default 4, 8, 12 — the
+	// paper's sweep).
+	NWs []int
+	// Pop and Generations configure the GA (defaults 400 and 300, the
+	// paper's settings).
+	Pop, Generations int
+	// Seed makes the whole suite reproducible.
+	Seed int64
+	// Workers parallelizes chromosome evaluation without changing any
+	// result (see nsga2.Config.Workers). 0 runs serially.
+	Workers int
+}
+
+// DefaultConfig returns the paper's evaluation settings.
+func DefaultConfig() Config {
+	return Config{NWs: []int{4, 8, 12}, Pop: 400, Generations: 300, Seed: 42}
+}
+
+// QuickConfig is a reduced configuration for unit tests and smoke
+// runs: same structure, a fraction of the evaluations.
+func QuickConfig() Config {
+	return Config{NWs: []int{4, 8}, Pop: 80, Generations: 60, Seed: 42}
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.NWs) == 0 {
+		c.NWs = []int{4, 8, 12}
+	}
+	if c.Pop == 0 {
+		c.Pop = 400
+	}
+	if c.Generations == 0 {
+		c.Generations = 300
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// Suite holds the per-NW exploration results of one harness run.
+type Suite struct {
+	Cfg     Config
+	Results map[int]*core.Result
+}
+
+// RunNW executes the paper's exploration for one comb size.
+func RunNW(cfg Config, nw int) (*core.Result, error) {
+	cfg = cfg.withDefaults()
+	p, err := core.New(core.Config{
+		NW: nw,
+		GA: nsga2.Config{
+			PopSize:     cfg.Pop,
+			Generations: cfg.Generations,
+			Workers:     cfg.Workers,
+			// Decorrelate the comb sizes while keeping determinism.
+			Seed: cfg.Seed + int64(nw)*1000,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return p.Optimize()
+}
+
+// Run executes the full suite.
+func Run(cfg Config) (*Suite, error) {
+	cfg = cfg.withDefaults()
+	s := &Suite{Cfg: cfg, Results: make(map[int]*core.Result, len(cfg.NWs))}
+	for _, nw := range cfg.NWs {
+		res, err := RunNW(cfg, nw)
+		if err != nil {
+			return nil, fmt.Errorf("expt: NW=%d: %w", nw, err)
+		}
+		s.Results[nw] = res
+	}
+	return s, nil
+}
+
+// NWs returns the suite's comb sizes in ascending order.
+func (s *Suite) NWs() []int {
+	nws := make([]int, 0, len(s.Results))
+	for nw := range s.Results {
+		nws = append(nws, nw)
+	}
+	sort.Ints(nws)
+	return nws
+}

@@ -1,0 +1,46 @@
+package expt
+
+// Reference anchors transcribed from the paper's Section IV, used by
+// the Summary report and the reproduction tests in EXPERIMENTS.md.
+// Absolute agreement is not expected (the physical calibration of the
+// substrate differs, see DESIGN.md section 5); the *shape* assertions
+// in the test suite are:
+//
+//   - best execution time decreases with NW with diminishing returns
+//     (large 4->8 gain, small 8->12 gain), approaching the 20 k-cc
+//     floor from above;
+//   - the minimum-energy solution is the all-ones allocation near the
+//     bottom of the paper's 3.5-8 fJ/bit band;
+//   - front sizes and valid-solution counts grow with NW.
+var (
+	// PaperBestTimeKCC holds the optimized execution times quoted in
+	// Section IV: "28.3 k-cc for 4 lambda and 23.8 k-cc for 8
+	// lambda... 22.96 k-cc for 12 lambda".
+	PaperBestTimeKCC = map[int]float64{4: 28.3, 8: 23.8, 12: 22.96}
+
+	// PaperMinTimeKCC is the infinite-bandwidth floor shown in
+	// Fig. 6: 20 k-cc.
+	PaperMinTimeKCC = 20.0
+
+	// PaperFrontSize holds Table II's "Number of solutions on Pareto
+	// front".
+	PaperFrontSize = map[int]int{4: 10, 8: 29, 12: 51}
+
+	// PaperValidCount holds Table II's "Number of valid solutions".
+	PaperValidCount = map[int]int{4: 28284, 8: 86525, 12: 100578}
+
+	// PaperEnergyRangeFJ brackets Fig. 6(a)'s y axis: ~3.5 to ~8
+	// fJ/bit.
+	PaperEnergyRangeFJ = [2]float64{3.5, 8.0}
+
+	// PaperLogBERRange brackets Fig. 6(b)'s y axis: log10(BER) in
+	// [-3.7, -3.0]. The faithful Eq. 1-9 implementation with Table I
+	// constants produces lower (better) absolute BER; the range is
+	// recorded for the EXPERIMENTS.md comparison, not asserted.
+	PaperLogBERRange = [2]float64{-3.7, -3.0}
+
+	// PaperGAPopulation and PaperGAGenerations are the GA settings of
+	// Section IV.
+	PaperGAPopulation  = 400
+	PaperGAGenerations = 300
+)

@@ -1,0 +1,115 @@
+package expt
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Point is one 2D sample of a plot series.
+type Point struct {
+	X, Y float64
+}
+
+// Series is a named, single-glyph scatter series.
+type Series struct {
+	Name   string
+	Glyph  byte
+	Points []Point
+}
+
+// Scatter renders series into a width x height ASCII plot with axis
+// ranges in the margins — the terminal stand-in for the paper's
+// matplotlib figures. Later series overdraw earlier ones, so put the
+// highlighted set (e.g. the Pareto front) last.
+func Scatter(series []Series, width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	total := 0
+	for _, s := range series {
+		for _, p := range s.Points {
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+			total++
+		}
+	}
+	var sb strings.Builder
+	if total == 0 {
+		sb.WriteString("(no points)\n")
+		return sb.String()
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range series {
+		for _, p := range s.Points {
+			c := int((p.X - minX) / (maxX - minX) * float64(width-1))
+			r := int((p.Y - minY) / (maxY - minY) * float64(height-1))
+			// Y grows upward in the plot, downward in the grid.
+			grid[height-1-r][c] = s.Glyph
+		}
+	}
+	fmt.Fprintf(&sb, "%12.4g +%s\n", maxY, strings.Repeat("-", width))
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", 12)
+		fmt.Fprintf(&sb, "%s |%s|\n", label, grid[r])
+	}
+	fmt.Fprintf(&sb, "%12.4g +%s\n", minY, strings.Repeat("-", width))
+	fmt.Fprintf(&sb, "%14s%-10.4g%*s%10.4g\n", "", minX, width-18, "", maxX)
+	var legend []string
+	for _, s := range series {
+		legend = append(legend, fmt.Sprintf("%c=%s(%d)", s.Glyph, s.Name, len(s.Points)))
+	}
+	fmt.Fprintf(&sb, "%14s%s\n", "", strings.Join(legend, "  "))
+	return sb.String()
+}
+
+// Table renders rows as a fixed-width text table with a header rule.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(header)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return sb.String()
+}

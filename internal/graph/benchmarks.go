@@ -1,0 +1,129 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file provides the classic structured task graphs of the
+// multiprocessor-scheduling literature (FFT butterflies, Gaussian
+// elimination, diamond/stencil DAGs). They are the standard workloads
+// NoC mapping/allocation papers scale their methods on, and they give
+// the examples realistic applications beyond the paper's 6-task
+// virtual app.
+
+// FFT builds the butterfly task graph of an n-point fast Fourier
+// transform (n must be a power of two): an input layer of n tasks
+// followed by log2(n) butterfly layers; task (l+1, i) consumes task
+// (l, i) and task (l, i XOR 2^l). Volumes and execution times are
+// drawn from cfg.
+func FFT(rng *rand.Rand, n int, cfg GenConfig) (*TaskGraph, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("graph: FFT size %d is not a power of two >= 2", n)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	stages := 0
+	for s := n; s > 1; s >>= 1 {
+		stages++
+	}
+	g := &TaskGraph{}
+	id := func(layer, i int) int { return layer*n + i }
+	for layer := 0; layer <= stages; layer++ {
+		for i := 0; i < n; i++ {
+			g.Tasks = append(g.Tasks, Task{
+				Name:       fmt.Sprintf("f%d_%d", layer, i),
+				ExecCycles: cfg.exec(rng),
+			})
+		}
+	}
+	for layer := 0; layer < stages; layer++ {
+		span := 1 << layer
+		for i := 0; i < n; i++ {
+			g.Edges = append(g.Edges,
+				Edge{Src: id(layer, i), Dst: id(layer+1, i), VolumeBits: cfg.vol(rng)},
+				Edge{Src: id(layer, i^span), Dst: id(layer+1, i), VolumeBits: cfg.vol(rng)},
+			)
+		}
+	}
+	return named(g), nil
+}
+
+// GaussianElimination builds the task graph of unblocked Gaussian
+// elimination on an n x n system: for each elimination step k there is
+// one pivot task feeding n-k-1 update tasks, each of which feeds the
+// next step's pivot and its own column's next update — the classic
+// triangular DAG of the scheduling literature.
+func GaussianElimination(rng *rand.Rand, n int, cfg GenConfig) (*TaskGraph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: Gaussian elimination needs n >= 2, got %d", n)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	g := &TaskGraph{}
+	pivot := make([]int, n-1)
+	update := make(map[[2]int]int)
+	newTask := func(name string) int {
+		g.Tasks = append(g.Tasks, Task{Name: name, ExecCycles: cfg.exec(rng)})
+		return len(g.Tasks) - 1
+	}
+	for k := 0; k < n-1; k++ {
+		pivot[k] = newTask(fmt.Sprintf("piv%d", k))
+		for j := k + 1; j < n; j++ {
+			update[[2]int{k, j}] = newTask(fmt.Sprintf("upd%d_%d", k, j))
+		}
+	}
+	addEdge := func(s, d int) {
+		g.Edges = append(g.Edges, Edge{Src: s, Dst: d, VolumeBits: cfg.vol(rng)})
+	}
+	for k := 0; k < n-1; k++ {
+		for j := k + 1; j < n; j++ {
+			addEdge(pivot[k], update[[2]int{k, j}])
+			if k+1 < n-1 && j > k+1 {
+				// The updated column feeds the next step's update of
+				// the same column.
+				addEdge(update[[2]int{k, j}], update[[2]int{k + 1, j}])
+			}
+		}
+		if k+1 < n-1 {
+			// The next pivot consumes the first updated column.
+			addEdge(update[[2]int{k, k + 1}], pivot[k+1])
+		}
+	}
+	return named(g), nil
+}
+
+// Diamond builds the n x n wavefront (stencil) DAG: task (i, j)
+// depends on (i-1, j) and (i, j-1), the dependence pattern of dynamic
+// programming and stencil sweeps.
+func Diamond(rng *rand.Rand, n int, cfg GenConfig) (*TaskGraph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: diamond needs n >= 2, got %d", n)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	g := &TaskGraph{}
+	id := func(i, j int) int { return i*n + j }
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			g.Tasks = append(g.Tasks, Task{
+				Name:       fmt.Sprintf("d%d_%d", i, j),
+				ExecCycles: cfg.exec(rng),
+			})
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i+1 < n {
+				g.Edges = append(g.Edges, Edge{Src: id(i, j), Dst: id(i+1, j), VolumeBits: cfg.vol(rng)})
+			}
+			if j+1 < n {
+				g.Edges = append(g.Edges, Edge{Src: id(i, j), Dst: id(i, j+1), VolumeBits: cfg.vol(rng)})
+			}
+		}
+	}
+	return named(g), nil
+}

@@ -1,0 +1,173 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFFTStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g, err := FFT(rng, 8, DefaultGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("FFT graph invalid: %v", err)
+	}
+	// 8 points: 1 input layer + 3 butterfly layers = 32 tasks; each
+	// butterfly layer adds 2 edges per point = 48 edges.
+	if g.NumTasks() != 32 {
+		t.Errorf("tasks = %d, want 32", g.NumTasks())
+	}
+	if g.NumEdges() != 48 {
+		t.Errorf("edges = %d, want 48", g.NumEdges())
+	}
+	// Every non-input task has exactly two inputs (a butterfly).
+	preds := g.Preds()
+	for ti := 8; ti < 32; ti++ {
+		if len(preds[ti]) != 2 {
+			t.Errorf("task %d has %d inputs, want 2", ti, len(preds[ti]))
+		}
+	}
+	// Input layer has none.
+	for ti := 0; ti < 8; ti++ {
+		if len(preds[ti]) != 0 {
+			t.Errorf("input task %d has %d inputs", ti, len(preds[ti]))
+		}
+	}
+}
+
+func TestFFTButterflyWiring(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g, err := FFT(rng, 4, DefaultGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Layer 0 -> 1 with span 1: task 4+0 (layer1, i=0) consumes
+	// layer0 tasks 0 and 1.
+	preds := g.Preds()
+	srcs := map[int]bool{}
+	for _, ei := range preds[4] {
+		srcs[g.Edges[ei].Src] = true
+	}
+	if !srcs[0] || !srcs[1] {
+		t.Errorf("butterfly 1_0 consumes %v, want {0,1}", srcs)
+	}
+	// Layer 1 -> 2 with span 2: task 8 (layer2, i=0) consumes layer1
+	// tasks 4 and 6.
+	srcs = map[int]bool{}
+	for _, ei := range preds[8] {
+		srcs[g.Edges[ei].Src] = true
+	}
+	if !srcs[4] || !srcs[6] {
+		t.Errorf("butterfly 2_0 consumes %v, want {4,6}", srcs)
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 3, 6, 12} {
+		if _, err := FFT(rng, n, DefaultGenConfig()); err == nil {
+			t.Errorf("FFT(%d) must fail", n)
+		}
+	}
+}
+
+func TestGaussianEliminationStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, err := GaussianElimination(rng, 5, DefaultGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("GE graph invalid: %v", err)
+	}
+	// n=5: pivots 4, updates 4+3+2+1 = 10, total 14 tasks.
+	if g.NumTasks() != 14 {
+		t.Errorf("tasks = %d, want 14", g.NumTasks())
+	}
+	// The elimination is inherently sequential across steps: the
+	// critical path must span all pivots.
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, ti := range order {
+		pos[g.Tasks[ti].Name] = i
+	}
+	if !(pos["piv0"] < pos["piv1"] && pos["piv1"] < pos["piv2"] && pos["piv2"] < pos["piv3"]) {
+		t.Error("pivots must be totally ordered")
+	}
+}
+
+func TestGaussianEliminationMinSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	if _, err := GaussianElimination(rng, 1, DefaultGenConfig()); err == nil {
+		t.Error("GE(1) must fail")
+	}
+	g, err := GaussianElimination(rng, 2, DefaultGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n=2: one pivot, one update, one edge.
+	if g.NumTasks() != 2 || g.NumEdges() != 1 {
+		t.Errorf("GE(2) = %d tasks / %d edges, want 2/1", g.NumTasks(), g.NumEdges())
+	}
+}
+
+func TestDiamondStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g, err := Diamond(rng, 4, DefaultGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("diamond invalid: %v", err)
+	}
+	if g.NumTasks() != 16 {
+		t.Errorf("tasks = %d, want 16", g.NumTasks())
+	}
+	// Edges: 2*n*(n-1) = 24.
+	if g.NumEdges() != 24 {
+		t.Errorf("edges = %d, want 24", g.NumEdges())
+	}
+	// Wavefront property: the only source is (0,0), the only sink
+	// (n-1,n-1).
+	preds, succs := g.Preds(), g.Succs()
+	sources, sinks := 0, 0
+	for ti := range g.Tasks {
+		if len(preds[ti]) == 0 {
+			sources++
+		}
+		if len(succs[ti]) == 0 {
+			sinks++
+		}
+	}
+	if sources != 1 || sinks != 1 {
+		t.Errorf("sources/sinks = %d/%d, want 1/1", sources, sinks)
+	}
+	if _, err := Diamond(rng, 1, DefaultGenConfig()); err == nil {
+		t.Error("diamond(1) must fail")
+	}
+}
+
+func TestBenchmarkGraphsMapOntoLargerRings(t *testing.T) {
+	// The structured benchmarks must place one-to-one on reasonably
+	// sized platforms (the scaling example uses a 6x6 ring).
+	rng := rand.New(rand.NewSource(6))
+	g, err := FFT(rng, 8, DefaultGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RandomMapping(rng, g, 36); err != nil {
+		t.Errorf("FFT(8) on 36 cores: %v", err)
+	}
+	ge, err := GaussianElimination(rng, 5, DefaultGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RandomMapping(rng, ge, 16); err != nil {
+		t.Errorf("GE(5) on 16 cores: %v", err)
+	}
+}

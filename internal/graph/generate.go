@@ -1,0 +1,251 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GenConfig parameterizes the random task-graph generators. All
+// generators draw execution times and volumes uniformly from the
+// configured ranges, producing workloads of the same flavour as the
+// paper's virtual application (k-cc tasks exchanging kb messages).
+type GenConfig struct {
+	// ExecMin and ExecMax bound task execution times in cycles.
+	ExecMin, ExecMax float64
+	// VolMin and VolMax bound edge volumes in bits.
+	VolMin, VolMax float64
+}
+
+// DefaultGenConfig matches the scale of the paper's application:
+// tasks of 2-8 k-cc exchanging 2-10 kb messages.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{ExecMin: 2000, ExecMax: 8000, VolMin: 2000, VolMax: 10000}
+}
+
+func (c GenConfig) validate() error {
+	if c.ExecMin < 0 || c.ExecMax < c.ExecMin {
+		return fmt.Errorf("graph: bad exec range [%v,%v]", c.ExecMin, c.ExecMax)
+	}
+	if c.VolMin < 0 || c.VolMax < c.VolMin {
+		return fmt.Errorf("graph: bad volume range [%v,%v]", c.VolMin, c.VolMax)
+	}
+	return nil
+}
+
+func (c GenConfig) exec(rng *rand.Rand) float64 {
+	return c.ExecMin + rng.Float64()*(c.ExecMax-c.ExecMin)
+}
+
+func (c GenConfig) vol(rng *rand.Rand) float64 {
+	return c.VolMin + rng.Float64()*(c.VolMax-c.VolMin)
+}
+
+func named(g *TaskGraph) *TaskGraph {
+	for i := range g.Tasks {
+		if g.Tasks[i].Name == "" {
+			g.Tasks[i].Name = fmt.Sprintf("T%d", i)
+		}
+	}
+	for i := range g.Edges {
+		if g.Edges[i].Name == "" {
+			g.Edges[i].Name = fmt.Sprintf("c%d", i)
+		}
+	}
+	return g
+}
+
+// Chain generates a linear pipeline of n tasks: the worst case for
+// communication serialization (every transfer is on the critical
+// path).
+func Chain(rng *rand.Rand, n int, cfg GenConfig) (*TaskGraph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: chain needs >= 2 tasks, got %d", n)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	g := &TaskGraph{}
+	for i := 0; i < n; i++ {
+		g.Tasks = append(g.Tasks, Task{ExecCycles: cfg.exec(rng)})
+	}
+	for i := 0; i+1 < n; i++ {
+		g.Edges = append(g.Edges, Edge{Src: i, Dst: i + 1, VolumeBits: cfg.vol(rng)})
+	}
+	return named(g), nil
+}
+
+// ForkJoin generates a source task fanning out to width parallel
+// workers that join into a sink: the best case for WDM parallelism
+// (all transfers want bandwidth at the same time).
+func ForkJoin(rng *rand.Rand, width int, cfg GenConfig) (*TaskGraph, error) {
+	if width < 1 {
+		return nil, fmt.Errorf("graph: fork-join needs >= 1 worker, got %d", width)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	g := &TaskGraph{}
+	g.Tasks = append(g.Tasks, Task{ExecCycles: cfg.exec(rng)}) // source
+	for i := 0; i < width; i++ {
+		g.Tasks = append(g.Tasks, Task{ExecCycles: cfg.exec(rng)})
+	}
+	g.Tasks = append(g.Tasks, Task{ExecCycles: cfg.exec(rng)}) // sink
+	sink := width + 1
+	for i := 1; i <= width; i++ {
+		g.Edges = append(g.Edges, Edge{Src: 0, Dst: i, VolumeBits: cfg.vol(rng)})
+		g.Edges = append(g.Edges, Edge{Src: i, Dst: sink, VolumeBits: cfg.vol(rng)})
+	}
+	return named(g), nil
+}
+
+// Layered generates a layered DAG: layers of the given width, each
+// task wired to a random subset of the next layer (at least one
+// outgoing edge per non-final task, at least one incoming per
+// non-initial task). This is the classic synthetic-MPSoC workload
+// shape (TGFF-style).
+func Layered(rng *rand.Rand, layers, width int, edgeProb float64, cfg GenConfig) (*TaskGraph, error) {
+	if layers < 2 || width < 1 {
+		return nil, fmt.Errorf("graph: layered needs >= 2 layers and >= 1 width, got %dx%d", layers, width)
+	}
+	if edgeProb < 0 || edgeProb > 1 {
+		return nil, fmt.Errorf("graph: edge probability %v outside [0,1]", edgeProb)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	g := &TaskGraph{}
+	id := func(layer, i int) int { return layer*width + i }
+	for l := 0; l < layers; l++ {
+		for i := 0; i < width; i++ {
+			g.Tasks = append(g.Tasks, Task{ExecCycles: cfg.exec(rng)})
+		}
+	}
+	hasIn := make([]bool, layers*width)
+	for l := 0; l+1 < layers; l++ {
+		for i := 0; i < width; i++ {
+			out := 0
+			for j := 0; j < width; j++ {
+				if rng.Float64() < edgeProb {
+					g.Edges = append(g.Edges, Edge{Src: id(l, i), Dst: id(l+1, j), VolumeBits: cfg.vol(rng)})
+					hasIn[id(l+1, j)] = true
+					out++
+				}
+			}
+			if out == 0 {
+				j := rng.Intn(width)
+				g.Edges = append(g.Edges, Edge{Src: id(l, i), Dst: id(l+1, j), VolumeBits: cfg.vol(rng)})
+				hasIn[id(l+1, j)] = true
+			}
+		}
+		// Guarantee every next-layer task is reachable.
+		for j := 0; j < width; j++ {
+			if !hasIn[id(l+1, j)] {
+				i := rng.Intn(width)
+				g.Edges = append(g.Edges, Edge{Src: id(l, i), Dst: id(l+1, j), VolumeBits: cfg.vol(rng)})
+				hasIn[id(l+1, j)] = true
+			}
+		}
+	}
+	return named(g), dedupe(g)
+}
+
+// RandomDAG generates an n-task DAG where every forward pair (i, j>i)
+// is an edge with probability edgeProb; task indices double as a
+// topological order.
+func RandomDAG(rng *rand.Rand, n int, edgeProb float64, cfg GenConfig) (*TaskGraph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: random DAG needs >= 2 tasks, got %d", n)
+	}
+	if edgeProb < 0 || edgeProb > 1 {
+		return nil, fmt.Errorf("graph: edge probability %v outside [0,1]", edgeProb)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	g := &TaskGraph{}
+	for i := 0; i < n; i++ {
+		g.Tasks = append(g.Tasks, Task{ExecCycles: cfg.exec(rng)})
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < edgeProb {
+				g.Edges = append(g.Edges, Edge{Src: i, Dst: j, VolumeBits: cfg.vol(rng)})
+			}
+		}
+	}
+	return named(g), nil
+}
+
+// SeriesParallel generates a recursive series-parallel DAG with
+// roughly n tasks, the structure of streaming/DSP applications.
+func SeriesParallel(rng *rand.Rand, n int, cfg GenConfig) (*TaskGraph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: series-parallel needs >= 2 tasks, got %d", n)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	g := &TaskGraph{}
+	newTask := func() int {
+		g.Tasks = append(g.Tasks, Task{ExecCycles: cfg.exec(rng)})
+		return len(g.Tasks) - 1
+	}
+	addEdge := func(s, d int) {
+		g.Edges = append(g.Edges, Edge{Src: s, Dst: d, VolumeBits: cfg.vol(rng)})
+	}
+	// grow recursively expands the block between entry s and exit d
+	// with the given task budget.
+	var grow func(s, d, budget int)
+	grow = func(s, d, budget int) {
+		if budget <= 0 {
+			addEdge(s, d)
+			return
+		}
+		if budget == 1 || rng.Float64() < 0.5 {
+			// Series: s -> m -> d.
+			m := newTask()
+			grow(s, m, (budget-1)/2)
+			grow(m, d, budget-1-(budget-1)/2)
+			return
+		}
+		// Parallel: two branches between s and d.
+		grow(s, d, budget/2)
+		grow(s, d, budget-budget/2)
+	}
+	src, dst := newTask(), newTask()
+	grow(src, dst, n-2)
+	return named(g), dedupe(g)
+}
+
+// dedupe merges parallel duplicate edges (same src/dst) by summing
+// their volumes, keeping Validate's no-duplicate invariant.
+func dedupe(g *TaskGraph) error {
+	seen := make(map[[2]int]int)
+	out := g.Edges[:0]
+	for _, e := range g.Edges {
+		k := [2]int{e.Src, e.Dst}
+		if i, ok := seen[k]; ok {
+			out[i].VolumeBits += e.VolumeBits
+			continue
+		}
+		seen[k] = len(out)
+		out = append(out, e)
+	}
+	g.Edges = out
+	for i := range g.Edges {
+		g.Edges[i].Name = fmt.Sprintf("c%d", i)
+	}
+	return nil
+}
+
+// RandomMapping draws a uniformly random injective mapping of the
+// graph's tasks onto nCores cores.
+func RandomMapping(rng *rand.Rand, g *TaskGraph, nCores int) (Mapping, error) {
+	if g.NumTasks() > nCores {
+		return nil, fmt.Errorf("graph: %d tasks cannot map one-to-one onto %d cores", g.NumTasks(), nCores)
+	}
+	perm := rng.Perm(nCores)
+	m := make(Mapping, g.NumTasks())
+	copy(m, perm[:g.NumTasks()])
+	return m, nil
+}

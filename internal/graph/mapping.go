@@ -1,0 +1,81 @@
+package graph
+
+import "fmt"
+
+// Mapping assigns each task to a core: Mapping[task] = core ID
+// (Definition 3). The paper requires the function to be injective:
+// distinct tasks run on distinct cores.
+type Mapping []int
+
+// Validate checks that the mapping covers every task of g exactly
+// once, stays inside the nCores cores of the platform, and maps
+// distinct tasks to distinct cores.
+func (m Mapping) Validate(g *TaskGraph, nCores int) error {
+	if len(m) != g.NumTasks() {
+		return fmt.Errorf("graph: mapping covers %d tasks, graph has %d", len(m), g.NumTasks())
+	}
+	used := make(map[int]int, len(m))
+	for t, p := range m {
+		if p < 0 || p >= nCores {
+			return fmt.Errorf("graph: task %d mapped to core %d outside [0,%d)", t, p, nCores)
+		}
+		if prev, ok := used[p]; ok {
+			return fmt.Errorf("graph: tasks %d and %d both mapped to core %d", prev, t, p)
+		}
+		used[p] = t
+	}
+	return nil
+}
+
+// Clone copies the mapping.
+func (m Mapping) Clone() Mapping {
+	c := make(Mapping, len(m))
+	copy(c, m)
+	return c
+}
+
+// IdentityMapping maps task i to core i.
+func IdentityMapping(n int) Mapping {
+	m := make(Mapping, n)
+	for i := range m {
+		m[i] = i
+	}
+	return m
+}
+
+// ACG is the Architecture Characterization Graph of Definition 2: an
+// undirected graph of cores and physical links. For the ring platform
+// the links mirror the waveguide hops; the type exists so mapping
+// exploration can reason about core adjacency without importing the
+// optical layer.
+type ACG struct {
+	Cores int
+	Links [][2]int
+}
+
+// NewRingACG builds the ACG of an n-core ring: core i linked to core
+// (i+1) mod n.
+func NewRingACG(n int) *ACG {
+	a := &ACG{Cores: n, Links: make([][2]int, 0, n)}
+	for i := 0; i < n; i++ {
+		a.Links = append(a.Links, [2]int{i, (i + 1) % n})
+	}
+	return a
+}
+
+// Degree returns the number of links incident to core c.
+func (a *ACG) Degree(c int) int {
+	d := 0
+	for _, l := range a.Links {
+		if l[0] == c || l[1] == c {
+			d++
+		}
+	}
+	return d
+}
+
+// RingDistance returns the directed hop count from src to dst on a
+// unidirectional n-core ring.
+func RingDistance(n, src, dst int) int {
+	return ((dst-src)%n + n) % n
+}

@@ -1,0 +1,232 @@
+// Package mapping implements the paper's announced future work:
+// exploring the task-to-core mapping itself. "Since the task mapping
+// allows to move the communication in space and in time respectively,
+// the system performance including throughput, BER and bit energy will
+// be better improved" (Section V). The explorer runs simulated
+// annealing over injective mappings, scoring each candidate by a fast
+// deterministic wavelength assignment (a heuristic from the
+// related-work baselines) followed by the full evaluation kernel.
+package mapping
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/alloc"
+	"repro/internal/energy"
+	"repro/internal/graph"
+	"repro/internal/ring"
+)
+
+// Config parameterizes an exploration.
+type Config struct {
+	// Ring is the target platform.
+	Ring *ring.Ring
+	// App is the application to place.
+	App *graph.TaskGraph
+	// BitsPerCycle is B of the time model (default 1).
+	BitsPerCycle float64
+	// Energy is the bit-energy calibration (default energy.Default).
+	Energy *energy.Model
+	// Counts is the per-communication wavelength budget used to score
+	// candidates (default: one wavelength each, the energy-optimal
+	// paper baseline).
+	Counts []int
+	// Policy is the channel assignment heuristic used for scoring
+	// (default LeastUsed, the crosstalk-friendly spread).
+	Policy alloc.Policy
+	// Objective selects the score (default alloc.ObjTime).
+	Objective alloc.Objective
+	// Iterations bounds the annealing moves (default 2000).
+	Iterations int
+	// Seed drives the private PRNG.
+	Seed int64
+	// InitialTemp and Cooling shape the annealing schedule; defaults
+	// 0.05 (5% of the initial score) and 0.995 per move.
+	InitialTemp float64
+	Cooling     float64
+}
+
+// Result reports the exploration outcome.
+type Result struct {
+	// Best is the best mapping found and BestScore its objective.
+	Best      graph.Mapping
+	BestScore float64
+	// Initial is the starting mapping and InitialScore its objective.
+	Initial      graph.Mapping
+	InitialScore float64
+	// Evaluated counts scored candidates; Accepted counts accepted
+	// moves; History records the best score after each iteration.
+	Evaluated int
+	Accepted  int
+	History   []float64
+}
+
+// Score evaluates one mapping with the configured budget, policy and
+// objective, filling config defaults as Explore would. Infeasible
+// placements (the heuristic cannot serve the wavelength budget) score
+// +Inf.
+func Score(cfg *Config, m graph.Mapping, rng *rand.Rand) (float64, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return 0, err
+	}
+	in, err := alloc.NewInstance(cfg.Ring, cfg.App, m, cfg.BitsPerCycle, *cfg.Energy)
+	if err != nil {
+		return 0, err
+	}
+	g, err := alloc.Assign(in, cfg.Counts, cfg.Policy, rng)
+	if err != nil {
+		return math.Inf(1), nil // infeasible budget on this placement
+	}
+	ev := in.Evaluate(g)
+	if !ev.Valid {
+		return math.Inf(1), nil
+	}
+	switch cfg.Objective {
+	case alloc.ObjTime:
+		return ev.MakespanCycles, nil
+	case alloc.ObjEnergy:
+		return ev.BitEnergyFJ, nil
+	case alloc.ObjBER:
+		return ev.MeanBER, nil
+	}
+	return 0, fmt.Errorf("mapping: unknown objective %v", cfg.Objective)
+}
+
+func (cfg *Config) fillDefaults() error {
+	if cfg.Ring == nil || cfg.App == nil {
+		return fmt.Errorf("mapping: ring and application are required")
+	}
+	if cfg.BitsPerCycle == 0 {
+		cfg.BitsPerCycle = 1
+	}
+	if cfg.Energy == nil {
+		em := energy.Default()
+		cfg.Energy = &em
+	}
+	if cfg.Counts == nil {
+		cfg.Counts = alloc.UniformCounts(cfg.App.NumEdges(), 1)
+	}
+	if len(cfg.Counts) != cfg.App.NumEdges() {
+		return fmt.Errorf("mapping: %d counts for %d communications", len(cfg.Counts), cfg.App.NumEdges())
+	}
+	if cfg.Iterations == 0 {
+		cfg.Iterations = 2000
+	}
+	if cfg.InitialTemp == 0 {
+		cfg.InitialTemp = 0.05
+	}
+	if cfg.Cooling == 0 {
+		cfg.Cooling = 0.995
+	}
+	if cfg.Cooling <= 0 || cfg.Cooling >= 1 {
+		return fmt.Errorf("mapping: cooling factor %v outside (0,1)", cfg.Cooling)
+	}
+	return nil
+}
+
+// Explore runs simulated annealing from a random placement. Moves are
+// either a swap of two mapped tasks' cores or a relocation of one task
+// to a free core.
+func Explore(cfg Config) (*Result, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	if err := cfg.App.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.App.NumTasks() > cfg.Ring.Size() {
+		return nil, fmt.Errorf("mapping: %d tasks exceed %d cores", cfg.App.NumTasks(), cfg.Ring.Size())
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	cur, err := graph.RandomMapping(rng, cfg.App, cfg.Ring.Size())
+	if err != nil {
+		return nil, err
+	}
+	curScore, err := Score(&cfg, cur, rng)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Initial:      cur.Clone(),
+		InitialScore: curScore,
+		Best:         cur.Clone(),
+		BestScore:    curScore,
+		Evaluated:    1,
+	}
+	temp := cfg.InitialTemp * normalizeTemp(curScore)
+	for it := 0; it < cfg.Iterations; it++ {
+		cand := neighbour(rng, cur, cfg.Ring.Size())
+		score, err := Score(&cfg, cand, rng)
+		if err != nil {
+			return nil, err
+		}
+		res.Evaluated++
+		if accept(rng, curScore, score, temp) {
+			cur, curScore = cand, score
+			res.Accepted++
+			if score < res.BestScore {
+				res.Best, res.BestScore = cand.Clone(), score
+			}
+		}
+		temp *= cfg.Cooling
+		res.History = append(res.History, res.BestScore)
+	}
+	return res, nil
+}
+
+// normalizeTemp anchors the temperature to the score scale; an
+// infeasible start falls back to 1.
+func normalizeTemp(score float64) float64 {
+	if math.IsInf(score, 0) || score <= 0 {
+		return 1
+	}
+	return score
+}
+
+// accept implements the Metropolis criterion (always accept
+// improvements; accept regressions with exp(-delta/temp)). Any finite
+// score beats an infinite one.
+func accept(rng *rand.Rand, cur, cand, temp float64) bool {
+	if cand <= cur {
+		return true
+	}
+	if math.IsInf(cand, 1) {
+		return false
+	}
+	if math.IsInf(cur, 1) {
+		return true
+	}
+	if temp <= 0 {
+		return false
+	}
+	return rng.Float64() < math.Exp(-(cand-cur)/temp)
+}
+
+// neighbour perturbs the mapping: either swaps the cores of two tasks
+// or moves one task to an unused core.
+func neighbour(rng *rand.Rand, m graph.Mapping, cores int) graph.Mapping {
+	n := m.Clone()
+	if len(n) >= 2 && (len(n) == cores || rng.Intn(2) == 0) {
+		i, j := rng.Intn(len(n)), rng.Intn(len(n))
+		for i == j {
+			j = rng.Intn(len(n))
+		}
+		n[i], n[j] = n[j], n[i]
+		return n
+	}
+	used := make(map[int]bool, len(n))
+	for _, p := range n {
+		used[p] = true
+	}
+	var free []int
+	for c := 0; c < cores; c++ {
+		if !used[c] {
+			free = append(free, c)
+		}
+	}
+	t := rng.Intn(len(n))
+	n[t] = free[rng.Intn(len(free))]
+	return n
+}

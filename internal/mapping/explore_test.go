@@ -1,0 +1,184 @@
+package mapping
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/graph"
+	"repro/internal/ring"
+)
+
+func baseConfig(t *testing.T) Config {
+	t.Helper()
+	r, err := ring.New(ring.DefaultConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{Ring: r, App: graph.PaperApp(), Iterations: 150, Seed: 1}
+}
+
+func TestExploreImprovesOrMatchesInitial(t *testing.T) {
+	res, err := Explore(baseConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestScore > res.InitialScore {
+		t.Errorf("best %v worse than initial %v", res.BestScore, res.InitialScore)
+	}
+	if math.IsInf(res.BestScore, 1) {
+		t.Error("explorer never found a feasible placement")
+	}
+	if err := res.Best.Validate(graph.PaperApp(), 16); err != nil {
+		t.Errorf("best mapping invalid: %v", err)
+	}
+	if res.Evaluated != res.Accepted && res.Evaluated < len(res.History) {
+		t.Errorf("bookkeeping: evaluated %d, accepted %d, history %d",
+			res.Evaluated, res.Accepted, len(res.History))
+	}
+}
+
+func TestExploreHistoryMonotone(t *testing.T) {
+	res, err := Explore(baseConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i] > res.History[i-1] {
+			t.Fatalf("best-score history must never rise: %v -> %v at %d",
+				res.History[i-1], res.History[i], i)
+		}
+	}
+}
+
+func TestExploreDeterministicPerSeed(t *testing.T) {
+	a, err := Explore(baseConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Explore(baseConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BestScore != b.BestScore {
+		t.Errorf("same seed, different outcomes: %v vs %v", a.BestScore, b.BestScore)
+	}
+	for i := range a.Best {
+		if a.Best[i] != b.Best[i] {
+			t.Fatal("same seed, different best mapping")
+		}
+	}
+}
+
+func TestExploreBeatsPaperMappingSometimes(t *testing.T) {
+	// The future-work claim: exploring placements can improve on a
+	// fixed design-time mapping. With the single-wavelength budget the
+	// schedule is placement-independent (durations fixed), but energy
+	// is not: shorter paths need less laser power. Optimizing energy
+	// must find a placement at least as good as the paper's.
+	cfg := baseConfig(t)
+	cfg.Objective = alloc.ObjEnergy
+	cfg.Iterations = 400
+	res, err := Explore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.fillDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	paperScore, err := Score(&cfg, graph.PaperMapping(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestScore > paperScore {
+		t.Errorf("explored placement (%v fJ/bit) should not lose to the fixed one (%v fJ/bit)",
+			res.BestScore, paperScore)
+	}
+}
+
+func TestScoreObjectives(t *testing.T) {
+	cfg := baseConfig(t)
+	if err := cfg.fillDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, obj := range []alloc.Objective{alloc.ObjTime, alloc.ObjEnergy, alloc.ObjBER} {
+		cfg.Objective = obj
+		s, err := Score(&cfg, graph.PaperMapping(), rng)
+		if err != nil {
+			t.Fatalf("%v: %v", obj, err)
+		}
+		if s <= 0 || math.IsInf(s, 1) {
+			t.Errorf("%v score = %v, want positive finite", obj, s)
+		}
+	}
+	cfg.Objective = alloc.Objective(42)
+	if _, err := Score(&cfg, graph.PaperMapping(), rng); err == nil {
+		t.Error("unknown objective must error")
+	}
+}
+
+func TestExploreValidation(t *testing.T) {
+	if _, err := Explore(Config{}); err == nil {
+		t.Error("missing ring/app must fail")
+	}
+	cfg := baseConfig(t)
+	cfg.Counts = []int{1}
+	if _, err := Explore(cfg); err == nil {
+		t.Error("wrong count length must fail")
+	}
+	cfg = baseConfig(t)
+	cfg.Cooling = 1.5
+	if _, err := Explore(cfg); err == nil {
+		t.Error("cooling outside (0,1) must fail")
+	}
+	small, err := ring.New(ring.Config{Rows: 2, Cols: 2, TilePitchCM: 0.2,
+		Grid: ring.DefaultConfig(8).Grid, Params: ring.DefaultConfig(8).Params})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg = baseConfig(t)
+	cfg.Ring = small
+	if _, err := Explore(cfg); err == nil {
+		t.Error("6 tasks on 4 cores must fail")
+	}
+}
+
+func TestNeighbourStaysInjective(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := graph.PaperMapping()
+	for trial := 0; trial < 200; trial++ {
+		m = neighbour(rng, m, 16)
+		if err := m.Validate(graph.PaperApp(), 16); err != nil {
+			t.Fatalf("trial %d: neighbour broke the mapping: %v", trial, err)
+		}
+	}
+}
+
+func TestAcceptCriterion(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if !accept(rng, 10, 5, 1) {
+		t.Error("improvements are always accepted")
+	}
+	if accept(rng, 10, math.Inf(1), 1e9) {
+		t.Error("infeasible candidates are never accepted")
+	}
+	if !accept(rng, math.Inf(1), 10, 0) {
+		t.Error("any feasible candidate beats an infeasible incumbent")
+	}
+	if accept(rng, 10, 11, 0) {
+		t.Error("zero temperature must reject regressions")
+	}
+	// High temperature accepts most small regressions.
+	hits := 0
+	for i := 0; i < 1000; i++ {
+		if accept(rng, 10, 10.1, 100) {
+			hits++
+		}
+	}
+	if hits < 900 {
+		t.Errorf("hot annealer accepted only %d/1000 tiny regressions", hits)
+	}
+}

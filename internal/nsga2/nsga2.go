@@ -1,0 +1,532 @@
+// Package nsga2 implements the Non-dominated Sorting Genetic
+// Algorithm II of Deb et al., the optimizer the paper builds its
+// wavelength-allocation exploration on: fast non-dominated sorting,
+// crowding-distance diversity preservation, binary tournament
+// selection, the paper's two-point crossover and single-gene
+// inversion mutation, and elitist (mu + lambda) survival.
+//
+// Genomes are binary gene strings ([]byte of 0/1), exactly the
+// chromosome shape of Section III-D. Infeasible individuals (the
+// paper "sets the fitness to infinity") are handled with Deb's
+// constraint dominance: any feasible individual dominates any
+// infeasible one, infeasible ones tie among themselves.
+package nsga2
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Problem is the optimization problem the engine minimizes.
+type Problem interface {
+	// GenomeLen is the number of binary genes.
+	GenomeLen() int
+	// NumObjectives is the dimension of the objective vector.
+	NumObjectives() int
+	// Evaluate maps a genome to its objective vector (minimized) and
+	// a constraint-violation magnitude: 0 means feasible, larger
+	// values mean "more broken". Deb's constraint domination uses the
+	// magnitude to give the search a gradient toward feasibility even
+	// from an all-infeasible population. Implementations must be
+	// deterministic.
+	Evaluate(genome []byte) (objs []float64, violation float64)
+}
+
+// Config tunes the engine. The zero value is completed by
+// (*Config).withDefaults; the paper's settings are population 400 and
+// 300 generations.
+type Config struct {
+	// PopSize is the (even) population size.
+	PopSize int
+	// Generations is the number of evolution steps after the initial
+	// population.
+	Generations int
+	// CrossoverProb is the probability of applying two-point
+	// crossover to a mating pair (otherwise the parents are copied).
+	CrossoverProb float64
+	// MutationProb is the probability of inverting one random gene of
+	// each offspring (the paper's mutation operator).
+	MutationProb float64
+	// PerBitMutation, when positive, replaces the single-gene
+	// operator by an independent per-gene flip rate (classic binary
+	// GA mutation). Used by the ablation benches.
+	PerBitMutation float64
+	// InitDensity is the 1-probability of the random initial genes.
+	InitDensity float64
+	// Seeds injects known genomes into the initial population (warm
+	// start); the remainder is drawn randomly. Each seed must match
+	// the problem's genome length. More seeds than the population
+	// size is an error.
+	Seeds [][]byte
+	// Workers > 1 evaluates each generation's distinct new genomes on
+	// that many goroutines. The run is bit-for-bit identical to the
+	// serial one (operators, caching order and counters are
+	// unaffected); the Problem's Evaluate must then be safe for
+	// concurrent calls.
+	Workers int
+	// Seed drives the engine's private PRNG; runs are reproducible.
+	Seed int64
+	// ArchiveAll records every distinct evaluated genome, which the
+	// Table II / Fig. 7 analyses need. The archive doubles as an
+	// evaluation cache either way.
+	ArchiveAll bool
+	// OnGeneration, when non-nil, observes each generation's
+	// population after survival selection.
+	OnGeneration func(gen int, pop []Individual)
+}
+
+func (c Config) withDefaults() Config {
+	if c.PopSize <= 0 {
+		c.PopSize = 400
+	}
+	if c.PopSize%2 == 1 {
+		c.PopSize++
+	}
+	if c.Generations <= 0 {
+		c.Generations = 300
+	}
+	if c.CrossoverProb == 0 {
+		c.CrossoverProb = 0.9
+	}
+	if c.MutationProb == 0 {
+		c.MutationProb = 1.0
+	}
+	if c.InitDensity == 0 {
+		c.InitDensity = 0.5
+	}
+	return c
+}
+
+// Individual is one member of a population.
+type Individual struct {
+	Genome []byte
+	Objs   []float64
+	// Violation is the constraint-violation magnitude; 0 is feasible.
+	Violation float64
+	// Rank is the non-domination front index (0 is the best front).
+	Rank int
+	// Crowding is the crowding distance within the front; boundary
+	// individuals carry +Inf.
+	Crowding float64
+}
+
+// Feasible reports whether the individual satisfies every constraint.
+func (i Individual) Feasible() bool { return i.Violation == 0 }
+
+// ArchiveEntry records one distinct evaluated genotype.
+type ArchiveEntry struct {
+	Genome    []byte
+	Objs      []float64
+	Violation float64
+}
+
+// Feasible reports whether the archived genotype was valid.
+func (e ArchiveEntry) Feasible() bool { return e.Violation == 0 }
+
+// Result is the outcome of a run.
+type Result struct {
+	// Final is the last population, non-dominated-sorted.
+	Final []Individual
+	// Archive lists every distinct genome evaluated during the run
+	// (only populated with Config.ArchiveAll).
+	Archive []ArchiveEntry
+	// Evaluations counts evaluation requests, ValidEvaluations those
+	// requests that hit a feasible genotype (the paper's "number of
+	// valid solutions generated", duplicates included),
+	// DistinctEvaluated the distinct genotypes, and DistinctValid the
+	// distinct feasible genotypes.
+	Evaluations       int
+	ValidEvaluations  int
+	DistinctEvaluated int
+	DistinctValid     int
+}
+
+type engine struct {
+	p          Problem
+	cfg        Config
+	rng        *rand.Rand
+	cache      map[string]cached
+	order      []string // insertion order of cache keys, for the archive
+	evals      int
+	validEvals int
+}
+
+type cached struct {
+	objs      []float64
+	violation float64
+}
+
+// Run executes NSGA-II on the problem.
+func Run(p Problem, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if p.GenomeLen() <= 0 {
+		return nil, fmt.Errorf("nsga2: genome length must be positive")
+	}
+	if p.NumObjectives() <= 0 {
+		return nil, fmt.Errorf("nsga2: need at least one objective")
+	}
+	if cfg.CrossoverProb < 0 || cfg.CrossoverProb > 1 {
+		return nil, fmt.Errorf("nsga2: crossover probability %v outside [0,1]", cfg.CrossoverProb)
+	}
+	if cfg.MutationProb < 0 || cfg.MutationProb > 1 {
+		return nil, fmt.Errorf("nsga2: mutation probability %v outside [0,1]", cfg.MutationProb)
+	}
+	if len(cfg.Seeds) > cfg.PopSize {
+		return nil, fmt.Errorf("nsga2: %d seeds exceed population %d", len(cfg.Seeds), cfg.PopSize)
+	}
+	for i, s := range cfg.Seeds {
+		if len(s) != p.GenomeLen() {
+			return nil, fmt.Errorf("nsga2: seed %d has %d genes, want %d", i, len(s), p.GenomeLen())
+		}
+	}
+	e := &engine{
+		p:     p,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		cache: make(map[string]cached),
+	}
+
+	genomes := make([][]byte, cfg.PopSize)
+	for i := range genomes {
+		if i < len(cfg.Seeds) {
+			genomes[i] = append([]byte(nil), cfg.Seeds[i]...)
+		} else {
+			genomes[i] = e.randomGenome()
+		}
+	}
+	pop := e.evaluateBatch(genomes)
+	sortPopulation(pop)
+
+	for gen := 0; gen < cfg.Generations; gen++ {
+		offspring := e.makeOffspring(pop)
+		merged := append(pop, offspring...)
+		pop = survive(merged, cfg.PopSize)
+		if cfg.OnGeneration != nil {
+			cfg.OnGeneration(gen, pop)
+		}
+	}
+
+	res := &Result{
+		Final:             pop,
+		Evaluations:       e.evals,
+		ValidEvaluations:  e.validEvals,
+		DistinctEvaluated: len(e.cache),
+	}
+	for _, k := range e.order {
+		c := e.cache[k]
+		if c.violation == 0 {
+			res.DistinctValid++
+		}
+		if cfg.ArchiveAll {
+			res.Archive = append(res.Archive, ArchiveEntry{Genome: []byte(k), Objs: c.objs, Violation: c.violation})
+		}
+	}
+	return res, nil
+}
+
+func (e *engine) randomGenome() []byte {
+	g := make([]byte, e.p.GenomeLen())
+	for i := range g {
+		if e.rng.Float64() < e.cfg.InitDensity {
+			g[i] = 1
+		}
+	}
+	return g
+}
+
+// evaluateBatch resolves a generation's genomes through the dedup
+// cache, evaluating the distinct new ones — in parallel when Workers
+// is set. The cache insertion order, counters and results are
+// identical to a serial run.
+func (e *engine) evaluateBatch(genomes [][]byte) []Individual {
+	type job struct {
+		key    string
+		genome []byte
+	}
+	var jobs []job
+	pending := make(map[string]bool)
+	for _, g := range genomes {
+		k := string(g)
+		if _, ok := e.cache[k]; ok || pending[k] {
+			continue
+		}
+		pending[k] = true
+		jobs = append(jobs, job{key: k, genome: g})
+	}
+	results := make([]cached, len(jobs))
+	if e.cfg.Workers > 1 && len(jobs) > 1 {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, e.cfg.Workers)
+		for i := range jobs {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				objs, violation := e.p.Evaluate(jobs[i].genome)
+				results[i] = cached{objs: objs, violation: violation}
+				<-sem
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range jobs {
+			objs, violation := e.p.Evaluate(jobs[i].genome)
+			results[i] = cached{objs: objs, violation: violation}
+		}
+	}
+	for i, j := range jobs {
+		e.cache[j.key] = results[i]
+		e.order = append(e.order, j.key)
+	}
+	out := make([]Individual, len(genomes))
+	for i, g := range genomes {
+		e.evals++
+		c := e.cache[string(g)]
+		if c.violation == 0 {
+			e.validEvals++
+		}
+		out[i] = Individual{Genome: g, Objs: c.objs, Violation: c.violation}
+	}
+	return out
+}
+
+// makeOffspring builds PopSize children by binary tournament,
+// two-point crossover and mutation. The genetic operators run
+// serially (they consume the engine's PRNG); evaluation is batched.
+func (e *engine) makeOffspring(pop []Individual) []Individual {
+	children := make([][]byte, 0, e.cfg.PopSize)
+	for len(children) < e.cfg.PopSize {
+		p1 := e.tournament(pop)
+		p2 := e.tournament(pop)
+		c1 := append([]byte(nil), p1.Genome...)
+		c2 := append([]byte(nil), p2.Genome...)
+		if e.rng.Float64() < e.cfg.CrossoverProb {
+			e.twoPointCrossover(c1, c2)
+		}
+		e.mutate(c1)
+		e.mutate(c2)
+		children = append(children, c1)
+		if len(children) < e.cfg.PopSize {
+			children = append(children, c2)
+		}
+	}
+	return e.evaluateBatch(children)
+}
+
+// tournament picks the better of two random individuals by
+// (rank, crowding).
+func (e *engine) tournament(pop []Individual) Individual {
+	a := pop[e.rng.Intn(len(pop))]
+	b := pop[e.rng.Intn(len(pop))]
+	if a.Rank != b.Rank {
+		if a.Rank < b.Rank {
+			return a
+		}
+		return b
+	}
+	if a.Crowding != b.Crowding {
+		if a.Crowding > b.Crowding {
+			return a
+		}
+		return b
+	}
+	if e.rng.Intn(2) == 0 {
+		return a
+	}
+	return b
+}
+
+// twoPointCrossover exchanges the gene range [x,y] of the two
+// chromosomes (the paper's operator).
+func (e *engine) twoPointCrossover(a, b []byte) {
+	n := len(a)
+	x, y := e.rng.Intn(n), e.rng.Intn(n)
+	if x > y {
+		x, y = y, x
+	}
+	for i := x; i <= y; i++ {
+		a[i], b[i] = b[i], a[i]
+	}
+}
+
+// mutate applies the configured mutation operator in place.
+func (e *engine) mutate(g []byte) {
+	if e.cfg.PerBitMutation > 0 {
+		for i := range g {
+			if e.rng.Float64() < e.cfg.PerBitMutation {
+				g[i] ^= 1
+			}
+		}
+		return
+	}
+	if e.rng.Float64() < e.cfg.MutationProb {
+		i := e.rng.Intn(len(g))
+		g[i] ^= 1
+	}
+}
+
+// dominates implements Deb's constraint dominance for minimization:
+// a feasible individual dominates any infeasible one; between two
+// infeasible individuals the smaller violation dominates; between two
+// feasible individuals, standard Pareto dominance.
+func dominates(a, b Individual) bool {
+	if a.Feasible() != b.Feasible() {
+		return a.Feasible()
+	}
+	if !a.Feasible() {
+		return a.Violation < b.Violation
+	}
+	strictly := false
+	for i := range a.Objs {
+		switch {
+		case a.Objs[i] > b.Objs[i]:
+			return false
+		case a.Objs[i] < b.Objs[i]:
+			strictly = true
+		}
+	}
+	return strictly
+}
+
+// sortPopulation assigns ranks and crowding distances in place.
+func sortPopulation(pop []Individual) {
+	fronts := fastNonDominatedSort(pop)
+	for rank, front := range fronts {
+		for _, i := range front {
+			pop[i].Rank = rank
+		}
+		assignCrowding(pop, front)
+	}
+}
+
+// fastNonDominatedSort returns the indices of each front.
+func fastNonDominatedSort(pop []Individual) [][]int {
+	n := len(pop)
+	domCount := make([]int, n)
+	dominated := make([][]int, n)
+	var first []int
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if dominates(pop[i], pop[j]) {
+				dominated[i] = append(dominated[i], j)
+			} else if dominates(pop[j], pop[i]) {
+				domCount[i]++
+			}
+		}
+		if domCount[i] == 0 {
+			first = append(first, i)
+		}
+	}
+	var fronts [][]int
+	cur := first
+	for len(cur) > 0 {
+		fronts = append(fronts, cur)
+		var next []int
+		for _, i := range cur {
+			for _, j := range dominated[i] {
+				domCount[j]--
+				if domCount[j] == 0 {
+					next = append(next, j)
+				}
+			}
+		}
+		cur = next
+	}
+	return fronts
+}
+
+// assignCrowding computes crowding distances for one front.
+func assignCrowding(pop []Individual, front []int) {
+	if len(front) == 0 {
+		return
+	}
+	for _, i := range front {
+		pop[i].Crowding = 0
+	}
+	if len(front) <= 2 {
+		for _, i := range front {
+			pop[i].Crowding = math.Inf(1)
+		}
+		return
+	}
+	m := len(pop[front[0]].Objs)
+	idx := make([]int, len(front))
+	for obj := 0; obj < m; obj++ {
+		copy(idx, front)
+		sort.SliceStable(idx, func(a, b int) bool {
+			return pop[idx[a]].Objs[obj] < pop[idx[b]].Objs[obj]
+		})
+		lo, hi := pop[idx[0]].Objs[obj], pop[idx[len(idx)-1]].Objs[obj]
+		spread := hi - lo
+		pop[idx[0]].Crowding = math.Inf(1)
+		pop[idx[len(idx)-1]].Crowding = math.Inf(1)
+		if spread <= 0 || math.IsInf(spread, 0) || math.IsNaN(spread) {
+			// Degenerate axis (all equal, or infeasible front at
+			// +Inf): contributes nothing.
+			continue
+		}
+		for k := 1; k < len(idx)-1; k++ {
+			d := (pop[idx[k+1]].Objs[obj] - pop[idx[k-1]].Objs[obj]) / spread
+			if !math.IsInf(pop[idx[k]].Crowding, 1) {
+				pop[idx[k]].Crowding += d
+			}
+		}
+	}
+}
+
+// survive performs the elitist (mu + lambda) environmental selection:
+// whole fronts are taken while they fit; the last partial front is
+// truncated by crowding distance.
+func survive(merged []Individual, size int) []Individual {
+	fronts := fastNonDominatedSort(merged)
+	for rank, front := range fronts {
+		for _, i := range front {
+			merged[i].Rank = rank
+		}
+		assignCrowding(merged, front)
+	}
+	next := make([]Individual, 0, size)
+	for _, front := range fronts {
+		if len(next)+len(front) <= size {
+			for _, i := range front {
+				next = append(next, merged[i])
+			}
+			continue
+		}
+		rest := make([]int, len(front))
+		copy(rest, front)
+		sort.SliceStable(rest, func(a, b int) bool {
+			return merged[rest[a]].Crowding > merged[rest[b]].Crowding
+		})
+		for _, i := range rest[:size-len(next)] {
+			next = append(next, merged[i])
+		}
+		break
+	}
+	return next
+}
+
+// FeasibleFront extracts the distinct feasible rank-0 individuals of
+// a sorted population.
+func FeasibleFront(pop []Individual) []Individual {
+	seen := make(map[string]bool)
+	var front []Individual
+	for _, ind := range pop {
+		if ind.Rank != 0 || !ind.Feasible() {
+			continue
+		}
+		k := string(ind.Genome)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		front = append(front, ind)
+	}
+	return front
+}

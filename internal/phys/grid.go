@@ -1,0 +1,83 @@
+package phys
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Grid describes the WDM wavelength comb shared by every optical
+// network interface of the ring. The paper assumes equal channel
+// spacing covering a whole free spectral range (FSR): with NW channels
+// the spacing is FSR/NW, so the comb tiles the FSR exactly and the
+// crosstalk between two channels depends only on their index distance.
+type Grid struct {
+	// CenterNM is the comb centre wavelength in nanometres. The paper
+	// uses a 1550 nm band; the exact centre only fixes the absolute
+	// channel positions, the crosstalk model depends on distances.
+	CenterNM float64
+	// FSRNM is the micro-ring free spectral range in nanometres
+	// (12.8 nm in the paper's evaluation).
+	FSRNM float64
+	// Q is the quality factor of the micro-ring resonators (9600 in
+	// the paper). The -3 dB bandwidth of the Lorentzian filter is
+	// 2*delta = lambda/Q.
+	Q float64
+	// Channels is NW, the number of wavelengths multiplexed on the
+	// waveguide.
+	Channels int
+}
+
+// DefaultGrid returns the comb used throughout the paper's evaluation
+// section with the requested number of channels.
+func DefaultGrid(channels int) Grid {
+	return Grid{CenterNM: 1550, FSRNM: 12.8, Q: 9600, Channels: channels}
+}
+
+// Validate reports whether the grid parameters are physically
+// meaningful.
+func (g Grid) Validate() error {
+	switch {
+	case g.Channels <= 0:
+		return fmt.Errorf("phys: grid needs at least one channel, got %d", g.Channels)
+	case g.FSRNM <= 0:
+		return errors.New("phys: free spectral range must be positive")
+	case g.CenterNM <= 0:
+		return errors.New("phys: centre wavelength must be positive")
+	case g.Q <= 0:
+		return errors.New("phys: quality factor must be positive")
+	case g.FSRNM >= g.CenterNM:
+		return errors.New("phys: free spectral range must be far smaller than the carrier wavelength")
+	}
+	return nil
+}
+
+// SpacingNM is the channel spacing CS = FSR / NW in nanometres.
+func (g Grid) SpacingNM() float64 { return g.FSRNM / float64(g.Channels) }
+
+// DeltaNM is the Lorentzian half-width delta, from 2*delta = lambda/Q.
+func (g Grid) DeltaNM() float64 { return g.CenterNM / (2 * g.Q) }
+
+// WavelengthNM returns the absolute position of grid channel ch
+// (0-based). Channels are laid out symmetrically around the comb
+// centre: channel 0 sits at Center - FSR/2 + CS/2.
+func (g Grid) WavelengthNM(ch int) float64 {
+	return g.CenterNM - g.FSRNM/2 + (float64(ch)+0.5)*g.SpacingNM()
+}
+
+// DistanceNM is the spectral distance |lambda_i - lambda_j| between two
+// grid channels.
+func (g Grid) DistanceNM(i, j int) float64 {
+	d := float64(i-j) * g.SpacingNM()
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// CrosstalkDB returns Phi(lambda_m, lambda_i) in decibels: the fraction
+// of channel i's power that leaks into the drop port of a micro-ring
+// resonant at channel m (Eq. 1 of the paper, converted to dB). For
+// i == m the filter is resonant and the value is 0 dB (full drop).
+func (g Grid) CrosstalkDB(m, i int) DB {
+	return LinearToDB(Lorentzian(g.DistanceNM(m, i), g.DeltaNM()))
+}

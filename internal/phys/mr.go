@@ -1,0 +1,63 @@
+package phys
+
+// Lorentzian evaluates the micro-ring resonator drop-port transfer
+// function of Eq. 1:
+//
+//	Phi(lambda_i, lambda_m) = delta^2 / ((lambda_i - lambda_m)^2 + delta^2)
+//
+// where distNM = |lambda_i - lambda_m| is the spectral distance between
+// the signal and the ring resonance, and deltaNM is the half of the
+// -3 dB bandwidth (2*delta = lambda_m / Q). The result is the linear
+// fraction of the input power that appears at the drop port: 1 at
+// resonance, 1/2 at one half-bandwidth, and falling off quadratically
+// with distance. This undesirable partial drop of non-resonant
+// channels is the physical source of inter-channel crosstalk.
+func Lorentzian(distNM, deltaNM float64) float64 {
+	d2 := deltaNM * deltaNM
+	return d2 / (distNM*distNM + d2)
+}
+
+// MRState is the configuration of a micro-ring resonator in an ONI
+// receiver bank: ON (tuned, dropping its resonant channel toward the
+// photodetector) or OFF (detuned, passing traffic through).
+type MRState bool
+
+const (
+	// MROff lets all wavelengths travel toward the through port,
+	// each attenuated by the small OFF-state pass loss Lp0 (Eq. 2).
+	MROff MRState = false
+	// MROn drops the resonant wavelength toward the photodetector
+	// (drop loss Lp1) and attenuates every through wavelength by the
+	// ON-state pass loss Lp1 (Eq. 4).
+	MROn MRState = true
+)
+
+// ThroughLossDB returns the attenuation a wavelength suffers when it
+// continues past an MR toward the through port (Eqs. 2 and 4).
+// resonant indicates whether the wavelength matches the MR's channel:
+// a resonant wavelength passing an ON-state MR is almost entirely
+// dropped, so only the crosstalk residue Kp1 survives at the through
+// port; a resonant wavelength passing an OFF-state MR keeps its power
+// up to the OFF pass loss (the drop-port leak Kp0 is what reaches that
+// ring's idle photodetector, not a loss on the through path worth
+// modelling separately at first order).
+func ThroughLossDB(p Params, state MRState, resonant bool) DB {
+	if state == MROn {
+		if resonant {
+			return p.XtalkOnMR // Kp1: residue of a dropped signal
+		}
+		return p.LossOnMR // Lp1
+	}
+	return p.LossOffMR // Lp0
+}
+
+// DropLossDB returns the attenuation from the MR input to the drop
+// port for its resonant wavelength (Eqs. 3 and 5): Lp1 through an
+// ON-state ring, Kp0 (the OFF-state crosstalk coefficient) through an
+// OFF-state ring.
+func DropLossDB(p Params, state MRState) DB {
+	if state == MROn {
+		return p.LossOnMR
+	}
+	return p.XtalkOffMR
+}

@@ -1,0 +1,84 @@
+package phys
+
+import "fmt"
+
+// Params collects the device-level power parameters of the optical
+// layer. The defaults are exactly Table I of the paper plus the laser
+// powers stated in Section IV.
+type Params struct {
+	// PropagationDBPerCM is the straight-waveguide propagation loss
+	// (Table I: -0.274 dB/cm, after Dong et al.).
+	PropagationDBPerCM DB
+	// BendingDBPer90 is the loss of one 90-degree waveguide bend
+	// (Table I: -0.005 dB, after Xia et al.).
+	BendingDBPer90 DB
+	// LossOffMR is Lp0, the pass-by loss of an OFF-state micro-ring
+	// (Table I: -0.005 dB).
+	LossOffMR DB
+	// LossOnMR is Lp1, both the through-port loss a non-resonant
+	// wavelength suffers at an ON-state micro-ring and the drop loss
+	// of the resonant wavelength (Table I: -0.5 dB).
+	LossOnMR DB
+	// XtalkOffMR is Kp0, the crosstalk coefficient of an OFF-state
+	// micro-ring: how much of the resonant wavelength still leaks to
+	// the drop port when the ring is detuned (Table I: -20 dB).
+	XtalkOffMR DB
+	// XtalkOnMR is Kp1, the ON-state crosstalk coefficient: the
+	// residue of a dropped signal that survives at the through port
+	// (Table I: -25 dB).
+	XtalkOnMR DB
+	// LaserOnDBm is Pv, the VCSEL emission power while transmitting a
+	// logical 1 (-10 dBm in Section IV).
+	LaserOnDBm DBm
+	// LaserOffDBm is P0, the residual emission while transmitting a
+	// logical 0; imperfect extinction makes it non-zero (-30 dBm in
+	// Section IV) and it is accounted as noise in Eq. 8.
+	LaserOffDBm DBm
+}
+
+// DefaultParams returns the Table I values used throughout the paper's
+// evaluation.
+func DefaultParams() Params {
+	return Params{
+		PropagationDBPerCM: -0.274,
+		BendingDBPer90:     -0.005,
+		LossOffMR:          -0.005,
+		LossOnMR:           -0.5,
+		XtalkOffMR:         -20,
+		XtalkOnMR:          -25,
+		LaserOnDBm:         -10,
+		LaserOffDBm:        -30,
+	}
+}
+
+// Validate rejects parameter sets that would break the loss model:
+// every relative coefficient must be a loss (non-positive dB) and the
+// laser's 1-level must carry more power than its 0-level residue.
+func (p Params) Validate() error {
+	check := func(name string, v DB) error {
+		if v > 0 {
+			return fmt.Errorf("phys: %s must be a loss (<= 0 dB), got %v dB", name, float64(v))
+		}
+		return nil
+	}
+	for _, c := range []struct {
+		name string
+		v    DB
+	}{
+		{"propagation loss", p.PropagationDBPerCM},
+		{"bending loss", p.BendingDBPer90},
+		{"OFF-state MR loss Lp0", p.LossOffMR},
+		{"ON-state MR loss Lp1", p.LossOnMR},
+		{"OFF-state crosstalk Kp0", p.XtalkOffMR},
+		{"ON-state crosstalk Kp1", p.XtalkOnMR},
+	} {
+		if err := check(c.name, c.v); err != nil {
+			return err
+		}
+	}
+	if p.LaserOnDBm <= p.LaserOffDBm {
+		return fmt.Errorf("phys: laser 1-level (%v dBm) must exceed 0-level (%v dBm)",
+			float64(p.LaserOnDBm), float64(p.LaserOffDBm))
+	}
+	return nil
+}

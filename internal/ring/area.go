@@ -1,0 +1,68 @@
+package ring
+
+// The paper closes its Fig. 6(a) discussion with "a growing number of
+// wavelengths increases the area cost". This file makes that remark
+// quantitative with a first-order photonic area model: every ONI
+// carries one receiver micro-ring, one photodetector and one
+// modulating laser per comb channel, and the serpentine waveguide
+// occupies its trace; a bidirectional ring doubles both the waveguide
+// and the per-ONI interfaces.
+
+// AreaModel holds per-device footprints in square micrometres.
+type AreaModel struct {
+	// MRUM2 is one micro-ring resonator's footprint (a ~10 um ring
+	// with its tuning pad).
+	MRUM2 float64
+	// LaserUM2 is one on-chip VCSEL.
+	LaserUM2 float64
+	// PhotodetectorUM2 is one germanium photodetector.
+	PhotodetectorUM2 float64
+	// WaveguideWidthUM is the waveguide trace width, multiplied by
+	// the routed length.
+	WaveguideWidthUM float64
+}
+
+// DefaultAreaModel returns typical silicon-photonics footprints.
+func DefaultAreaModel() AreaModel {
+	return AreaModel{
+		MRUM2:            150,
+		LaserUM2:         400,
+		PhotodetectorUM2: 100,
+		WaveguideWidthUM: 0.5,
+	}
+}
+
+// Area summarizes the optical layer's footprint.
+type Area struct {
+	// MRs, Lasers and Photodetectors count devices over the whole
+	// ring.
+	MRs, Lasers, Photodetectors int
+	// WaveguideCM is the total routed waveguide length.
+	WaveguideCM float64
+	// TotalMM2 is the summed footprint in square millimetres.
+	TotalMM2 float64
+}
+
+// Area evaluates the model on this ring.
+func (r *Ring) Area(m AreaModel) Area {
+	dirs := 1
+	if r.cfg.Bidirectional {
+		dirs = 2
+	}
+	perONI := r.Channels() * dirs
+	a := Area{
+		MRs:            r.Size() * perONI,
+		Lasers:         r.Size() * perONI,
+		Photodetectors: r.Size() * perONI,
+	}
+	for i := 0; i < r.Size(); i++ {
+		a.WaveguideCM += r.segments[i].LengthCM
+	}
+	a.WaveguideCM *= float64(dirs)
+	deviceUM2 := float64(a.MRs)*m.MRUM2 +
+		float64(a.Lasers)*m.LaserUM2 +
+		float64(a.Photodetectors)*m.PhotodetectorUM2
+	waveguideUM2 := a.WaveguideCM * 1e4 * m.WaveguideWidthUM
+	a.TotalMM2 = (deviceUM2 + waveguideUM2) / 1e6
+	return a
+}

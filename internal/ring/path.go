@@ -1,0 +1,220 @@
+package ring
+
+import "fmt"
+
+// Direction selects one of the ring's counter-propagating waveguides.
+// The paper's platform is a single clockwise waveguide; the
+// Bidirectional configuration adds the ORNoC-style counter-clockwise
+// twin (Le Beux et al., the paper's reference [9]), halving worst-case
+// hop counts. The two directions are physically separate waveguides:
+// they never share segments, conflict or interfere.
+type Direction int
+
+const (
+	// CW travels in increasing ring order (the paper's default).
+	CW Direction = iota
+	// CCW travels in decreasing ring order on the twin waveguide.
+	CCW
+)
+
+// String names the direction.
+func (d Direction) String() string {
+	if d == CCW {
+		return "ccw"
+	}
+	return "cw"
+}
+
+// Path is a directed route along one waveguide from a source ONI to a
+// destination ONI.
+type Path struct {
+	Src, Dst int
+	Dir      Direction
+	// onis is the visited ONI sequence, source first, destination
+	// last.
+	onis []int
+	// segIdx holds one waveguide resource ID per hop: CW hop j->j+1
+	// is resource j; CCW hop j->j-1 is resource N+j. Resource IDs
+	// never collide across directions.
+	segIdx []int
+}
+
+// PathBetween returns the route from src to dst: the unique clockwise
+// route on a unidirectional ring, or the hop-shorter of the two
+// directions (ties clockwise) when the ring is bidirectional.
+// src == dst is rejected: mapped communications always cross the
+// optical layer (Definition 3 places communicating tasks on distinct
+// cores).
+func (r *Ring) PathBetween(src, dst int) (Path, error) {
+	if !r.cfg.Bidirectional {
+		return r.DirectedPath(src, dst, CW)
+	}
+	n := r.Size()
+	cw := ((dst-src)%n + n) % n
+	ccw := n - cw
+	if ccw < cw {
+		return r.DirectedPath(src, dst, CCW)
+	}
+	return r.DirectedPath(src, dst, CW)
+}
+
+// DirectedPath returns the route from src to dst along the requested
+// waveguide. Requesting CCW on a unidirectional ring is an error.
+func (r *Ring) DirectedPath(src, dst int, dir Direction) (Path, error) {
+	n := r.Size()
+	if src < 0 || src >= n || dst < 0 || dst >= n {
+		return Path{}, fmt.Errorf("ring: path endpoints %d->%d outside [0,%d)", src, dst, n)
+	}
+	if src == dst {
+		return Path{}, fmt.Errorf("ring: degenerate path %d->%d", src, dst)
+	}
+	if dir == CCW && !r.cfg.Bidirectional {
+		return Path{}, fmt.Errorf("ring: counter-clockwise waveguide not configured")
+	}
+	p := Path{Src: src, Dst: dst, Dir: dir}
+	switch dir {
+	case CW:
+		hops := ((dst-src)%n + n) % n
+		p.onis = make([]int, 0, hops+1)
+		p.segIdx = make([]int, 0, hops)
+		for h := 0; h <= hops; h++ {
+			p.onis = append(p.onis, (src+h)%n)
+			if h < hops {
+				p.segIdx = append(p.segIdx, (src+h)%n)
+			}
+		}
+	case CCW:
+		hops := ((src-dst)%n + n) % n
+		p.onis = make([]int, 0, hops+1)
+		p.segIdx = make([]int, 0, hops)
+		for h := 0; h <= hops; h++ {
+			oni := ((src-h)%n + n) % n
+			p.onis = append(p.onis, oni)
+			if h < hops {
+				p.segIdx = append(p.segIdx, n+oni)
+			}
+		}
+	default:
+		return Path{}, fmt.Errorf("ring: unknown direction %d", int(dir))
+	}
+	return p, nil
+}
+
+// Hops returns the number of traversed segments.
+func (p Path) Hops() int { return len(p.segIdx) }
+
+// Segments returns the traversed waveguide resource IDs in travel
+// order; IDs are direction-qualified, so CW and CCW paths never
+// share one. The returned slice is shared; callers must not mutate
+// it.
+func (p Path) Segments() []int { return p.segIdx }
+
+// ONIs returns the visited ONI sequence, source first. The returned
+// slice is shared; callers must not mutate it.
+func (p Path) ONIs() []int { return p.onis }
+
+// UsesSegment reports whether the path traverses waveguide resource
+// s.
+func (p Path) UsesSegment(s int) bool {
+	for _, i := range p.segIdx {
+		if i == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Overlaps reports whether two paths share at least one waveguide
+// resource. Counter-propagating paths never overlap (separate
+// waveguides); two same-direction paths overlap when their segment
+// runs intersect. Overlapping simultaneous transmissions must use
+// disjoint wavelength sets (the paper's validity rule) and mutually
+// inject inter-communication crosstalk.
+func (p Path) Overlaps(q Path) bool {
+	if p.Dir != q.Dir {
+		return false
+	}
+	seen := make(map[int]struct{}, len(p.segIdx))
+	for _, i := range p.segIdx {
+		seen[i] = struct{}{}
+	}
+	for _, j := range q.segIdx {
+		if _, ok := seen[j]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Interior returns the ONIs strictly between source and destination,
+// in travel order. Signals pass the full receiver MR bank of each
+// interior ONI.
+func (p Path) Interior() []int {
+	if len(p.onis) <= 2 {
+		return nil
+	}
+	return p.onis[1 : len(p.onis)-1]
+}
+
+// Through reports whether the path's optical signal crosses the
+// receiver MR bank of ONI o: true when o is an interior ONI or the
+// destination. The source's own bank is not crossed because the ONI
+// transmitter injects downstream of its receiver (Fig. 1(b): the
+// receiver block precedes the transmitter along the waveguide).
+func (p Path) Through(o int) bool {
+	for _, oni := range p.onis[1:] {
+		if oni == o {
+			return true
+		}
+	}
+	return false
+}
+
+// Prefix returns the sub-path from the source up to ONI det, which
+// must lie on the path past the source. Noise analyses use it to walk
+// an interferer's light only as far as the victim's receiver.
+func (p Path) Prefix(det int) (Path, error) {
+	for i, oni := range p.onis {
+		if oni != det || i == 0 {
+			continue
+		}
+		return Path{
+			Src:    p.Src,
+			Dst:    det,
+			Dir:    p.Dir,
+			onis:   p.onis[:i+1],
+			segIdx: p.segIdx[:i],
+		}, nil
+	}
+	return Path{}, fmt.Errorf("ring: ONI %d not downstream on path %d->%d (%s)", det, p.Src, p.Dst, p.Dir)
+}
+
+// physSegment maps a direction-qualified resource ID to the physical
+// hop geometry: the CCW hop j -> j-1 runs along the same layout trace
+// as the CW hop (j-1) -> j.
+func (r *Ring) physSegment(rid int) Segment {
+	n := r.Size()
+	if rid < n {
+		return r.segments[rid]
+	}
+	j := rid - n
+	return r.segments[((j-1)%n+n)%n]
+}
+
+// LengthCM sums the waveguide length of a path on ring r.
+func (r *Ring) LengthCM(p Path) float64 {
+	var l float64
+	for _, i := range p.segIdx {
+		l += r.physSegment(i).LengthCM
+	}
+	return l
+}
+
+// BendCount sums the 90-degree bends along a path on ring r.
+func (r *Ring) BendCount(p Path) int {
+	var b int
+	for _, i := range p.segIdx {
+		b += r.physSegment(i).Bends
+	}
+	return b
+}

@@ -1,0 +1,160 @@
+// Package sched implements the paper's analytic time model
+// (Section III-C, Eqs. 10-12): given a task graph and the number of
+// wavelengths reserved per communication, it computes task start/end
+// times, communication activity windows, and the global execution time
+// (makespan). Communication time is V(d_jk) / (NW_jk * B), where B is
+// the per-wavelength data rate in bits per clock cycle.
+//
+// The windows drive two consumers: the chromosome validity rule (two
+// time-overlapping communications sharing waveguide segments must use
+// disjoint wavelengths) and the crosstalk model (only simultaneously
+// propagating wavelengths interfere).
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Window is a half-open activity interval [Start, End) in clock
+// cycles.
+type Window struct {
+	Start, End float64
+}
+
+// Duration returns the window length in cycles.
+func (w Window) Duration() float64 { return w.End - w.Start }
+
+// Overlaps reports whether two half-open windows intersect. Zero
+// length windows (zero-volume transfers) never overlap anything.
+func (w Window) Overlaps(o Window) bool {
+	if w.Start >= w.End || o.Start >= o.End {
+		return false
+	}
+	return w.Start < o.End && o.Start < w.End
+}
+
+// Schedule is the result of the analytic time model.
+type Schedule struct {
+	// TaskStart and TaskEnd are per-task times in cycles.
+	TaskStart, TaskEnd []float64
+	// Comm holds the per-edge activity windows: a communication
+	// starts the instant its producer finishes (Eq. 12's earliest
+	// availability) and occupies its wavelengths for V/(NW*B)
+	// cycles.
+	Comm []Window
+	// MakespanCycles is the global execution time of Eq. 11.
+	MakespanCycles float64
+}
+
+// Compute evaluates the time model. lambdas[e] is the number of
+// wavelengths reserved for edge e; every positive-volume edge needs at
+// least one. bitsPerCycle is B; the paper-scale experiments use 1 bit
+// per cycle per wavelength.
+func Compute(g *graph.TaskGraph, lambdas []int, bitsPerCycle float64) (*Schedule, error) {
+	if len(lambdas) != g.NumEdges() {
+		return nil, fmt.Errorf("sched: %d lambda counts for %d edges", len(lambdas), g.NumEdges())
+	}
+	if bitsPerCycle <= 0 {
+		return nil, fmt.Errorf("sched: bits per cycle must be positive, got %v", bitsPerCycle)
+	}
+	for e, n := range lambdas {
+		if n < 0 {
+			return nil, fmt.Errorf("sched: edge %d has negative wavelength count %d", e, n)
+		}
+		if n == 0 && g.Edges[e].VolumeBits > 0 {
+			return nil, fmt.Errorf("sched: edge %d carries %v bits over zero wavelengths", e, g.Edges[e].VolumeBits)
+		}
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	s := &Schedule{
+		TaskStart: make([]float64, g.NumTasks()),
+		TaskEnd:   make([]float64, g.NumTasks()),
+		Comm:      make([]Window, g.NumEdges()),
+	}
+	preds := g.Preds()
+	for _, t := range order {
+		start := 0.0
+		for _, ei := range preds[t] {
+			e := g.Edges[ei]
+			// The producer's completion gates the transfer; the
+			// transfer's completion gates the consumer (Eq. 12).
+			cs := s.TaskEnd[e.Src]
+			d := 0.0
+			if e.VolumeBits > 0 {
+				d = e.VolumeBits / (float64(lambdas[ei]) * bitsPerCycle)
+			}
+			s.Comm[ei] = Window{Start: cs, End: cs + d}
+			if s.Comm[ei].End > start {
+				start = s.Comm[ei].End
+			}
+		}
+		s.TaskStart[t] = start
+		s.TaskEnd[t] = start + g.Tasks[t].ExecCycles
+		if s.TaskEnd[t] > s.MakespanCycles {
+			s.MakespanCycles = s.TaskEnd[t]
+		}
+	}
+	return s, nil
+}
+
+// MinMakespanCycles is the infinite-bandwidth floor of the makespan:
+// the task-graph critical path with all communication times at zero
+// (the paper's "minimal execution time", 20 k-cc for the virtual
+// application).
+func MinMakespanCycles(g *graph.TaskGraph) (float64, error) {
+	return g.CriticalPathCycles()
+}
+
+// Slack returns, for each edge, how many cycles its window could grow
+// before delaying the start of its consumer task. Slack 0 marks the
+// communications on the schedule's binding chain — the ones extra
+// wavelengths actually accelerate.
+func (s *Schedule) Slack(g *graph.TaskGraph) []float64 {
+	slack := make([]float64, g.NumEdges())
+	for ei, e := range g.Edges {
+		slack[ei] = s.TaskStart[e.Dst] - s.Comm[ei].End
+		if slack[ei] < 0 {
+			// Numerical noise only; the schedule construction makes
+			// TaskStart >= every incoming window end.
+			slack[ei] = 0
+		}
+	}
+	return slack
+}
+
+// Validate cross-checks a schedule against its graph: windows start at
+// producer completion, tasks start after every incoming window, and
+// the makespan matches the latest task end. It exists for the
+// simulator and property tests.
+func (s *Schedule) Validate(g *graph.TaskGraph) error {
+	if len(s.TaskEnd) != g.NumTasks() || len(s.Comm) != g.NumEdges() {
+		return fmt.Errorf("sched: schedule shape mismatch")
+	}
+	const tol = 1e-6
+	makespan := 0.0
+	for t := range g.Tasks {
+		if s.TaskEnd[t]-s.TaskStart[t]-g.Tasks[t].ExecCycles > tol ||
+			g.Tasks[t].ExecCycles-(s.TaskEnd[t]-s.TaskStart[t]) > tol {
+			return fmt.Errorf("sched: task %d duration mismatch", t)
+		}
+		makespan = math.Max(makespan, s.TaskEnd[t])
+	}
+	for ei, e := range g.Edges {
+		if math.Abs(s.Comm[ei].Start-s.TaskEnd[e.Src]) > tol {
+			return fmt.Errorf("sched: edge %d starts at %v, producer ends at %v", ei, s.Comm[ei].Start, s.TaskEnd[e.Src])
+		}
+		if s.Comm[ei].End-s.TaskStart[e.Dst] > tol {
+			return fmt.Errorf("sched: edge %d ends after its consumer starts", ei)
+		}
+	}
+	if math.Abs(makespan-s.MakespanCycles) > tol {
+		return fmt.Errorf("sched: makespan %v, latest task end %v", s.MakespanCycles, makespan)
+	}
+	return nil
+}

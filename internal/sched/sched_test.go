@@ -1,0 +1,260 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func ones(n int) []int {
+	l := make([]int, n)
+	for i := range l {
+		l[i] = 1
+	}
+	return l
+}
+
+func TestWindowOverlaps(t *testing.T) {
+	cases := []struct {
+		a, b Window
+		want bool
+	}{
+		{Window{0, 10}, Window{5, 15}, true},
+		{Window{0, 10}, Window{10, 20}, false}, // half-open: touching is disjoint
+		{Window{10, 20}, Window{0, 10}, false},
+		{Window{0, 10}, Window{2, 3}, true},
+		{Window{5, 5}, Window{0, 10}, false}, // zero-length never overlaps
+		{Window{0, 10}, Window{5, 5}, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Overlaps(c.b); got != c.want {
+			t.Errorf("%v overlaps %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Overlaps(c.a); got != c.want {
+			t.Errorf("overlap must be symmetric for %v, %v", c.a, c.b)
+		}
+	}
+}
+
+func TestPaperAppAllOnesMakespan(t *testing.T) {
+	// With one wavelength per communication and B = 1 bit/cycle the
+	// reconstructed application runs in 36 k-cc: T1(5k) c1(8k) T2(5k)
+	// c2(4k) T4(5k) c5(4k) T5(5k).
+	g := graph.PaperApp()
+	s, err := Compute(g, ones(g.NumEdges()), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MakespanCycles != 36000 {
+		t.Errorf("makespan = %v, want 36000", s.MakespanCycles)
+	}
+	if err := s.Validate(g); err != nil {
+		t.Errorf("schedule self-check: %v", err)
+	}
+}
+
+func TestPaperAppGenerousAllocationApproachesFloor(t *testing.T) {
+	g := graph.PaperApp()
+	huge := make([]int, g.NumEdges())
+	for i := range huge {
+		huge[i] = 1000
+	}
+	s, err := Compute(g, huge, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	floor, _ := MinMakespanCycles(g)
+	if floor != 20000 {
+		t.Fatalf("floor = %v, want 20000", floor)
+	}
+	if s.MakespanCycles < floor {
+		t.Errorf("makespan %v below the infinite-bandwidth floor %v", s.MakespanCycles, floor)
+	}
+	if s.MakespanCycles > floor+100 {
+		t.Errorf("makespan %v should be within 0.1 k-cc of the floor with 1000 wavelengths", s.MakespanCycles)
+	}
+}
+
+func TestCommWindows(t *testing.T) {
+	g := graph.PaperApp()
+	s, err := Compute(g, ones(g.NumEdges()), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// c1: T1 -> T2, 8 kb on one wavelength: starts when T1 ends (5k),
+	// runs 8k cycles.
+	c1 := s.Comm[1]
+	if c1.Start != 5000 || c1.End != 13000 {
+		t.Errorf("c1 window = %+v, want [5000,13000)", c1)
+	}
+	// T2 starts when c1 delivers.
+	if s.TaskStart[2] != 13000 {
+		t.Errorf("T2 start = %v, want 13000", s.TaskStart[2])
+	}
+}
+
+func TestMoreWavelengthsShortenWindows(t *testing.T) {
+	g := graph.PaperApp()
+	l := ones(g.NumEdges())
+	s1, _ := Compute(g, l, 1)
+	l[1] = 4
+	s4, _ := Compute(g, l, 1)
+	if got, want := s4.Comm[1].Duration(), 2000.0; got != want {
+		t.Errorf("c1 duration at 4 wavelengths = %v, want %v", got, want)
+	}
+	if s4.MakespanCycles >= s1.MakespanCycles {
+		t.Errorf("makespan must drop when the critical edge gets bandwidth: %v -> %v",
+			s1.MakespanCycles, s4.MakespanCycles)
+	}
+}
+
+func TestBitsPerCycleScalesDurations(t *testing.T) {
+	g := graph.PaperApp()
+	s1, _ := Compute(g, ones(g.NumEdges()), 1)
+	s2, _ := Compute(g, ones(g.NumEdges()), 2)
+	for ei := range g.Edges {
+		if d1, d2 := s1.Comm[ei].Duration(), s2.Comm[ei].Duration(); d1 != 2*d2 {
+			t.Errorf("edge %d: doubling B must halve duration (%v vs %v)", ei, d1, d2)
+		}
+	}
+}
+
+func TestComputeErrors(t *testing.T) {
+	g := graph.PaperApp()
+	if _, err := Compute(g, ones(3), 1); err == nil {
+		t.Error("wrong lambda count must fail")
+	}
+	if _, err := Compute(g, ones(g.NumEdges()), 0); err == nil {
+		t.Error("zero bandwidth must fail")
+	}
+	l := ones(g.NumEdges())
+	l[2] = 0
+	if _, err := Compute(g, l, 1); err == nil {
+		t.Error("zero wavelengths on a loaded edge must fail")
+	}
+	l[2] = -1
+	if _, err := Compute(g, l, 1); err == nil {
+		t.Error("negative wavelengths must fail")
+	}
+}
+
+func TestZeroVolumeEdgeNeedsNoWavelength(t *testing.T) {
+	g := &graph.TaskGraph{
+		Tasks: []graph.Task{{Name: "a", ExecCycles: 10}, {Name: "b", ExecCycles: 10}},
+		Edges: []graph.Edge{{Name: "sync", Src: 0, Dst: 1, VolumeBits: 0}},
+	}
+	s, err := Compute(g, []int{0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Comm[0].Duration() != 0 {
+		t.Errorf("zero-volume window = %+v, want zero length", s.Comm[0])
+	}
+	if s.MakespanCycles != 20 {
+		t.Errorf("makespan = %v, want 20", s.MakespanCycles)
+	}
+}
+
+func TestMakespanMonotoneInWavelengths(t *testing.T) {
+	// Property: adding wavelengths to any edge never increases the
+	// makespan (time model is monotone).
+	g := graph.PaperApp()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		base := make([]int, g.NumEdges())
+		for i := range base {
+			base[i] = 1 + rng.Intn(8)
+		}
+		s0, err := Compute(g, base, 1)
+		if err != nil {
+			return false
+		}
+		grown := make([]int, len(base))
+		copy(grown, base)
+		grown[rng.Intn(len(grown))] += 1 + rng.Intn(4)
+		s1, err := Compute(g, grown, 1)
+		if err != nil {
+			return false
+		}
+		return s1.MakespanCycles <= s0.MakespanCycles+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScheduleValidateProperty(t *testing.T) {
+	// Every computed schedule passes its own consistency check, for
+	// random graphs and random allocations.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := graph.Layered(rng, 3, 3, 0.4, graph.DefaultGenConfig())
+		if err != nil {
+			return false
+		}
+		l := make([]int, g.NumEdges())
+		for i := range l {
+			l[i] = 1 + rng.Intn(6)
+		}
+		s, err := Compute(g, l, 1)
+		if err != nil {
+			return false
+		}
+		return s.Validate(g) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlack(t *testing.T) {
+	g := graph.PaperApp()
+	s, _ := Compute(g, ones(g.NumEdges()), 1)
+	slack := s.Slack(g)
+	// c1 feeds T2 directly and is the only input: zero slack.
+	if slack[1] != 0 {
+		t.Errorf("c1 slack = %v, want 0", slack[1])
+	}
+	// c0 (T0 -> T5, 6 kb) finishes at 11k while T5 starts at 31k.
+	if slack[0] != 20000 {
+		t.Errorf("c0 slack = %v, want 20000", slack[0])
+	}
+	for ei, sl := range slack {
+		if sl < 0 {
+			t.Errorf("edge %d negative slack %v", ei, sl)
+		}
+	}
+}
+
+func TestValidateCatchesCorruptedSchedules(t *testing.T) {
+	g := graph.PaperApp()
+	fresh := func() *Schedule {
+		s, err := Compute(g, ones(g.NumEdges()), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	cases := []struct {
+		name string
+		mut  func(*Schedule)
+	}{
+		{"wrong shape", func(s *Schedule) { s.Comm = s.Comm[:2] }},
+		{"task duration", func(s *Schedule) { s.TaskEnd[2] += 100 }},
+		{"comm start", func(s *Schedule) { s.Comm[1].Start += 50 }},
+		{"comm past consumer", func(s *Schedule) { s.Comm[1].End = s.TaskStart[2] + 1 }},
+		{"makespan", func(s *Schedule) { s.MakespanCycles += 1 }},
+	}
+	for _, c := range cases {
+		s := fresh()
+		c.mut(s)
+		if err := s.Validate(g); err == nil {
+			t.Errorf("%s: corrupted schedule passed validation", c.name)
+		}
+	}
+	if err := fresh().Validate(g); err != nil {
+		t.Fatalf("pristine schedule failed validation: %v", err)
+	}
+}

@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/alloc"
+)
+
+// Gantt renders the simulated timeline as a fixed-width text chart:
+// one row per task (execution on its core) and one per communication
+// (occupancy of its wavelengths), the format cmd/onocsim prints.
+func Gantt(in *alloc.Instance, res *Result, width int) string {
+	if width < 20 {
+		width = 20
+	}
+	span := res.MakespanCycles
+	if span == 0 {
+		span = 1
+	}
+	scale := func(t int64) int {
+		c := int(float64(t) / float64(span) * float64(width))
+		if c > width {
+			c = width
+		}
+		return c
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cycles 0..%d, one column = %.1f cycles\n", res.MakespanCycles,
+		float64(span)/float64(width))
+	for t := range in.App.Tasks {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for i := scale(res.TaskStart[t]); i < scale(res.TaskEnd[t]) && i < width; i++ {
+			row[i] = '#'
+		}
+		fmt.Fprintf(&sb, "%-6s|%s| core %2d [%d,%d)\n", in.App.Tasks[t].Name, row,
+			in.Map[t], res.TaskStart[t], res.TaskEnd[t])
+	}
+	for e := range in.App.Edges {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for i := scale(res.CommStart[e]); i < scale(res.CommEnd[e]) && i < width; i++ {
+			row[i] = '='
+		}
+		fmt.Fprintf(&sb, "%-6s|%s| %2d->%-2d  [%d,%d)\n", in.App.Edges[e].Name, row,
+			in.SrcCore(e), in.DstCore(e), res.CommStart[e], res.CommEnd[e])
+	}
+	return sb.String()
+}

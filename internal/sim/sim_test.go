@@ -1,0 +1,266 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/alloc"
+)
+
+func mustInstance(t *testing.T, nw int) *alloc.Instance {
+	t.Helper()
+	in, err := alloc.DefaultInstance(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func spreadOnes(t *testing.T, in *alloc.Instance) alloc.Genome {
+	t.Helper()
+	sets := make([][]int, in.Edges())
+	for e := range sets {
+		sets[e] = []int{e % in.Channels()}
+	}
+	g, err := alloc.FromSets(sets, in.Channels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSimMatchesAnalyticOnIntegerSchedule(t *testing.T) {
+	// All-ones allocation: every duration is integral, so the
+	// simulator must agree with the analytic model exactly.
+	in := mustInstance(t, 8)
+	g := spreadOnes(t, in)
+	res, err := Run(in, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MakespanCycles != 36000 {
+		t.Errorf("sim makespan = %d, want 36000", res.MakespanCycles)
+	}
+	ev := in.Evaluate(g)
+	if float64(res.MakespanCycles) != ev.MakespanCycles {
+		t.Errorf("sim %d vs analytic %v", res.MakespanCycles, ev.MakespanCycles)
+	}
+	if len(res.Violations) != 0 {
+		t.Errorf("violations on a valid genome: %v", res.Violations)
+	}
+}
+
+func TestSimBracketsAnalyticOnFractionalSchedule(t *testing.T) {
+	// Counts like [1,4,2,3,2,3] yield fractional analytic durations;
+	// the integer simulator may only round up, by less than one cycle
+	// per communication in the chain.
+	in := mustInstance(t, 12)
+	g, err := alloc.Assign(in, []int{1, 4, 2, 3, 2, 3}, alloc.LeastUsed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := in.Evaluate(g)
+	res, err := Run(in, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simT := float64(res.MakespanCycles)
+	if simT < ev.MakespanCycles-1e-9 {
+		t.Errorf("simulated %v beats analytic %v: impossible", simT, ev.MakespanCycles)
+	}
+	if simT > ev.MakespanCycles+float64(in.Edges()) {
+		t.Errorf("simulated %v exceeds analytic %v by more than ceiling slack", simT, ev.MakespanCycles)
+	}
+}
+
+func TestSimRandomValidAllocationsAgree(t *testing.T) {
+	// Property over random feasible allocations: the simulator
+	// brackets the analytic makespan and reports no violations.
+	in := mustInstance(t, 8)
+	rng := rand.New(rand.NewSource(5))
+	trials := 0
+	for trials < 25 {
+		counts := make([]int, in.Edges())
+		for i := range counts {
+			counts[i] = 1 + rng.Intn(3)
+		}
+		g, err := alloc.Assign(in, counts, alloc.RandomFit, rng)
+		if err != nil {
+			continue // infeasible counts: skip
+		}
+		trials++
+		ev := in.Evaluate(g)
+		if !ev.Valid {
+			t.Fatalf("heuristic allocation invalid: %s", ev.Reason)
+		}
+		res, err := Run(in, g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Violations) != 0 {
+			t.Fatalf("violations for valid genome %v: %v", counts, res.Violations)
+		}
+		simT := float64(res.MakespanCycles)
+		if simT < ev.MakespanCycles-1e-9 || simT > ev.MakespanCycles+float64(in.Edges()) {
+			t.Fatalf("sim %v vs analytic %v out of bracket", simT, ev.MakespanCycles)
+		}
+	}
+}
+
+func TestSimRejectsInvalidGenome(t *testing.T) {
+	in := mustInstance(t, 8)
+	if _, err := Run(in, in.NewZeroGenome(), Options{}); err == nil {
+		t.Error("invalid genome must be rejected in checked mode")
+	}
+}
+
+func TestSimUncheckedDetectsConflict(t *testing.T) {
+	// c2 and c4 overlap in time and share segments; putting both on
+	// channel 2 must produce a detected double-booking in unchecked
+	// mode.
+	in := mustInstance(t, 8)
+	sets := [][]int{{0}, {1}, {2}, {3}, {2}, {5}}
+	g, err := alloc.FromSets(sets, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(in, g, Options{Unchecked: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) == 0 {
+		t.Fatal("conflicting genome must trip the occupancy checker")
+	}
+	if !strings.Contains(res.Violations[0], "channel 2") {
+		t.Errorf("violation = %q", res.Violations[0])
+	}
+}
+
+func TestSimHopLatencyMonotone(t *testing.T) {
+	in := mustInstance(t, 8)
+	g := spreadOnes(t, in)
+	base, err := Run(in, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Run(in, g, Options{LatencyPerHopCycles: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.MakespanCycles <= base.MakespanCycles {
+		t.Errorf("hop latency must slow the run: %d vs %d", slow.MakespanCycles, base.MakespanCycles)
+	}
+	if _, err := Run(in, g, Options{LatencyPerHopCycles: -1}); err == nil {
+		t.Error("negative latency must be rejected")
+	}
+}
+
+func TestSimEnergyTracksAnalytic(t *testing.T) {
+	in := mustInstance(t, 8)
+	g := spreadOnes(t, in)
+	ev := in.Evaluate(g)
+	res, err := Run(in, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var analyticFJ float64
+	for _, e := range ev.CommEnergyFJ {
+		analyticFJ += e
+	}
+	if math.Abs(res.LaserFJ-analyticFJ) > 1e-6*analyticFJ {
+		t.Errorf("sim energy %v vs analytic %v (integer windows are exact here)", res.LaserFJ, analyticFJ)
+	}
+}
+
+func TestSimOccupancyTraces(t *testing.T) {
+	in := mustInstance(t, 8)
+	g := spreadOnes(t, in)
+	res, err := Run(in, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// c1 (edge 1) runs on channel 1 over path 1->5 (segments 1..4)
+	// during [5000,13000).
+	for _, seg := range in.Path(1).Segments() {
+		ivs := res.SegmentChannel[[2]int{seg, 1}]
+		if len(ivs) != 1 {
+			t.Fatalf("segment %d channel 1 intervals = %v", seg, ivs)
+		}
+		if ivs[0].Start != 5000 || ivs[0].End != 13000 || ivs[0].Comm != 1 {
+			t.Errorf("segment %d interval = %+v", seg, ivs[0])
+		}
+	}
+	// Busy accounting: c1 holds 4 segments for 8000 cycles each.
+	if got := res.ChannelBusyCycles(1); got != 4*8000 {
+		t.Errorf("channel 1 busy = %d, want 32000", got)
+	}
+	if got := res.SegmentBusyCycles(1); got <= 0 {
+		t.Errorf("segment 1 busy = %d, want positive", got)
+	}
+}
+
+func TestSimZeroVolumeEdge(t *testing.T) {
+	in := mustInstance(t, 8)
+	app := in.App.Clone()
+	app.Edges[0].VolumeBits = 0
+	in2, err := alloc.NewInstance(in.Ring, app, in.Map, 1, in.Energy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := [][]int{{}, {1}, {2}, {3}, {4}, {5}}
+	g, err := alloc.FromSets(sets, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(in2, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CommEnd[0] != res.CommStart[0] {
+		t.Error("zero-volume transfer must be instantaneous")
+	}
+	if len(res.Violations) != 0 {
+		t.Errorf("violations: %v", res.Violations)
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	in := mustInstance(t, 8)
+	g := spreadOnes(t, in)
+	res, err := Run(in, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chart := Gantt(in, res, 60)
+	for _, name := range []string{"T0", "T5", "c0", "c5"} {
+		if !strings.Contains(chart, name) {
+			t.Errorf("gantt missing row %s:\n%s", name, chart)
+		}
+	}
+	if !strings.Contains(chart, "#") || !strings.Contains(chart, "=") {
+		t.Error("gantt must draw execution and transfer bars")
+	}
+	// Tiny width is clamped, not panicking.
+	_ = Gantt(in, res, 1)
+}
+
+func TestCeil64(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want int64
+	}{
+		{8000, 8000},
+		{2666.6666666, 2667},
+		{0.1, 1},
+		{0, 0},
+		// Guard against float noise pushing integers up.
+		{3999.9999999999995, 4000},
+	}
+	for _, c := range cases {
+		if got := ceil64(c.in); got != c.want {
+			t.Errorf("ceil64(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Package stats provides the small descriptive-statistics kit the
+// multi-seed experiment runner reports with: mean, sample standard
+// deviation, median, extrema. The GA is stochastic, so a production
+// harness quotes distributions over seeds, not single runs.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes one sample of observations.
+type Summary struct {
+	N                int
+	Mean, StdDev     float64
+	Min, Median, Max float64
+}
+
+// Mean returns the arithmetic mean; NaN for an empty sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample (n-1) standard deviation; 0 for samples
+// of size < 2.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// Min returns the smallest observation; NaN for an empty sample.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest observation; NaN for an empty sample.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Median returns the sample median (mean of the central pair for even
+// sizes); NaN for an empty sample.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}
+
+// Describe computes the full summary.
+func Describe(xs []float64) Summary {
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		Min:    Min(xs),
+		Median: Median(xs),
+		Max:    Max(xs),
+	}
+}
+
+// String renders "mean +/- std [min, max] (n)".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.3g +/- %.2g [%.3g, %.3g] (n=%d)", s.Mean, s.StdDev, s.Min, s.Max, s.N)
+}

@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanKnown(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("mean = %v, want 2.5", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("mean of empty must be NaN")
+	}
+}
+
+func TestStdDevKnown(t *testing.T) {
+	// Sample std of {2,4,4,4,5,5,7,9} is ~2.138 (n-1 form).
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2.13809) > 1e-4 {
+		t.Errorf("std = %v, want ~2.138", got)
+	}
+	if StdDev([]float64{5}) != 0 {
+		t.Error("singleton std must be 0")
+	}
+	if StdDev(nil) != 0 {
+		t.Error("empty std must be 0")
+	}
+}
+
+func TestMinMaxMedian(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if Min(xs) != 1 || Max(xs) != 5 {
+		t.Errorf("min/max = %v/%v", Min(xs), Max(xs))
+	}
+	if Median(xs) != 3 {
+		t.Errorf("odd median = %v, want 3", Median(xs))
+	}
+	if got := Median([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("even median = %v, want 2.5", got)
+	}
+	if !math.IsNaN(Median(nil)) || !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Error("empty-sample extrema must be NaN")
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	_ = Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("median must not sort the caller's slice")
+	}
+}
+
+func TestDescribeAndString(t *testing.T) {
+	s := Describe([]float64{1, 2, 3})
+	if s.N != 3 || s.Mean != 2 || s.Median != 2 || s.Min != 1 || s.Max != 3 {
+		t.Errorf("describe = %+v", s)
+	}
+	out := s.String()
+	if !strings.Contains(out, "n=3") {
+		t.Errorf("summary string %q", out)
+	}
+}
+
+func TestStatsProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		s := Describe(xs)
+		// Ordering invariants.
+		if !(s.Min <= s.Median && s.Median <= s.Max) {
+			return false
+		}
+		if s.Mean < s.Min || s.Mean > s.Max {
+			return false
+		}
+		return s.StdDev >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShiftInvariance(t *testing.T) {
+	// StdDev is shift-invariant; Mean shifts linearly.
+	xs := []float64{1, 5, 9, 2}
+	shifted := make([]float64, len(xs))
+	for i, x := range xs {
+		shifted[i] = x + 100
+	}
+	if math.Abs(StdDev(xs)-StdDev(shifted)) > 1e-12 {
+		t.Error("std must be shift invariant")
+	}
+	if math.Abs(Mean(shifted)-Mean(xs)-100) > 1e-12 {
+		t.Error("mean must shift linearly")
+	}
+}
