@@ -361,8 +361,8 @@ func BenchmarkHeuristicsVsGA(b *testing.B) {
 // ---- micro-benchmarks of the hot kernels ----
 
 // BenchmarkEvaluateValid measures the full chromosome evaluation
-// (schedule + optics + energy) on a feasible genome: the GA's inner
-// loop.
+// (schedule + optics + energy) on a feasible genome through the
+// compatibility wrapper: lock, kernel, detach-copies.
 func BenchmarkEvaluateValid(b *testing.B) {
 	in, err := alloc.DefaultInstance(8)
 	if err != nil {
@@ -372,11 +372,39 @@ func BenchmarkEvaluateValid(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ev := in.Evaluate(g)
 		if !ev.Valid {
 			b.Fatal(ev.Reason)
+		}
+	}
+}
+
+// BenchmarkEvaluateKernel measures the same evaluation through a
+// dedicated Evaluator — the GA workers' zero-allocation inner loop.
+// Compare allocs/op against BenchmarkEvaluateValid.
+func BenchmarkEvaluateKernel(b *testing.B) {
+	in, err := alloc.DefaultInstance(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev, err := alloc.NewEvaluator(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := alloc.Assign(in, []int{1, 4, 2, 3, 2, 3}, alloc.LeastUsed, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var out alloc.Eval
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.EvaluateInto(&out, g)
+		if !out.Valid {
+			b.Fatal(out.Reason)
 		}
 	}
 }
@@ -388,10 +416,33 @@ func BenchmarkEvaluateInvalid(b *testing.B) {
 		b.Fatal(err)
 	}
 	g := in.NewZeroGenome()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if ev := in.Evaluate(g); ev.Valid {
 			b.Fatal("zero genome cannot be valid")
+		}
+	}
+}
+
+// BenchmarkEvaluateQuickGA measures a full quick-configuration GA
+// exploration per iteration, with allocation reporting, so the
+// end-to-end allocation trajectory of the evaluation stack is tracked
+// in the BENCH_*.json history alongside the single-eval kernels.
+func BenchmarkEvaluateQuickGA(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p, err := core.New(core.Config{NW: 8,
+			GA: nsga2.Config{PopSize: 80, Generations: 60, Seed: 42}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := p.Optimize()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Valid) == 0 {
+			b.Fatal("no valid solutions")
 		}
 	}
 }

@@ -9,17 +9,33 @@
 //
 //	wadate [flags]
 //
-//	-exp string    experiment: all, summary, table1, table2, fig6a,
-//	               fig6b, fig7, app, convergence, robustness,
-//	               sensitivity (default "all")
-//	-nw string     comma-separated comb sizes (default "4,8,12")
-//	-pop int       GA population size (default 400, the paper's)
-//	-gens int      GA generations (default 300, the paper's)
-//	-seed int      PRNG seed (default 42)
-//	-seeds int     seed count for -exp robustness (default 5)
-//	-workers int   parallel evaluation goroutines (results identical)
-//	-quick         use the reduced smoke-test configuration
-//	-csv string    write all fronts (and the NW=8 cloud) to this file
+//	-exp string       experiment: all, summary, table1, table2, fig6a,
+//	                  fig6b, fig7, app, convergence, robustness,
+//	                  sensitivity (default "all")
+//	-nw string        comma-separated comb sizes (default "4,8,12")
+//	-pop int          GA population size (default 400, the paper's)
+//	-gens int         GA generations (default 300, the paper's)
+//	-seed int         PRNG seed (default 42)
+//	-seeds int        seed count for -exp robustness (default 5)
+//	-workers int      parallel evaluation goroutines (results identical)
+//	-quick            use the reduced smoke-test configuration
+//	-csv string       write all fronts (and the NW=8 cloud) to this file
+//
+// Campaign mode fans a whole sweep of independent cells — the cross
+// product of comb sizes, objective sets, workloads and replicate
+// seeds — across a bounded pool of cell workers. Results and
+// artifacts are bit-for-bit independent of the worker counts:
+//
+//	-campaign         run a campaign instead of a single suite
+//	-cellworkers int  cells explored concurrently (default 1)
+//	-reps int         replicate seeds per cell (default 1)
+//	-objsets string   comma-separated objective sets: teb, te, tb
+//	                  (default "teb")
+//	-workloads string comma-separated workloads: paper, chain<N>,
+//	                  forkjoin<W>, fft<N>, gauss<N>, diamond<N>
+//	                  (default "paper")
+//	-json string      write the campaign JSON artifact to this file
+//	-csv string       write the campaign CSV table to this file
 package main
 
 import (
@@ -28,7 +44,9 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/expt"
 	"repro/internal/graph"
 )
@@ -41,18 +59,172 @@ func main() {
 		gens    = flag.Int("gens", 300, "GA generations")
 		seed    = flag.Int64("seed", 42, "PRNG seed")
 		quick   = flag.Bool("quick", false, "reduced smoke-test configuration")
-		csv     = flag.String("csv", "", "write solution CSV to this file")
+		csv     = flag.String("csv", "", "write solution CSV to this file (with -campaign: the flat campaign table)")
 		seeds   = flag.Int("seeds", 5, "seed count for -exp robustness")
 		workers = flag.Int("workers", 0, "parallel evaluation goroutines (0 = serial; results identical)")
+
+		campaign    = flag.Bool("campaign", false, "run a campaign: the cross product of -nw, -objsets, -workloads and -reps")
+		cellworkers = flag.Int("cellworkers", 1, "campaign cells explored concurrently (results identical)")
+		reps        = flag.Int("reps", 1, "campaign replicate seeds per cell")
+		objsets     = flag.String("objsets", "teb", "comma-separated campaign objective sets: teb, te, tb")
+		workloads   = flag.String("workloads", "paper", "comma-separated campaign workloads: paper, chain<N>, forkjoin<W>, fft<N>, gauss<N>, diamond<N>")
+		jsonPath    = flag.String("json", "", "write the campaign JSON artifact to this file")
 	)
 	flag.Parse()
-	if err := run(*exp, *nws, *pop, *gens, *seed, *quick, *csv, *seeds, *workers); err != nil {
+	explicitly := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicitly[f.Name] = true })
+
+	// -quick supplies defaults only: explicitly passed -pop, -gens
+	// and -seed win over it in both modes.
+	if *quick {
+		q := expt.QuickConfig()
+		if !explicitly["pop"] {
+			*pop = q.Pop
+		}
+		if !explicitly["gens"] {
+			*gens = q.Generations
+		}
+		if !explicitly["seed"] {
+			*seed = q.Seed
+		}
+	}
+
+	// Reject mode-mismatched flags rather than silently ignoring
+	// them: a paper-scale run is too expensive to discover afterwards
+	// that a flag never applied.
+	var err error
+	conflicting := []string{"exp", "seeds"}
+	if !*campaign {
+		conflicting = []string{"json", "cellworkers", "reps", "objsets", "workloads"}
+	}
+	for _, name := range conflicting {
+		if explicitly[name] {
+			mode := "outside"
+			if *campaign {
+				mode = "in"
+			}
+			err = fmt.Errorf("-%s does not apply %s -campaign mode", name, mode)
+			break
+		}
+	}
+	if err == nil {
+		if *campaign {
+			err = runCampaign(*nws, *pop, *gens, *seed, *cellworkers, *workers, *reps, *objsets, *workloads, *jsonPath, *csv)
+		} else {
+			err = run(*exp, *nws, *pop, *gens, *seed, *csv, *seeds, *workers)
+		}
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "wadate: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp, nws string, pop, gens int, seed int64, quick bool, csvPath string, seeds, workers int) error {
+// runCampaign drives the multi-cell sweep: deterministic cells,
+// bounded fan-out, progress on stderr, artifacts on demand.
+func runCampaign(nws string, pop, gens int, seed int64, cellWorkers, evalWorkers, reps int, objsets, workloads, jsonPath, csvPath string) error {
+	cfg := expt.CampaignConfig{
+		Pop:         pop,
+		Generations: gens,
+		Seed:        seed,
+		Replicates:  reps,
+		CellWorkers: cellWorkers,
+		EvalWorkers: evalWorkers,
+	}
+	var err error
+	cfg.NWs, err = parseNWs(nws)
+	if err != nil {
+		return err
+	}
+	cfg.ObjectiveSets, err = parseObjectiveSets(objsets)
+	if err != nil {
+		return err
+	}
+	for _, spec := range splitList(workloads) {
+		wl, err := expt.NamedWorkload(spec)
+		if err != nil {
+			return err
+		}
+		cfg.Workloads = append(cfg.Workloads, wl)
+	}
+	if len(cfg.Workloads) == 0 {
+		return fmt.Errorf("no workloads in %q", workloads)
+	}
+	cfg.Progress = func(ev expt.CellEvent) {
+		if ev.Done {
+			status := "ok"
+			if ev.Err != nil {
+				status = "FAILED: " + ev.Err.Error()
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s: %s (%s)\n",
+				ev.Completed, ev.Total, ev.Cell, status, ev.Elapsed.Round(time.Millisecond))
+		} else {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s: start\n", ev.Completed, ev.Total, ev.Cell)
+		}
+	}
+	camp, err := expt.RunCampaign(cfg)
+	if camp == nil {
+		return err
+	}
+	fmt.Print(expt.CampaignSummary(camp))
+	if jsonPath != "" {
+		if werr := writeArtifact(jsonPath, func(f *os.File) error { return expt.WriteCampaignJSON(f, camp) }); werr != nil {
+			return werr
+		}
+		fmt.Printf("\nJSON artifact written to %s\n", jsonPath)
+	}
+	if csvPath != "" {
+		if werr := writeArtifact(csvPath, func(f *os.File) error { return expt.WriteCampaignCSV(f, camp) }); werr != nil {
+			return werr
+		}
+		fmt.Printf("CSV table written to %s\n", csvPath)
+	}
+	return err
+}
+
+func writeArtifact(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func parseObjectiveSets(s string) ([]core.ObjectiveSet, error) {
+	var out []core.ObjectiveSet
+	for _, part := range splitList(s) {
+		switch part {
+		case "teb":
+			out = append(out, core.TimeEnergyBER)
+		case "te":
+			out = append(out, core.TimeEnergy)
+		case "tb":
+			out = append(out, core.TimeBER)
+		default:
+			return nil, fmt.Errorf("unknown objective set %q (want teb, te or tb)", part)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no objective sets in %q", s)
+	}
+	return out, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func run(exp, nws string, pop, gens int, seed int64, csvPath string, seeds, workers int) error {
 	switch exp {
 	case "table1":
 		fmt.Print(expt.Table1())
@@ -71,9 +243,6 @@ func run(exp, nws string, pop, gens int, seed int64, quick bool, csvPath string,
 	}
 
 	cfg := expt.Config{Pop: pop, Generations: gens, Seed: seed, Workers: workers}
-	if quick {
-		cfg = expt.QuickConfig()
-	}
 	var err error
 	cfg.NWs, err = parseNWs(nws)
 	if err != nil {
@@ -129,12 +298,7 @@ func run(exp, nws string, pop, gens int, seed int64, quick bool, csvPath string,
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
 	if csvPath != "" {
-		f, err := os.Create(csvPath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := expt.WriteSuiteCSV(f, suite); err != nil {
+		if err := writeArtifact(csvPath, func(f *os.File) error { return expt.WriteSuiteCSV(f, suite) }); err != nil {
 			return err
 		}
 		fmt.Printf("\nCSV written to %s\n", csvPath)

@@ -12,8 +12,9 @@
 // mapping-exploration extension (mapping), and the experiment harness
 // regenerating every table and figure (expt).
 //
-// Entry points: cmd/wadate (experiments), cmd/onocsim (simulator),
-// cmd/wagen (workload generator), the runnable walkthroughs under
-// examples/, and the per-figure benchmarks in bench_test.go. See
-// README.md, DESIGN.md and EXPERIMENTS.md.
+// Entry points: cmd/wadate (experiments and campaign sweeps),
+// cmd/onocsim (simulator), cmd/wagen (workload generator), the
+// runnable walkthroughs under examples/, and the per-figure
+// benchmarks in bench_test.go. See README.md, DESIGN.md and
+// EXPERIMENTS.md.
 package repro

@@ -61,164 +61,27 @@ func invalid(reason string, violation float64) Eval {
 		MakespanCycles: inf, BitEnergyFJ: inf, MeanBER: inf, WorstBER: inf}
 }
 
-// Evaluate computes the objective vector of one chromosome:
-//
-//  1. decode and check the validity rules (every loaded communication
-//     needs at least one wavelength; communications whose ring paths
-//     share a segment and whose activity windows overlap must use
-//     disjoint wavelength sets),
-//  2. run the analytic time model,
-//  3. assemble the per-window receiver-bank states and walk the
-//     optics for the signal and every first-order crosstalk
-//     contributor (Eqs. 2-7),
-//  4. aggregate SNR -> BER (Eqs. 8-9) and the loss-compensating laser
-//     energy.
+// Evaluate computes the objective vector of one chromosome. It is a
+// compatibility wrapper over Evaluator.EvaluateInto: evaluators are
+// drawn from a pool (so concurrent callers evaluate in parallel, as
+// before the kernel refactor) and the result is detached, so the
+// returned Eval owns its slices. Hot loops (the GA workers) should
+// hold their own Evaluator instead and skip both the pool round-trip
+// and the copies.
 func (in *Instance) Evaluate(g Genome) Eval {
-	if g.Edges() != in.Edges() || g.Channels() != in.Channels() {
-		return invalid(fmt.Sprintf("genome shape %dx%d does not match instance %dx%d",
-			g.Edges(), g.Channels(), in.Edges(), in.Channels()), 1)
-	}
-	counts := g.Counts()
-	sets := make([][]int, in.Edges())
-	var violation float64
-	var reason string
-	note := func(v float64, format string, args ...interface{}) {
-		violation += v
-		if reason == "" {
-			reason = fmt.Sprintf(format, args...)
+	ev, _ := in.evalPool.Get().(*Evaluator)
+	if ev == nil {
+		var err error
+		ev, err = NewEvaluator(in)
+		if err != nil {
+			return invalid(err.Error(), 1)
 		}
 	}
-	// Effective counts let the scheduler produce windows even for a
-	// broken chromosome, so the conflict grading below stays
-	// meaningful while the genome is repaired by evolution.
-	eff := make([]int, in.Edges())
-	for e := range sets {
-		sets[e] = g.ChannelSet(e)
-		eff[e] = counts[e]
-		if counts[e] == 0 && in.App.Edges[e].VolumeBits > 0 {
-			note(1, "communication %s reserves no wavelength", in.App.Edges[e].Name)
-			eff[e] = 1
-		}
-	}
-
-	s, err := sched.Compute(in.App, eff, in.BitsPerCycle)
-	if err != nil {
-		return invalid(err.Error(), violation+1)
-	}
-
-	// Validity: time-overlapping communications sharing waveguide
-	// segments must not share wavelengths (the paper's "same
-	// wavelength assigned to the same link"). Every shared channel
-	// adds to the violation grade.
-	for i := 0; i < in.Edges(); i++ {
-		for j := i + 1; j < in.Edges(); j++ {
-			if !s.Comm[i].Overlaps(s.Comm[j]) || !in.paths[i].Overlaps(in.paths[j]) {
-				continue
-			}
-			if shared := countShared(sets[i], sets[j]); shared > 0 {
-				note(float64(shared), "communications %s and %s share wavelength %d on a common link while both active",
-					in.App.Edges[i].Name, in.App.Edges[j].Name, intersects(sets[i], sets[j]))
-			}
-		}
-	}
-	if violation > 0 {
-		return invalid(reason, violation)
-	}
-
-	par := in.Ring.Config().Params
-	pv := par.LaserOnDBm
-	p0 := par.LaserOffDBm.MilliWatt()
-
-	ev := Eval{
-		Valid:        true,
-		Counts:       counts,
-		CommBER:      make([]float64, in.Edges()),
-		CommEnergyFJ: make([]float64, in.Edges()),
-		Schedule:     s,
-	}
-	ev.MakespanCycles = s.MakespanCycles
-
-	var berSum float64
-	var berN int
-	var totalFJ, totalBits float64
-	for e := 0; e < in.Edges(); e++ {
-		if in.App.Edges[e].VolumeBits <= 0 || counts[e] == 0 {
-			continue
-		}
-		bank := in.bankFor(e, s, sets)
-		dst := in.dstCore[e]
-		powers := make([]phys.MilliWatt, 0, counts[e])
-		var commBERSum float64
-		for _, ch := range sets[e] {
-			sigLoss := in.Ring.SignalArrivalDB(in.paths[e], ch, bank)
-			psig := pv.Add(sigLoss).MilliWatt()
-
-			var noise phys.MilliWatt
-			// Intra-communication crosstalk: the same transfer's
-			// other wavelengths leak into this detector.
-			for _, other := range sets[e] {
-				if other == ch || !in.Xtalk.intra() {
-					continue
-				}
-				arr, err := in.Ring.ArrivalAlongDB(in.paths[e], dst, other, ch, bank)
-				if err == nil {
-					noise += pv.Add(arr).MilliWatt()
-				}
-			}
-			// Inter-communication crosstalk: wavelengths of other
-			// transfers whose light crosses this receiver while this
-			// transfer is active, walked along the interferer's own
-			// route.
-			for o := 0; in.Xtalk.inter() && o < in.Edges(); o++ {
-				if o == e || counts[o] == 0 || in.App.Edges[o].VolumeBits <= 0 {
-					continue
-				}
-				// Counter-propagating transfers live on the twin
-				// waveguide and pass a different receiver bank: no
-				// coupling.
-				if in.paths[o].Dir != in.paths[e].Dir {
-					continue
-				}
-				if !s.Comm[e].Overlaps(s.Comm[o]) || !in.paths[o].Through(dst) {
-					continue
-				}
-				for _, other := range sets[o] {
-					if other == ch {
-						// Impossible in valid genomes (the shared
-						// incoming segment would have tripped the
-						// validity rule); skip defensively.
-						continue
-					}
-					arr, err := in.Ring.ArrivalAlongDB(in.paths[o], dst, other, ch, bank)
-					if err == nil {
-						noise += pv.Add(arr).MilliWatt()
-					}
-				}
-			}
-			ber := phys.BEROOK(phys.SNR(psig, noise, p0))
-			commBERSum += ber
-			berSum += ber
-			berN++
-			if ber > ev.WorstBER {
-				ev.WorstBER = ber
-			}
-			// Laser sizing: fixed receive-power target by default,
-			// or the BER-target mode where crosstalk directly drives
-			// the emitted power (the paper's introduction).
-			powers = append(powers, in.Energy.WavelengthLaserMW(sigLoss, noise, p0))
-		}
-		ev.CommBER[e] = commBERSum / float64(len(sets[e]))
-		ev.CommEnergyFJ[e] = in.Energy.EnergyFJ(powers, s.Comm[e].Duration())
-		totalFJ += ev.CommEnergyFJ[e]
-		totalBits += in.App.Edges[e].VolumeBits
-	}
-	if berN > 0 {
-		ev.MeanBER = berSum / float64(berN)
-	}
-	if totalBits > 0 {
-		ev.BitEnergyFJ = totalFJ / totalBits
-	}
-	return ev
+	var out Eval
+	ev.EvaluateInto(&out, g)
+	out.Detach()
+	in.evalPool.Put(ev)
+	return out
 }
 
 // bankFor builds the receiver-bank state seen by communication e's

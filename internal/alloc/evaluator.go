@@ -1,0 +1,293 @@
+package alloc
+
+import (
+	"fmt"
+
+	"repro/internal/phys"
+	"repro/internal/ring"
+	"repro/internal/sched"
+)
+
+// Evaluator is the reusable, allocation-free form of the chromosome
+// evaluation kernel. It owns every piece of scratch the evaluation
+// needs — the decoded channel sets, the effective-count vector, the
+// schedule windows, the receiver-bank state and the per-communication
+// metric vectors — so a steady-state GA loop calling EvaluateInto
+// performs no heap allocations for valid genomes.
+//
+// An Evaluator is NOT safe for concurrent use: give each worker
+// goroutine its own (they are cheap — a few KiB of slices). The
+// shared *Instance is read-only during evaluation, so any number of
+// evaluators may wrap the same instance.
+type Evaluator struct {
+	in      *Instance
+	planner *sched.Planner
+
+	sched   sched.Schedule
+	counts  []int
+	eff     []int
+	sets    [][]int
+	setsBuf []int
+	bank    *ring.Bank
+	powers  []phys.MilliWatt
+	commBER []float64
+	commFJ  []float64
+}
+
+// NewEvaluator builds an evaluator with scratch sized for the
+// instance. The only possible error is a task graph that lost its
+// acyclicity since NewInstance validated it.
+func NewEvaluator(in *Instance) (*Evaluator, error) {
+	if in == nil {
+		return nil, fmt.Errorf("alloc: nil instance")
+	}
+	planner, err := sched.NewPlanner(in.App)
+	if err != nil {
+		return nil, err
+	}
+	nl, nw := in.Edges(), in.Channels()
+	return &Evaluator{
+		in:      in,
+		planner: planner,
+		counts:  make([]int, nl),
+		eff:     make([]int, nl),
+		sets:    make([][]int, nl),
+		setsBuf: make([]int, 0, nl*nw),
+		bank:    ring.NewBank(in.Ring.Size(), nw),
+		powers:  make([]phys.MilliWatt, 0, nw),
+		commBER: make([]float64, nl),
+		commFJ:  make([]float64, nl),
+	}, nil
+}
+
+// Instance returns the bound problem instance.
+func (e *Evaluator) Instance() *Instance { return e.in }
+
+// Evaluate is the convenience form of EvaluateInto: the returned
+// Eval is detached, so it owns its slices and survives later calls
+// on this evaluator. Hot loops should use EvaluateInto and accept
+// the scratch-aliasing contract instead.
+func (e *Evaluator) Evaluate(g Genome) Eval {
+	var out Eval
+	e.EvaluateInto(&out, g)
+	out.Detach()
+	return out
+}
+
+// EvaluateInto computes the objective vector of one chromosome into
+// out, reusing the evaluator's scratch. The slices and the Schedule
+// reachable from out (Counts, CommBER, CommEnergyFJ, Schedule) alias
+// that scratch: they are valid only until the next EvaluateInto call
+// on this evaluator. Callers that retain them must copy (see
+// Instance.Evaluate and Eval.Detach).
+//
+// The model is identical to Instance.Evaluate:
+//
+//  1. decode and check the validity rules (every loaded communication
+//     needs at least one wavelength; communications whose ring paths
+//     share a segment and whose activity windows overlap must use
+//     disjoint wavelength sets),
+//  2. run the analytic time model,
+//  3. assemble the per-window receiver-bank states and walk the
+//     optics for the signal and every first-order crosstalk
+//     contributor (Eqs. 2-7),
+//  4. aggregate SNR -> BER (Eqs. 8-9) and the loss-compensating laser
+//     energy.
+func (e *Evaluator) EvaluateInto(out *Eval, g Genome) {
+	in := e.in
+	if g.Edges() != in.Edges() || g.Channels() != in.Channels() {
+		*out = invalid(fmt.Sprintf("genome shape %dx%d does not match instance %dx%d",
+			g.Edges(), g.Channels(), in.Edges(), in.Channels()), 1)
+		return
+	}
+	nl, nw := in.Edges(), in.Channels()
+
+	// Decode the chromosome into per-edge channel sets backed by one
+	// flat buffer, grading missing reservations as we go. Effective
+	// counts let the scheduler produce windows even for a broken
+	// chromosome, so the conflict grading below stays meaningful while
+	// the genome is repaired by evolution.
+	var violation float64
+	var reason string
+	e.setsBuf = e.setsBuf[:0]
+	off := 0
+	for ei := 0; ei < nl; ei++ {
+		n := 0
+		for ch := 0; ch < nw; ch++ {
+			if g.Get(ei, ch) {
+				e.setsBuf = append(e.setsBuf, ch)
+				n++
+			}
+		}
+		e.sets[ei] = e.setsBuf[off : off+n : off+n]
+		off += n
+		e.counts[ei] = n
+		e.eff[ei] = n
+		e.commBER[ei] = 0
+		e.commFJ[ei] = 0
+		if n == 0 && in.App.Edges[ei].VolumeBits > 0 {
+			violation++
+			if reason == "" {
+				reason = fmt.Sprintf("communication %s reserves no wavelength", in.App.Edges[ei].Name)
+			}
+			e.eff[ei] = 1
+		}
+	}
+
+	if err := e.planner.ComputeInto(&e.sched, e.eff, in.BitsPerCycle); err != nil {
+		*out = invalid(err.Error(), violation+1)
+		return
+	}
+	s := &e.sched
+
+	// Validity: time-overlapping communications sharing waveguide
+	// segments must not share wavelengths (the paper's "same
+	// wavelength assigned to the same link"). Every shared channel
+	// adds to the violation grade.
+	for i := 0; i < nl; i++ {
+		for j := i + 1; j < nl; j++ {
+			if !s.Comm[i].Overlaps(s.Comm[j]) || !in.PathsOverlap(i, j) {
+				continue
+			}
+			if shared := countShared(e.sets[i], e.sets[j]); shared > 0 {
+				violation += float64(shared)
+				if reason == "" {
+					reason = fmt.Sprintf("communications %s and %s share wavelength %d on a common link while both active",
+						in.App.Edges[i].Name, in.App.Edges[j].Name, intersects(e.sets[i], e.sets[j]))
+				}
+			}
+		}
+	}
+	if violation > 0 {
+		*out = invalid(reason, violation)
+		return
+	}
+
+	par := in.Ring.Config().Params
+	pv := par.LaserOnDBm
+	p0 := par.LaserOffDBm.MilliWatt()
+
+	*out = Eval{
+		Valid:          true,
+		Counts:         e.counts,
+		CommBER:        e.commBER,
+		CommEnergyFJ:   e.commFJ,
+		Schedule:       s,
+		MakespanCycles: s.MakespanCycles,
+	}
+
+	var berSum float64
+	var berN int
+	var totalFJ, totalBits float64
+	for ei := 0; ei < nl; ei++ {
+		if in.App.Edges[ei].VolumeBits <= 0 || e.counts[ei] == 0 {
+			continue
+		}
+		e.fillBank(ei, s)
+		dst := in.dstCore[ei]
+		powers := e.powers[:0]
+		var commBERSum float64
+		for _, ch := range e.sets[ei] {
+			sigLoss := in.Ring.SignalArrivalDB(in.paths[ei], ch, e.bank)
+			psig := pv.Add(sigLoss).MilliWatt()
+
+			var noise phys.MilliWatt
+			// Intra-communication crosstalk: the same transfer's
+			// other wavelengths leak into this detector.
+			for _, other := range e.sets[ei] {
+				if other == ch || !in.Xtalk.intra() {
+					continue
+				}
+				arr, err := in.Ring.ArrivalAlongDB(in.paths[ei], dst, other, ch, e.bank)
+				if err == nil {
+					noise += pv.Add(arr).MilliWatt()
+				}
+			}
+			// Inter-communication crosstalk: wavelengths of other
+			// transfers whose light crosses this receiver while this
+			// transfer is active, walked along the interferer's own
+			// route.
+			for o := 0; in.Xtalk.inter() && o < nl; o++ {
+				if o == ei || e.counts[o] == 0 || in.App.Edges[o].VolumeBits <= 0 {
+					continue
+				}
+				// Counter-propagating transfers live on the twin
+				// waveguide and pass a different receiver bank: no
+				// coupling.
+				if in.paths[o].Dir != in.paths[ei].Dir {
+					continue
+				}
+				if !s.Comm[ei].Overlaps(s.Comm[o]) || !in.paths[o].Through(dst) {
+					continue
+				}
+				for _, other := range e.sets[o] {
+					if other == ch {
+						// Impossible in valid genomes (the shared
+						// incoming segment would have tripped the
+						// validity rule); skip defensively.
+						continue
+					}
+					arr, err := in.Ring.ArrivalAlongDB(in.paths[o], dst, other, ch, e.bank)
+					if err == nil {
+						noise += pv.Add(arr).MilliWatt()
+					}
+				}
+			}
+			ber := phys.BEROOK(phys.SNR(psig, noise, p0))
+			commBERSum += ber
+			berSum += ber
+			berN++
+			if ber > out.WorstBER {
+				out.WorstBER = ber
+			}
+			// Laser sizing: fixed receive-power target by default,
+			// or the BER-target mode where crosstalk directly drives
+			// the emitted power (the paper's introduction).
+			powers = append(powers, in.Energy.WavelengthLaserMW(sigLoss, noise, p0))
+		}
+		e.commBER[ei] = commBERSum / float64(len(e.sets[ei]))
+		e.commFJ[ei] = in.Energy.EnergyFJ(powers, s.Comm[ei].Duration())
+		totalFJ += e.commFJ[ei]
+		totalBits += in.App.Edges[ei].VolumeBits
+	}
+	if berN > 0 {
+		out.MeanBER = berSum / float64(berN)
+	}
+	if totalBits > 0 {
+		out.BitEnergyFJ = totalFJ / totalBits
+	}
+}
+
+// fillBank rebuilds the evaluator's receiver-bank scratch with the
+// state seen by communication ei's light (the zero-allocation form of
+// Instance.bankFor).
+func (e *Evaluator) fillBank(ei int, s *sched.Schedule) {
+	in := e.in
+	e.bank.Reset()
+	for o := 0; o < in.Edges(); o++ {
+		if in.App.Edges[o].VolumeBits <= 0 {
+			continue
+		}
+		if in.paths[o].Dir != in.paths[ei].Dir {
+			continue
+		}
+		if o != ei && !s.Comm[ei].Overlaps(s.Comm[o]) {
+			continue
+		}
+		for _, ch := range e.sets[o] {
+			e.bank.Set(in.dstCore[o], ch, true)
+		}
+	}
+}
+
+// Detach deep-copies every slice and the schedule reachable from the
+// evaluation, so it survives the next EvaluateInto call on the
+// evaluator that produced it.
+func (e *Eval) Detach() {
+	e.Counts = append([]int(nil), e.Counts...)
+	e.CommBER = append([]float64(nil), e.CommBER...)
+	e.CommEnergyFJ = append([]float64(nil), e.CommEnergyFJ...)
+	if e.Schedule != nil {
+		e.Schedule = e.Schedule.Clone()
+	}
+}

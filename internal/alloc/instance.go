@@ -2,6 +2,7 @@ package alloc
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/energy"
 	"repro/internal/graph"
@@ -66,6 +67,15 @@ type Instance struct {
 	paths   []ring.Path // per edge: src core -> dst core route
 	srcCore []int       // per edge
 	dstCore []int       // per edge
+	// pathOverlap[i*Nl+j] caches paths[i].Overlaps(paths[j]) — the
+	// pair relation is fixed at instance construction and sits on the
+	// validity check of every evaluation.
+	pathOverlap []bool
+
+	// evalPool recycles evaluators behind the compatibility Evaluate
+	// method, so concurrent callers run genuinely in parallel; hot
+	// paths hold their own Evaluator and never touch it.
+	evalPool sync.Pool
 }
 
 // NewInstance validates the pieces and precomputes the routes.
@@ -105,7 +115,20 @@ func NewInstance(r *ring.Ring, app *graph.TaskGraph, m graph.Mapping, bitsPerCyc
 		in.srcCore[ei] = src
 		in.dstCore[ei] = dst
 	}
+	nl := app.NumEdges()
+	in.pathOverlap = make([]bool, nl*nl)
+	for i := 0; i < nl; i++ {
+		for j := 0; j < nl; j++ {
+			in.pathOverlap[i*nl+j] = in.paths[i].Overlaps(in.paths[j])
+		}
+	}
 	return in, nil
+}
+
+// PathsOverlap reports whether the precomputed routes of edges i and
+// j share a waveguide resource.
+func (in *Instance) PathsOverlap(i, j int) bool {
+	return in.pathOverlap[i*len(in.paths)+j]
 }
 
 // DefaultInstance assembles the paper's evaluation platform: the

@@ -99,8 +99,12 @@ type Config struct {
 }
 
 // Problem is a configured wavelength-allocation exploration. It
-// implements nsga2.Problem; Evaluate is safe for concurrent calls, so
-// the engine may be run with Workers > 1.
+// implements nsga2.PerWorkerProblem: with Workers > 1 the engine
+// gives every evaluation goroutine its own zero-allocation
+// alloc.Evaluator and metrics shard (merged when the run finishes),
+// so parallel runs scale without contending on a shared lock while
+// staying bit-for-bit identical to serial ones. The compatibility
+// Evaluate method remains safe for concurrent calls.
 type Problem struct {
 	cfg  Config
 	in   *alloc.Instance
@@ -108,6 +112,7 @@ type Problem struct {
 
 	mu      sync.Mutex
 	metrics map[string]Metrics // full metric triple per evaluated genotype
+	workers []*workerProblem   // outstanding shards, folded in by mergeWorkers
 }
 
 // Metrics is the full figure-of-merit triple of a valid genome.
@@ -185,16 +190,14 @@ func (p *Problem) NumObjectives() int { return len(p.objs) }
 // Evaluate implements nsga2.Problem: full evaluation, metric capture,
 // then projection onto the configured objectives. The returned
 // violation is 0 for valid chromosomes and the graded constraint
-// violation otherwise.
+// violation otherwise. This compatibility path evaluates through the
+// instance's evaluator pool — concurrent callers run in parallel,
+// only the metrics insert takes the lock; the engine's workers go
+// through NewWorker and skip even that.
 func (p *Problem) Evaluate(genome []byte) ([]float64, float64) {
-	g, err := alloc.FromBits(append([]byte(nil), genome...), p.in.Edges(), p.in.Channels())
+	g, err := alloc.FromBits(genome, p.in.Edges(), p.in.Channels())
 	if err != nil {
-		inf := math.Inf(1)
-		out := make([]float64, len(p.objs))
-		for i := range out {
-			out[i] = inf
-		}
-		return out, inf
+		return infObjectives(len(p.objs)), math.Inf(1)
 	}
 	ev := p.in.Evaluate(g)
 	if ev.Valid {
@@ -205,6 +208,82 @@ func (p *Problem) Evaluate(genome []byte) ([]float64, float64) {
 			MeanBER:     ev.MeanBER,
 		}
 		p.mu.Unlock()
+	}
+	return ev.Objectives(p.objs), ev.Violation
+}
+
+func infObjectives(n int) []float64 {
+	inf := math.Inf(1)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = inf
+	}
+	return out
+}
+
+// workerProblem is one engine goroutine's private evaluation view: a
+// zero-allocation evaluator plus a metrics shard written without any
+// locking. Shards fold back into the parent when the run completes.
+type workerProblem struct {
+	parent  *Problem
+	eval    *alloc.Evaluator
+	metrics map[string]Metrics
+}
+
+// NewWorker implements nsga2.PerWorkerProblem. The worker shares the
+// parent's immutable instance and objective set; only scratch and the
+// metrics shard are private.
+func (p *Problem) NewWorker() nsga2.Problem {
+	ev, err := alloc.NewEvaluator(p.in)
+	if err != nil {
+		// Cannot happen for instances built by New; degrade to the
+		// locked compatibility path rather than failing the run.
+		return p
+	}
+	w := &workerProblem{parent: p, eval: ev, metrics: make(map[string]Metrics)}
+	p.mu.Lock()
+	p.workers = append(p.workers, w)
+	p.mu.Unlock()
+	return w
+}
+
+// mergeWorkers folds every outstanding shard into the parent metrics
+// map. Evaluation is deterministic, so identical keys carry identical
+// metrics and the merge order cannot matter.
+func (p *Problem) mergeWorkers() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, w := range p.workers {
+		for k, m := range w.metrics {
+			p.metrics[k] = m
+		}
+	}
+	p.workers = nil
+}
+
+// GenomeLen implements nsga2.Problem.
+func (w *workerProblem) GenomeLen() int { return w.parent.GenomeLen() }
+
+// NumObjectives implements nsga2.Problem.
+func (w *workerProblem) NumObjectives() int { return w.parent.NumObjectives() }
+
+// Evaluate implements nsga2.Problem on the worker's private state:
+// no locks, no steady-state allocations beyond the retained objective
+// vector and metrics entry.
+func (w *workerProblem) Evaluate(genome []byte) ([]float64, float64) {
+	p := w.parent
+	g, err := alloc.FromBits(genome, p.in.Edges(), p.in.Channels())
+	if err != nil {
+		return infObjectives(len(p.objs)), math.Inf(1)
+	}
+	var ev alloc.Eval
+	w.eval.EvaluateInto(&ev, g)
+	if ev.Valid {
+		w.metrics[g.Key()] = Metrics{
+			TimeKCC:     ev.TimeKCC(),
+			BitEnergyFJ: ev.BitEnergyFJ,
+			MeanBER:     ev.MeanBER,
+		}
 	}
 	return ev.Objectives(p.objs), ev.Violation
 }
@@ -273,6 +352,7 @@ func (p *Problem) Optimize() (*Result, error) {
 		ga.Seeds = p.HeuristicSeeds()
 	}
 	runRes, err := nsga2.Run(p, ga)
+	p.mergeWorkers()
 	if err != nil {
 		return nil, err
 	}
@@ -307,9 +387,12 @@ func (p *Problem) Optimize() (*Result, error) {
 }
 
 // solutionFor resolves a genome to a Solution through the metric
-// cache.
+// cache. It takes the problem lock: result assembly can race with
+// concurrent Evaluate calls from other users of the same Problem.
 func (p *Problem) solutionFor(genome []byte) (Solution, bool) {
+	p.mu.Lock()
 	m, ok := p.metrics[string(genome)]
+	p.mu.Unlock()
 	if !ok {
 		return Solution{}, false
 	}

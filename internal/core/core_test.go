@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -302,5 +303,86 @@ func TestResultAccessorsOnEmpty(t *testing.T) {
 	}
 	if _, ok := r.MinEnergySolution(); ok {
 		t.Error("empty result has no min-energy solution")
+	}
+}
+
+// sameResult demands byte-identical fronts and identical Table II
+// counters between two runs.
+func sameResult(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if a.Evaluations != b.Evaluations || a.ValidEvaluations != b.ValidEvaluations ||
+		a.DistinctEvaluated != b.DistinctEvaluated || a.DistinctValid != b.DistinctValid {
+		t.Fatalf("%s: counters differ: %d/%d/%d/%d vs %d/%d/%d/%d", label,
+			a.Evaluations, a.ValidEvaluations, a.DistinctEvaluated, a.DistinctValid,
+			b.Evaluations, b.ValidEvaluations, b.DistinctEvaluated, b.DistinctValid)
+	}
+	fronts := func(r *Result) [][]Solution {
+		return [][]Solution{r.Front, r.Valid, r.FrontTimeEnergy, r.FrontTimeBER}
+	}
+	names := []string{"Front", "Valid", "FrontTimeEnergy", "FrontTimeBER"}
+	fa, fb := fronts(a), fronts(b)
+	for fi := range fa {
+		if len(fa[fi]) != len(fb[fi]) {
+			t.Fatalf("%s: %s sizes differ: %d vs %d", label, names[fi], len(fa[fi]), len(fb[fi]))
+		}
+		for i := range fa[fi] {
+			sa, sb := fa[fi][i], fb[fi][i]
+			if sa.Genome.Key() != sb.Genome.Key() {
+				t.Fatalf("%s: %s[%d] genomes differ", label, names[fi], i)
+			}
+			if sa.Metrics != sb.Metrics {
+				t.Fatalf("%s: %s[%d] metrics differ: %+v vs %+v", label, names[fi], i, sa.Metrics, sb.Metrics)
+			}
+		}
+	}
+}
+
+// TestParallelWorkersBitIdenticalToSerial is the determinism
+// guarantee of the per-worker evaluator design: any worker count
+// yields the same fronts and the same Table II counters as the serial
+// run.
+func TestParallelWorkersBitIdenticalToSerial(t *testing.T) {
+	run := func(workers int) *Result {
+		ga := smallGA(11)
+		ga.Workers = workers
+		p, err := New(Config{NW: 8, GA: ga})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Optimize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(0)
+	for _, workers := range []int{1, 2, 8} {
+		sameResult(t, fmt.Sprintf("workers=%d", workers), serial, run(workers))
+	}
+}
+
+// TestNewWorkerSharesInstance pins the worker-view contract.
+func TestNewWorkerSharesInstance(t *testing.T) {
+	p, err := New(Config{NW: 4, GA: smallGA(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := p.NewWorker()
+	if w.GenomeLen() != p.GenomeLen() || w.NumObjectives() != p.NumObjectives() {
+		t.Fatal("worker view has a different shape")
+	}
+	genome := make([]byte, p.GenomeLen())
+	for i := range genome {
+		genome[i] = byte(i % 2)
+	}
+	ow, vw := w.Evaluate(genome)
+	op, vp := p.Evaluate(genome)
+	if vw != vp || len(ow) != len(op) {
+		t.Fatalf("worker and parent disagree: %v/%v vs %v/%v", ow, vw, op, vp)
+	}
+	for i := range ow {
+		if ow[i] != op[i] && !(math.IsInf(ow[i], 1) && math.IsInf(op[i], 1)) {
+			t.Fatalf("objective %d differs: %v vs %v", i, ow[i], op[i])
+		}
 	}
 }

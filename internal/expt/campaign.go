@@ -1,0 +1,548 @@
+package expt
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/nsga2"
+)
+
+// This file implements the campaign layer: large multi-cell
+// experiment sweeps over (comb size x objective set x workload x
+// replicate seed), fanned out across a bounded pool of cell workers.
+// Cells are completely independent GA runs, so the fan-out scales
+// near-linearly with worker count; per-cell seeds derive from the
+// cell's identity (not from execution order), so a parallel campaign
+// is bit-for-bit identical to a serial one and the JSON/CSV artifacts
+// are byte-stable.
+
+// Workload names an application/mapping pair a campaign cell runs
+// on. The zero App/Mapping means the paper's virtual application with
+// its design-time mapping.
+type Workload struct {
+	Name    string
+	App     *graph.TaskGraph
+	Mapping graph.Mapping
+}
+
+// PaperWorkload is the paper's 6-task virtual application.
+func PaperWorkload() Workload { return Workload{Name: "paper"} }
+
+// NamedWorkload resolves a workload spec into a deterministic
+// workload mapped onto the 16-core platform: "paper", "chain<N>",
+// "forkjoin<W>", "fft<N>", "gauss<N>" or "diamond<N>". Generated
+// graphs draw volumes and execution times from the default generator
+// configuration with a PRNG seeded by the spec string, so the same
+// name always denotes the same workload.
+func NamedWorkload(spec string) (Workload, error) {
+	if spec == "paper" {
+		return PaperWorkload(), nil
+	}
+	kind := strings.TrimRight(spec, "0123456789")
+	if kind == spec || kind == "" {
+		return Workload{}, fmt.Errorf("expt: unknown workload %q (want paper, chain<N>, forkjoin<W>, fft<N>, gauss<N> or diamond<N>)", spec)
+	}
+	n, err := strconv.Atoi(spec[len(kind):])
+	if err != nil {
+		return Workload{}, fmt.Errorf("expt: workload %q: bad size", spec)
+	}
+	h := fnv.New64a()
+	io.WriteString(h, spec)
+	rng := rand.New(rand.NewSource(int64(h.Sum64() & math.MaxInt64)))
+	cfg := graph.DefaultGenConfig()
+	var g *graph.TaskGraph
+	switch kind {
+	case "chain":
+		g, err = graph.Chain(rng, n, cfg)
+	case "forkjoin":
+		g, err = graph.ForkJoin(rng, n, cfg)
+	case "fft":
+		g, err = graph.FFT(rng, n, cfg)
+	case "gauss":
+		g, err = graph.GaussianElimination(rng, n, cfg)
+	case "diamond":
+		g, err = graph.Diamond(rng, n, cfg)
+	default:
+		return Workload{}, fmt.Errorf("expt: unknown workload kind %q in %q", kind, spec)
+	}
+	if err != nil {
+		return Workload{}, fmt.Errorf("expt: workload %q: %w", spec, err)
+	}
+	m, err := graph.RandomMapping(rng, g, PlatformCores)
+	if err != nil {
+		return Workload{}, fmt.Errorf("expt: workload %q: %w", spec, err)
+	}
+	return Workload{Name: spec, App: g, Mapping: m}, nil
+}
+
+// PlatformCores is the ONI count of the paper's 4x4 platform, the
+// target of generated workload mappings.
+const PlatformCores = 16
+
+// CampaignConfig spans one experiment campaign. Zero fields default
+// to the paper's evaluation setup with one replicate of the paper
+// workload per comb size.
+type CampaignConfig struct {
+	// NWs lists the comb sizes to sweep (default 4, 8, 12).
+	NWs []int
+	// ObjectiveSets lists the GA criteria combinations (default the
+	// 3-objective paper run).
+	ObjectiveSets []core.ObjectiveSet
+	// Workloads lists the applications (default the paper's).
+	Workloads []Workload
+	// Replicates is the number of independent GA seeds per
+	// (NW, objectives, workload) combination (default 1).
+	Replicates int
+	// Pop and Generations configure the GA of every cell.
+	Pop, Generations int
+	// Seed is the campaign master seed; each cell derives its own
+	// seed from (Seed, cell identity) so results do not depend on
+	// execution order.
+	Seed int64
+	// WarmStart seeds every cell's GA with the heuristic allocations.
+	WarmStart bool
+	// CellWorkers bounds the number of cells in flight (default 1 =
+	// serial). Cells are independent, so throughput scales
+	// near-linearly until the machine is saturated.
+	CellWorkers int
+	// EvalWorkers parallelizes chromosome evaluation inside each cell
+	// (nsga2.Config.Workers). Prefer CellWorkers for big campaigns:
+	// whole-cell parallelism has no sequential remainder.
+	EvalWorkers int
+	// Progress, when non-nil, observes cell starts and completions.
+	// Events are delivered serially.
+	Progress func(CellEvent)
+}
+
+func (c CampaignConfig) withDefaults() CampaignConfig {
+	if len(c.NWs) == 0 {
+		c.NWs = []int{4, 8, 12}
+	}
+	if len(c.ObjectiveSets) == 0 {
+		c.ObjectiveSets = []core.ObjectiveSet{core.TimeEnergyBER}
+	}
+	if len(c.Workloads) == 0 {
+		c.Workloads = []Workload{PaperWorkload()}
+	}
+	if c.Replicates <= 0 {
+		c.Replicates = 1
+	}
+	if c.Pop == 0 {
+		c.Pop = PaperGAPopulation
+	}
+	if c.Generations == 0 {
+		c.Generations = PaperGAGenerations
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.CellWorkers <= 0 {
+		c.CellWorkers = 1
+	}
+	return c
+}
+
+// Cell identifies one campaign experiment.
+type Cell struct {
+	// Index is the cell's position in the campaign's deterministic
+	// enumeration order.
+	Index int
+	// NW is the comb size.
+	NW int
+	// Objectives selects the GA criteria.
+	Objectives core.ObjectiveSet
+	// Workload names the application (resolved through the campaign's
+	// workload list).
+	Workload string
+	// Replicate numbers the independent repetition (0-based).
+	Replicate int
+	// Seed is the cell's derived GA seed.
+	Seed int64
+}
+
+// String renders the cell for progress lines.
+func (c Cell) String() string {
+	return fmt.Sprintf("NW=%d obj=%s workload=%s rep=%d", c.NW, c.Objectives, c.Workload, c.Replicate)
+}
+
+// cellSeed derives a cell's GA seed from the campaign seed and the
+// cell's identity alone. FNV-1a keeps nearby cells decorrelated; the
+// sign bit is cleared so seeds read naturally in reports.
+func cellSeed(base int64, nw int, objs core.ObjectiveSet, workload string, replicate int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%d|%s|%d", base, nw, int(objs), workload, replicate)
+	return int64(h.Sum64() & math.MaxInt64)
+}
+
+// Cells enumerates the campaign's cells in deterministic order:
+// workload-major, then objective set, then NW, then replicate.
+func (c CampaignConfig) Cells() []Cell {
+	c = c.withDefaults()
+	var cells []Cell
+	for _, wl := range c.Workloads {
+		for _, objs := range c.ObjectiveSets {
+			for _, nw := range c.NWs {
+				for rep := 0; rep < c.Replicates; rep++ {
+					cells = append(cells, Cell{
+						Index:      len(cells),
+						NW:         nw,
+						Objectives: objs,
+						Workload:   wl.Name,
+						Replicate:  rep,
+						Seed:       cellSeed(c.Seed, nw, objs, wl.Name, rep),
+					})
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// CellEvent is one structured progress notification.
+type CellEvent struct {
+	Cell Cell
+	// Done is false for the start notification, true on completion.
+	Done bool
+	// Err is the cell's failure, if any (only with Done).
+	Err error
+	// Elapsed is the cell's wall time (only with Done).
+	Elapsed time.Duration
+	// Completed and Total count finished cells and the campaign size.
+	Completed, Total int
+}
+
+// CellResult pairs a cell with its exploration outcome. Elapsed is
+// informational and excluded from the serialized artifacts, which
+// must be byte-identical across serial and parallel runs.
+type CellResult struct {
+	Cell    Cell
+	Result  *core.Result
+	Err     error
+	Elapsed time.Duration
+}
+
+// Campaign is the outcome of one campaign run.
+type Campaign struct {
+	Cfg   CampaignConfig
+	Cells []CellResult
+	// Elapsed is the campaign wall time (informational).
+	Elapsed time.Duration
+}
+
+// Failed counts cells that ended in error.
+func (c *Campaign) Failed() int {
+	n := 0
+	for _, cr := range c.Cells {
+		if cr.Err != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// RunCampaign executes every cell across a bounded worker pool. The
+// result (and its JSON/CSV artifacts) is bit-for-bit independent of
+// CellWorkers; only the wall time changes. Individual cell failures
+// do not abort the campaign — they are recorded on the cell and
+// summarized in the returned error.
+func RunCampaign(cfg CampaignConfig) (*Campaign, error) {
+	cfg = cfg.withDefaults()
+	byName := make(map[string]Workload, len(cfg.Workloads))
+	for _, wl := range cfg.Workloads {
+		if wl.Name == "" {
+			return nil, fmt.Errorf("expt: campaign workload with empty name")
+		}
+		if _, dup := byName[wl.Name]; dup {
+			return nil, fmt.Errorf("expt: duplicate campaign workload %q", wl.Name)
+		}
+		byName[wl.Name] = wl
+	}
+	// Duplicate axis entries would enumerate bit-identical cells
+	// (identical identity tuples, therefore identical seeds) counted
+	// as independent results — reject them like duplicate workloads.
+	seenNW := make(map[int]bool, len(cfg.NWs))
+	for _, nw := range cfg.NWs {
+		if seenNW[nw] {
+			return nil, fmt.Errorf("expt: duplicate campaign comb size %d", nw)
+		}
+		seenNW[nw] = true
+	}
+	seenObjs := make(map[core.ObjectiveSet]bool, len(cfg.ObjectiveSets))
+	for _, objs := range cfg.ObjectiveSets {
+		if seenObjs[objs] {
+			return nil, fmt.Errorf("expt: duplicate campaign objective set %s", objs)
+		}
+		seenObjs[objs] = true
+	}
+	cells := cfg.Cells()
+	results := make([]CellResult, len(cells))
+
+	// progressMu serializes event delivery AND the completed counter,
+	// so the Completed values seen by the consumer are monotone in
+	// delivery order.
+	var progressMu sync.Mutex
+	completed := 0
+	notifyStart := func(cell Cell) {
+		if cfg.Progress == nil {
+			return
+		}
+		progressMu.Lock()
+		cfg.Progress(CellEvent{Cell: cell, Completed: completed, Total: len(cells)})
+		progressMu.Unlock()
+	}
+	notifyDone := func(cell Cell, r CellResult) {
+		progressMu.Lock()
+		completed++
+		if cfg.Progress != nil {
+			cfg.Progress(CellEvent{Cell: cell, Done: true, Err: r.Err,
+				Elapsed: r.Elapsed, Completed: completed, Total: len(cells)})
+		}
+		progressMu.Unlock()
+	}
+
+	start := time.Now()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	workers := cfg.CellWorkers
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cells) {
+					return
+				}
+				cell := cells[i]
+				notifyStart(cell)
+				results[i] = runCell(cfg, byName[cell.Workload], cell)
+				notifyDone(cell, results[i])
+			}
+		}()
+	}
+	wg.Wait()
+
+	camp := &Campaign{Cfg: cfg, Cells: results, Elapsed: time.Since(start)}
+	if n := camp.Failed(); n > 0 {
+		return camp, fmt.Errorf("expt: %d of %d campaign cells failed (first: %v)", n, len(cells), firstErr(results))
+	}
+	return camp, nil
+}
+
+func firstErr(results []CellResult) error {
+	for _, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("cell %d (%s): %w", r.Cell.Index, r.Cell, r.Err)
+		}
+	}
+	return nil
+}
+
+// runCell executes one exploration with the cell's derived seed.
+func runCell(cfg CampaignConfig, wl Workload, cell Cell) CellResult {
+	t0 := time.Now()
+	p, err := core.New(core.Config{
+		NW:         cell.NW,
+		App:        wl.App,
+		Mapping:    wl.Mapping,
+		Objectives: cell.Objectives,
+		WarmStart:  cfg.WarmStart,
+		GA: nsga2.Config{
+			PopSize:     cfg.Pop,
+			Generations: cfg.Generations,
+			Seed:        cell.Seed,
+			Workers:     cfg.EvalWorkers,
+		},
+	})
+	if err != nil {
+		return CellResult{Cell: cell, Err: err, Elapsed: time.Since(t0)}
+	}
+	res, err := p.Optimize()
+	return CellResult{Cell: cell, Result: res, Err: err, Elapsed: time.Since(t0)}
+}
+
+// ---- artifacts ----
+
+// campaignJSON is the stable JSON artifact schema. It holds only
+// deterministic data (no timestamps, no durations), so the same
+// campaign configuration always produces byte-identical artifacts —
+// diffable and cacheable.
+type campaignJSON struct {
+	Schema        string     `json:"schema"`
+	NWs           []int      `json:"nws"`
+	ObjectiveSets []string   `json:"objective_sets"`
+	Workloads     []string   `json:"workloads"`
+	Replicates    int        `json:"replicates"`
+	Pop           int        `json:"pop"`
+	Generations   int        `json:"generations"`
+	Seed          int64      `json:"seed"`
+	WarmStart     bool       `json:"warm_start,omitempty"`
+	Cells         []cellJSON `json:"cells"`
+}
+
+type cellJSON struct {
+	Index             int         `json:"index"`
+	NW                int         `json:"nw"`
+	Objectives        string      `json:"objectives"`
+	Workload          string      `json:"workload"`
+	Replicate         int         `json:"replicate"`
+	Seed              int64       `json:"seed"`
+	Error             string      `json:"error,omitempty"`
+	Evaluations       int         `json:"evaluations"`
+	ValidEvaluations  int         `json:"valid_evaluations"`
+	DistinctEvaluated int         `json:"distinct_evaluated"`
+	DistinctValid     int         `json:"distinct_valid"`
+	BestTimeKCC       *float64    `json:"best_time_kcc,omitempty"`
+	MinEnergyFJ       *float64    `json:"min_energy_fj,omitempty"`
+	FrontTimeEnergy   []pointJSON `json:"front_time_energy,omitempty"`
+	FrontTimeBER      []pointJSON `json:"front_time_ber,omitempty"`
+}
+
+type pointJSON struct {
+	TimeKCC     float64 `json:"time_kcc"`
+	BitEnergyFJ float64 `json:"bit_energy_fj"`
+	MeanBER     float64 `json:"mean_ber"`
+	Counts      []int   `json:"counts"`
+}
+
+func points(sols []core.Solution) []pointJSON {
+	out := make([]pointJSON, 0, len(sols))
+	for _, s := range sols {
+		out = append(out, pointJSON{
+			TimeKCC:     s.TimeKCC,
+			BitEnergyFJ: s.BitEnergyFJ,
+			MeanBER:     s.MeanBER,
+			Counts:      s.Counts,
+		})
+	}
+	return out
+}
+
+// WriteCampaignJSON serializes the campaign artifact. The bytes are
+// deterministic: independent of CellWorkers, EvalWorkers and wall
+// time.
+func WriteCampaignJSON(w io.Writer, c *Campaign) error {
+	cfg := c.Cfg.withDefaults()
+	doc := campaignJSON{
+		Schema:      "wadate-campaign/v1",
+		NWs:         cfg.NWs,
+		Replicates:  cfg.Replicates,
+		Pop:         cfg.Pop,
+		Generations: cfg.Generations,
+		Seed:        cfg.Seed,
+		WarmStart:   cfg.WarmStart,
+	}
+	for _, os := range cfg.ObjectiveSets {
+		doc.ObjectiveSets = append(doc.ObjectiveSets, os.String())
+	}
+	for _, wl := range cfg.Workloads {
+		doc.Workloads = append(doc.Workloads, wl.Name)
+	}
+	for _, cr := range c.Cells {
+		cj := cellJSON{
+			Index:      cr.Cell.Index,
+			NW:         cr.Cell.NW,
+			Objectives: cr.Cell.Objectives.String(),
+			Workload:   cr.Cell.Workload,
+			Replicate:  cr.Cell.Replicate,
+			Seed:       cr.Cell.Seed,
+		}
+		if cr.Err != nil {
+			cj.Error = cr.Err.Error()
+		}
+		if res := cr.Result; res != nil {
+			cj.Evaluations = res.Evaluations
+			cj.ValidEvaluations = res.ValidEvaluations
+			cj.DistinctEvaluated = res.DistinctEvaluated
+			cj.DistinctValid = res.DistinctValid
+			if best := res.BestTimeKCC(); !math.IsInf(best, 1) {
+				cj.BestTimeKCC = &best
+			}
+			if sol, ok := res.MinEnergySolution(); ok {
+				cj.MinEnergyFJ = &sol.BitEnergyFJ
+			}
+			cj.FrontTimeEnergy = points(res.FrontTimeEnergy)
+			cj.FrontTimeBER = points(res.FrontTimeBER)
+		}
+		doc.Cells = append(doc.Cells, cj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// WriteCampaignCSV emits one row per front point per cell, a flat
+// table external plotting tools slice by (workload, objectives, nw).
+// Like the JSON artifact, the bytes are deterministic.
+func WriteCampaignCSV(w io.Writer, c *Campaign) error {
+	cw := newCampaignCSV(w)
+	for _, cr := range c.Cells {
+		if cr.Result == nil {
+			continue
+		}
+		if err := cw.writeFront(cr.Cell, "front_time_energy", cr.Result.FrontTimeEnergy); err != nil {
+			return err
+		}
+		if err := cw.writeFront(cr.Cell, "front_time_ber", cr.Result.FrontTimeBER); err != nil {
+			return err
+		}
+	}
+	return cw.flush()
+}
+
+// CampaignSummary renders the per-cell outcome table for the
+// terminal.
+func CampaignSummary(c *Campaign) string {
+	headers := []string{"cell", "workload", "objectives", "NW", "rep", "evals", "valid", "best t (k-cc)", "min E (fJ/bit)", "|front TE|", "|front TB|", "wall"}
+	var rows [][]string
+	for _, cr := range c.Cells {
+		row := []string{
+			strconv.Itoa(cr.Cell.Index),
+			cr.Cell.Workload,
+			cr.Cell.Objectives.String(),
+			strconv.Itoa(cr.Cell.NW),
+			strconv.Itoa(cr.Cell.Replicate),
+		}
+		if cr.Err != nil {
+			row = append(row, "error: "+cr.Err.Error(), "", "", "", "", "", cr.Elapsed.Round(time.Millisecond).String())
+		} else if cr.Result != nil {
+			best := "-"
+			if bt := cr.Result.BestTimeKCC(); !math.IsInf(bt, 1) {
+				best = fmt.Sprintf("%.2f", bt)
+			}
+			minE := "-"
+			if sol, ok := cr.Result.MinEnergySolution(); ok {
+				minE = fmt.Sprintf("%.2f", sol.BitEnergyFJ)
+			}
+			row = append(row,
+				strconv.Itoa(cr.Result.Evaluations),
+				strconv.Itoa(cr.Result.ValidEvaluations),
+				best,
+				minE,
+				strconv.Itoa(len(cr.Result.FrontTimeEnergy)),
+				strconv.Itoa(len(cr.Result.FrontTimeBER)),
+				cr.Elapsed.Round(time.Millisecond).String(),
+			)
+		}
+		rows = append(rows, row)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Campaign: %d cells, %d failed, wall %s\n\n",
+		len(c.Cells), c.Failed(), c.Elapsed.Round(time.Millisecond))
+	sb.WriteString(Table(headers, rows))
+	return sb.String()
+}

@@ -40,6 +40,57 @@ func WriteSolutionsCSV(w io.Writer, nw int, kind string, sols []core.Solution) e
 	return cw.Error()
 }
 
+// campaignCSVWriter streams the flat campaign table: cell identity
+// columns ahead of the per-solution metric columns. The header is
+// written up front, so even an all-failed campaign yields a
+// well-formed (header-only) table.
+type campaignCSVWriter struct {
+	cw  *csv.Writer
+	err error
+}
+
+func newCampaignCSV(w io.Writer) *campaignCSVWriter {
+	c := &campaignCSVWriter{cw: csv.NewWriter(w)}
+	c.err = c.cw.Write([]string{"cell", "workload", "objectives", "nw", "replicate", "seed", "kind",
+		"time_kcc", "bit_energy_fj", "mean_ber", "log10_ber", "counts", "genome"})
+	return c
+}
+
+func (c *campaignCSVWriter) writeFront(cell Cell, kind string, sols []core.Solution) error {
+	if c.err != nil {
+		return c.err
+	}
+	for _, s := range sols {
+		counts := make([]string, len(s.Counts))
+		for i, n := range s.Counts {
+			counts[i] = strconv.Itoa(n)
+		}
+		if err := c.cw.Write([]string{
+			strconv.Itoa(cell.Index),
+			cell.Workload,
+			cell.Objectives.String(),
+			strconv.Itoa(cell.NW),
+			strconv.Itoa(cell.Replicate),
+			strconv.FormatInt(cell.Seed, 10),
+			kind,
+			fmt.Sprintf("%.6f", s.TimeKCC),
+			fmt.Sprintf("%.6f", s.BitEnergyFJ),
+			fmt.Sprintf("%.6e", s.MeanBER),
+			fmt.Sprintf("%.4f", s.Log10BER()),
+			strings.Join(counts, ";"),
+			s.Genome.String(),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *campaignCSVWriter) flush() error {
+	c.cw.Flush()
+	return c.cw.Error()
+}
+
 // WriteSuiteCSV dumps every projected front (and the valid cloud for
 // NW = 8, Fig. 7's data) of a suite to the writer.
 func WriteSuiteCSV(w io.Writer, s *Suite) error {

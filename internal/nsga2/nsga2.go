@@ -18,6 +18,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Problem is the optimization problem the engine minimizes.
@@ -33,6 +34,23 @@ type Problem interface {
 	// from an all-infeasible population. Implementations must be
 	// deterministic.
 	Evaluate(genome []byte) (objs []float64, violation float64)
+}
+
+// PerWorkerProblem is the scaling hook for problems whose evaluation
+// benefits from per-goroutine state (scratch buffers, metric shards).
+// When Workers > 1 and the problem implements it, the engine calls
+// NewWorker once per worker goroutine at the start of Run and routes
+// every evaluation through the worker problems — so Evaluate
+// implementations need no internal locking and no shared mutable
+// state. Each worker problem is used by exactly one goroutine at a
+// time; the worker problems of one run are used concurrently with
+// each other. Results must be bit-for-bit identical to the parent's
+// Evaluate.
+type PerWorkerProblem interface {
+	Problem
+	// NewWorker returns an evaluation view for exclusive use by one
+	// engine worker goroutine.
+	NewWorker() Problem
 }
 
 // Config tunes the engine. The zero value is completed by
@@ -64,8 +82,9 @@ type Config struct {
 	// Workers > 1 evaluates each generation's distinct new genomes on
 	// that many goroutines. The run is bit-for-bit identical to the
 	// serial one (operators, caching order and counters are
-	// unaffected); the Problem's Evaluate must then be safe for
-	// concurrent calls.
+	// unaffected). Problems implementing PerWorkerProblem get one
+	// private evaluation view per goroutine and need no locking;
+	// plain Problems must make Evaluate safe for concurrent calls.
 	Workers int
 	// Seed drives the engine's private PRNG; runs are reproducible.
 	Seed int64
@@ -152,6 +171,10 @@ type engine struct {
 	order      []string // insertion order of cache keys, for the archive
 	evals      int
 	validEvals int
+	// workers holds the per-goroutine evaluation views used when
+	// Workers > 1: either the problem's own NewWorker products or the
+	// shared problem repeated (which must then be concurrency-safe).
+	workers []Problem
 }
 
 type cached struct {
@@ -187,6 +210,16 @@ func Run(p Problem, cfg Config) (*Result, error) {
 		cfg:   cfg,
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 		cache: make(map[string]cached),
+	}
+	if cfg.Workers > 1 {
+		e.workers = make([]Problem, cfg.Workers)
+		for w := range e.workers {
+			if pw, ok := p.(PerWorkerProblem); ok {
+				e.workers[w] = pw.NewWorker()
+			} else {
+				e.workers[w] = p
+			}
+		}
 	}
 
 	genomes := make([][]byte, cfg.PopSize)
@@ -257,18 +290,26 @@ func (e *engine) evaluateBatch(genomes [][]byte) []Individual {
 		jobs = append(jobs, job{key: k, genome: g})
 	}
 	results := make([]cached, len(jobs))
-	if e.cfg.Workers > 1 && len(jobs) > 1 {
+	if len(e.workers) > 0 && len(jobs) > 1 {
+		// Fixed worker pool pulling job indices from an atomic
+		// counter: each worker keeps its own evaluation state for the
+		// whole generation, and results land at their job index, so
+		// scheduling order cannot influence the outcome.
+		var next atomic.Int64
 		var wg sync.WaitGroup
-		sem := make(chan struct{}, e.cfg.Workers)
-		for i := range jobs {
+		for w := 0; w < len(e.workers) && w < len(jobs); w++ {
 			wg.Add(1)
-			sem <- struct{}{}
-			go func(i int) {
+			go func(p Problem) {
 				defer wg.Done()
-				objs, violation := e.p.Evaluate(jobs[i].genome)
-				results[i] = cached{objs: objs, violation: violation}
-				<-sem
-			}(i)
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(jobs) {
+						return
+					}
+					objs, violation := p.Evaluate(jobs[i].genome)
+					results[i] = cached{objs: objs, violation: violation}
+				}
+			}(e.workers[w])
 		}
 		wg.Wait()
 	} else {

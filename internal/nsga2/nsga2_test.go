@@ -3,6 +3,7 @@ package nsga2
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -485,6 +486,105 @@ func TestParallelEvaluationIdenticalToSerial(t *testing.T) {
 	for i := range serial.Archive {
 		if string(serial.Archive[i].Genome) != string(parallel.Archive[i].Genome) {
 			t.Fatal("archive order diverges: parallel evaluation must preserve insertion order")
+		}
+	}
+}
+
+// perWorkerProblem wraps twoMin with per-goroutine evaluation views,
+// counting how they are built and used.
+type perWorkerProblem struct {
+	funcProblem
+	mu         sync.Mutex
+	workers    []*countingWorker
+	parentUsed int // evaluations through the shared problem itself
+}
+
+type countingWorker struct {
+	funcProblem
+	evals int
+}
+
+func (p *perWorkerProblem) NewWorker() Problem {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	w := &countingWorker{funcProblem: p.funcProblem}
+	p.workers = append(p.workers, w)
+	return w
+}
+
+func (p *perWorkerProblem) Evaluate(g []byte) ([]float64, float64) {
+	p.mu.Lock()
+	p.parentUsed++
+	p.mu.Unlock()
+	return p.funcProblem.Evaluate(g)
+}
+
+func (w *countingWorker) Evaluate(g []byte) ([]float64, float64) {
+	// No lock: the engine promises exclusive use; the race detector
+	// polices the promise.
+	w.evals++
+	return w.funcProblem.Evaluate(g)
+}
+
+// TestPerWorkerProblemViewsAreUsed proves the engine builds one view
+// per worker, routes the parallel evaluations through them, and still
+// reproduces the serial run exactly.
+func TestPerWorkerProblemViewsAreUsed(t *testing.T) {
+	serial, err := Run(twoMin(14), Config{PopSize: 24, Generations: 12, Seed: 6, ArchiveAll: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &perWorkerProblem{funcProblem: twoMin(14)}
+	parallel, err := Run(p, Config{PopSize: 24, Generations: 12, Seed: 6, ArchiveAll: true, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.workers) != 4 {
+		t.Fatalf("built %d worker views, want 4", len(p.workers))
+	}
+	workerEvals := 0
+	for _, w := range p.workers {
+		workerEvals += w.evals
+	}
+	// Every distinct genome is evaluated exactly once, through a
+	// worker view for multi-job batches or through the shared problem
+	// for single-job ones.
+	if workerEvals == 0 {
+		t.Fatal("no evaluations were routed through the worker views")
+	}
+	if workerEvals+p.parentUsed != parallel.DistinctEvaluated {
+		t.Fatalf("workers saw %d evaluations + parent %d, engine reports %d distinct",
+			workerEvals, p.parentUsed, parallel.DistinctEvaluated)
+	}
+	if serial.Evaluations != parallel.Evaluations || serial.DistinctEvaluated != parallel.DistinctEvaluated {
+		t.Fatal("per-worker run diverges from serial")
+	}
+	for i := range serial.Final {
+		if string(serial.Final[i].Genome) != string(parallel.Final[i].Genome) {
+			t.Fatal("final populations diverge")
+		}
+	}
+	for i := range serial.Archive {
+		if string(serial.Archive[i].Genome) != string(parallel.Archive[i].Genome) {
+			t.Fatal("archive order diverges")
+		}
+	}
+}
+
+// TestWorkersWithoutFactoryStillWork pins the legacy path: a plain
+// concurrency-safe Problem parallelizes through the shared instance.
+func TestWorkersWithoutFactoryStillWork(t *testing.T) {
+	serial, err := Run(twoMin(10), Config{PopSize: 16, Generations: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(twoMin(10), Config{PopSize: 16, Generations: 8, Seed: 2, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial.Final {
+		if string(serial.Final[i].Genome) != string(parallel.Final[i].Genome) {
+			t.Fatal("plain problem parallel run diverges")
 		}
 	}
 }

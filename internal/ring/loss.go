@@ -35,6 +35,15 @@ func NewBank(onis, channels int) *Bank {
 // Set switches the MR for channel ch at ONI oni.
 func (b *Bank) Set(oni, ch int, state bool) { b.on[oni*b.channels+ch] = state }
 
+// Reset detunes every micro-ring, returning the bank to the all-OFF
+// state without reallocating. Evaluation kernels reuse one bank per
+// worker this way.
+func (b *Bank) Reset() {
+	for i := range b.on {
+		b.on[i] = false
+	}
+}
+
 // On implements BankState.
 func (b *Bank) On(oni, ch int) bool { return b.on[oni*b.channels+ch] }
 

@@ -134,13 +134,14 @@ func (p Path) Overlaps(q Path) bool {
 	if p.Dir != q.Dir {
 		return false
 	}
-	seen := make(map[int]struct{}, len(p.segIdx))
+	// Paths carry at most one segment per ring hop, so the quadratic
+	// scan beats a hash set at these sizes and never allocates — this
+	// sits on the evaluation kernel's validity path.
 	for _, i := range p.segIdx {
-		seen[i] = struct{}{}
-	}
-	for _, j := range q.segIdx {
-		if _, ok := seen[j]; ok {
-			return true
+		for _, j := range q.segIdx {
+			if i == j {
+				return true
+			}
 		}
 	}
 	return false

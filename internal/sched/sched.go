@@ -49,38 +49,55 @@ type Schedule struct {
 	MakespanCycles float64
 }
 
-// Compute evaluates the time model. lambdas[e] is the number of
-// wavelengths reserved for edge e; every positive-volume edge needs at
-// least one. bitsPerCycle is B; the paper-scale experiments use 1 bit
-// per cycle per wavelength.
-func Compute(g *graph.TaskGraph, lambdas []int, bitsPerCycle float64) (*Schedule, error) {
-	if len(lambdas) != g.NumEdges() {
-		return nil, fmt.Errorf("sched: %d lambda counts for %d edges", len(lambdas), g.NumEdges())
-	}
-	if bitsPerCycle <= 0 {
-		return nil, fmt.Errorf("sched: bits per cycle must be positive, got %v", bitsPerCycle)
-	}
-	for e, n := range lambdas {
-		if n < 0 {
-			return nil, fmt.Errorf("sched: edge %d has negative wavelength count %d", e, n)
-		}
-		if n == 0 && g.Edges[e].VolumeBits > 0 {
-			return nil, fmt.Errorf("sched: edge %d carries %v bits over zero wavelengths", e, g.Edges[e].VolumeBits)
-		}
-	}
+// Planner is the reusable form of the time model: it caches the
+// graph's topological order and predecessor lists once so the GA's
+// evaluation loop can recompute schedules for millions of wavelength
+// count vectors without re-deriving (or re-allocating) either.
+type Planner struct {
+	g     *graph.TaskGraph
+	order []int
+	preds [][]int
+}
+
+// NewPlanner validates the graph's acyclicity and caches its
+// traversal structure.
+func NewPlanner(g *graph.TaskGraph) (*Planner, error) {
 	order, err := g.TopoOrder()
 	if err != nil {
 		return nil, err
 	}
-	s := &Schedule{
-		TaskStart: make([]float64, g.NumTasks()),
-		TaskEnd:   make([]float64, g.NumTasks()),
-		Comm:      make([]Window, g.NumEdges()),
+	return &Planner{g: g, order: order, preds: g.Preds()}, nil
+}
+
+// Graph returns the planner's task graph.
+func (p *Planner) Graph() *graph.TaskGraph { return p.g }
+
+// ComputeInto evaluates the time model into s, reusing its slices
+// when their capacity suffices — a steady-state caller performs zero
+// heap allocations. On error s is left in an unspecified state.
+func (p *Planner) ComputeInto(s *Schedule, lambdas []int, bitsPerCycle float64) error {
+	g := p.g
+	if len(lambdas) != g.NumEdges() {
+		return fmt.Errorf("sched: %d lambda counts for %d edges", len(lambdas), g.NumEdges())
 	}
-	preds := g.Preds()
-	for _, t := range order {
+	if bitsPerCycle <= 0 {
+		return fmt.Errorf("sched: bits per cycle must be positive, got %v", bitsPerCycle)
+	}
+	for e, n := range lambdas {
+		if n < 0 {
+			return fmt.Errorf("sched: edge %d has negative wavelength count %d", e, n)
+		}
+		if n == 0 && g.Edges[e].VolumeBits > 0 {
+			return fmt.Errorf("sched: edge %d carries %v bits over zero wavelengths", e, g.Edges[e].VolumeBits)
+		}
+	}
+	s.TaskStart = grow(s.TaskStart, g.NumTasks())
+	s.TaskEnd = grow(s.TaskEnd, g.NumTasks())
+	s.Comm = grow(s.Comm, g.NumEdges())
+	s.MakespanCycles = 0
+	for _, t := range p.order {
 		start := 0.0
-		for _, ei := range preds[t] {
+		for _, ei := range p.preds[t] {
 			e := g.Edges[ei]
 			// The producer's completion gates the transfer; the
 			// transfer's completion gates the consumer (Eq. 12).
@@ -100,7 +117,50 @@ func Compute(g *graph.TaskGraph, lambdas []int, bitsPerCycle float64) (*Schedule
 			s.MakespanCycles = s.TaskEnd[t]
 		}
 	}
+	return nil
+}
+
+// grow returns a length-n slice reusing s's storage when it fits.
+func grow[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
+// ComputeInto is the single-shot form of Planner.ComputeInto: it
+// re-derives the traversal order each call but still reuses s's
+// slices. Callers with a fixed graph should hold a Planner instead.
+func ComputeInto(s *Schedule, g *graph.TaskGraph, lambdas []int, bitsPerCycle float64) error {
+	p, err := NewPlanner(g)
+	if err != nil {
+		return err
+	}
+	return p.ComputeInto(s, lambdas, bitsPerCycle)
+}
+
+// Compute evaluates the time model. lambdas[e] is the number of
+// wavelengths reserved for edge e; every positive-volume edge needs at
+// least one. bitsPerCycle is B; the paper-scale experiments use 1 bit
+// per cycle per wavelength.
+func Compute(g *graph.TaskGraph, lambdas []int, bitsPerCycle float64) (*Schedule, error) {
+	s := &Schedule{}
+	if err := ComputeInto(s, g, lambdas, bitsPerCycle); err != nil {
+		return nil, err
+	}
 	return s, nil
+}
+
+// Clone deep-copies the schedule, detaching it from any scratch
+// storage it was computed into.
+func (s *Schedule) Clone() *Schedule {
+	c := &Schedule{
+		TaskStart:      append([]float64(nil), s.TaskStart...),
+		TaskEnd:        append([]float64(nil), s.TaskEnd...),
+		Comm:           append([]Window(nil), s.Comm...),
+		MakespanCycles: s.MakespanCycles,
+	}
+	return c
 }
 
 // MinMakespanCycles is the infinite-bandwidth floor of the makespan:

@@ -258,3 +258,101 @@ func TestValidateCatchesCorruptedSchedules(t *testing.T) {
 		t.Fatalf("pristine schedule failed validation: %v", err)
 	}
 }
+
+func TestPlannerMatchesCompute(t *testing.T) {
+	g := graph.PaperApp()
+	pl, err := NewPlanner(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Graph() != g {
+		t.Fatal("planner lost its graph")
+	}
+	var scratch Schedule
+	for _, lambdas := range [][]int{
+		ones(g.NumEdges()),
+		{1, 4, 2, 3, 2, 3},
+		{8, 8, 8, 8, 8, 8},
+	} {
+		want, err := Compute(g, lambdas, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pl.ComputeInto(&scratch, lambdas, 1); err != nil {
+			t.Fatal(err)
+		}
+		if scratch.MakespanCycles != want.MakespanCycles {
+			t.Errorf("lambdas %v: makespan %v, want %v", lambdas, scratch.MakespanCycles, want.MakespanCycles)
+		}
+		for i := range want.Comm {
+			if scratch.Comm[i] != want.Comm[i] {
+				t.Errorf("lambdas %v: window %d = %+v, want %+v", lambdas, i, scratch.Comm[i], want.Comm[i])
+			}
+		}
+		if err := scratch.Validate(g); err != nil {
+			t.Errorf("lambdas %v: %v", lambdas, err)
+		}
+	}
+}
+
+func TestPlannerComputeIntoReusesStorage(t *testing.T) {
+	g := graph.PaperApp()
+	pl, err := NewPlanner(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Schedule
+	lambdas := []int{1, 4, 2, 3, 2, 3}
+	if err := pl.ComputeInto(&s, lambdas, 1); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := pl.ComputeInto(&s, lambdas, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state ComputeInto allocates %v objects per run, want 0", allocs)
+	}
+}
+
+func TestPlannerComputeIntoRejectsBadInput(t *testing.T) {
+	g := graph.PaperApp()
+	pl, err := NewPlanner(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Schedule
+	if err := pl.ComputeInto(&s, []int{1}, 1); err == nil {
+		t.Error("short lambda vector must be rejected")
+	}
+	if err := pl.ComputeInto(&s, ones(g.NumEdges()), 0); err == nil {
+		t.Error("zero bits per cycle must be rejected")
+	}
+	bad := ones(g.NumEdges())
+	bad[0] = -1
+	if err := pl.ComputeInto(&s, bad, 1); err == nil {
+		t.Error("negative count must be rejected")
+	}
+	bad[0] = 0
+	if err := pl.ComputeInto(&s, bad, 1); err == nil {
+		t.Error("zero wavelengths on a loaded edge must be rejected")
+	}
+}
+
+func TestScheduleClone(t *testing.T) {
+	g := graph.PaperApp()
+	s, err := Compute(g, ones(g.NumEdges()), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.Clone()
+	c.TaskEnd[0] += 1
+	c.Comm[0].End += 1
+	if s.TaskEnd[0] == c.TaskEnd[0] || s.Comm[0].End == c.Comm[0].End {
+		t.Error("clone shares storage with the original")
+	}
+	if c.MakespanCycles != s.MakespanCycles {
+		t.Error("clone lost the makespan")
+	}
+}
