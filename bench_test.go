@@ -459,6 +459,38 @@ func BenchmarkSchedule(b *testing.B) {
 	}
 }
 
+// BenchmarkSchedSharedCore measures the core-serialized analytic time
+// model on a 64-task shared-core workload — the list-dispatch hot
+// path that shared-core campaigns add to every chromosome evaluation.
+// Must stay at 0 allocs/op, like the injective path.
+func BenchmarkSchedSharedCore(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	g, err := graph.Chain(rng, 64, graph.DefaultGenConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := graph.SharedRandomMapping(rng, g, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := sched.NewPlannerMapped(g, m, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lambdas := make([]int, g.NumEdges())
+	for i := range lambdas {
+		lambdas[i] = 1 + i%3
+	}
+	var s sched.Schedule
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.ComputeInto(&s, lambdas, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSignalArrival measures one loss-budget walk.
 func BenchmarkSignalArrival(b *testing.B) {
 	r, err := ring.New(ring.DefaultConfig(8))

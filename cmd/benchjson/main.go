@@ -1,0 +1,99 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON document on stdout, so CI can archive the
+// benchmark trajectory (BENCH_*.json artifacts) instead of scraping
+// logs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem | benchjson > BENCH.json
+//
+// Each benchmark line becomes one record with the iteration count and
+// a metrics map keyed by unit ("ns/op", "B/op", "allocs/op", plus any
+// custom b.ReportMetric units such as "hypervolume"). The goos/goarch/
+// pkg/cpu header lines land in the environment map.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type record struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type document struct {
+	Schema      string            `json:"schema"`
+	Environment map[string]string `json:"environment,omitempty"`
+	Benchmarks  []record          `json:"benchmarks"`
+}
+
+func main() {
+	doc, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) (*document, error) {
+	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
+	doc := &document{Schema: "benchjson/v1", Environment: map[string]string{}}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"), strings.HasPrefix(line, "cpu:"):
+			if k, v, ok := strings.Cut(line, ":"); ok {
+				doc.Environment[k] = strings.TrimSpace(v)
+			}
+		case strings.HasPrefix(line, "Benchmark"):
+			rec, ok := parseBench(line)
+			if ok {
+				doc.Benchmarks = append(doc.Benchmarks, rec)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines on stdin")
+	}
+	return doc, nil
+}
+
+// parseBench reads "BenchmarkX-8  100  12.3 ns/op  0 B/op  1 allocs/op
+// 4.5 custom" lines: a name, an iteration count, then value/unit
+// pairs.
+func parseBench(line string) (record, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return record{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return record{}, false
+	}
+	rec := record{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return record{}, false
+		}
+		rec.Metrics[fields[i+1]] = v
+	}
+	return rec, true
+}

@@ -24,16 +24,24 @@
 // Campaign mode fans a whole sweep of independent cells — the cross
 // product of comb sizes, objective sets, workloads and replicate
 // seeds — across a bounded pool of cell workers. Results and
-// artifacts are bit-for-bit independent of the worker counts:
+// artifacts are bit-for-bit independent of the worker counts. Every
+// cell's projected-front genomes are cross-run on the
+// cycle-resolution simulator; the "sim viol" column (and the
+// sim_checked/sim_violations JSON fields) must stay at zero
+// violations:
 //
 //	-campaign         run a campaign instead of a single suite
 //	-cellworkers int  cells explored concurrently (default 1)
 //	-reps int         replicate seeds per cell (default 1)
 //	-objsets string   comma-separated objective sets: teb, te, tb
 //	                  (default "teb")
+//	-warmstart        seed every cell's GA with the heuristic
+//	                  allocations
 //	-workloads string comma-separated workloads: paper, chain<N>,
 //	                  forkjoin<W>, fft<N>, gauss<N>, diamond<N>
-//	                  (default "paper")
+//	                  (default "paper"). Specs above 16 tasks (e.g.
+//	                  chain32, fft64, gauss8) get load-balanced
+//	                  shared-core mappings, serialized per core.
 //	-json string      write the campaign JSON artifact to this file
 //	-csv string       write the campaign CSV table to this file
 package main
@@ -67,7 +75,8 @@ func main() {
 		cellworkers = flag.Int("cellworkers", 1, "campaign cells explored concurrently (results identical)")
 		reps        = flag.Int("reps", 1, "campaign replicate seeds per cell")
 		objsets     = flag.String("objsets", "teb", "comma-separated campaign objective sets: teb, te, tb")
-		workloads   = flag.String("workloads", "paper", "comma-separated campaign workloads: paper, chain<N>, forkjoin<W>, fft<N>, gauss<N>, diamond<N>")
+		warmstart   = flag.Bool("warmstart", false, "seed every campaign cell's GA with the heuristic allocations")
+		workloads   = flag.String("workloads", "paper", "comma-separated campaign workloads: paper, chain<N>, forkjoin<W>, fft<N>, gauss<N>, diamond<N> (>16-task specs share cores)")
 		jsonPath    = flag.String("json", "", "write the campaign JSON artifact to this file")
 	)
 	flag.Parse()
@@ -95,7 +104,7 @@ func main() {
 	var err error
 	conflicting := []string{"exp", "seeds"}
 	if !*campaign {
-		conflicting = []string{"json", "cellworkers", "reps", "objsets", "workloads"}
+		conflicting = []string{"json", "cellworkers", "reps", "objsets", "workloads", "warmstart"}
 	}
 	for _, name := range conflicting {
 		if explicitly[name] {
@@ -109,7 +118,7 @@ func main() {
 	}
 	if err == nil {
 		if *campaign {
-			err = runCampaign(*nws, *pop, *gens, *seed, *cellworkers, *workers, *reps, *objsets, *workloads, *jsonPath, *csv)
+			err = runCampaign(*nws, *pop, *gens, *seed, *cellworkers, *workers, *reps, *objsets, *workloads, *jsonPath, *csv, *warmstart)
 		} else {
 			err = run(*exp, *nws, *pop, *gens, *seed, *csv, *seeds, *workers)
 		}
@@ -122,7 +131,7 @@ func main() {
 
 // runCampaign drives the multi-cell sweep: deterministic cells,
 // bounded fan-out, progress on stderr, artifacts on demand.
-func runCampaign(nws string, pop, gens int, seed int64, cellWorkers, evalWorkers, reps int, objsets, workloads, jsonPath, csvPath string) error {
+func runCampaign(nws string, pop, gens int, seed int64, cellWorkers, evalWorkers, reps int, objsets, workloads, jsonPath, csvPath string, warmStart bool) error {
 	cfg := expt.CampaignConfig{
 		Pop:         pop,
 		Generations: gens,
@@ -130,6 +139,7 @@ func runCampaign(nws string, pop, gens int, seed int64, cellWorkers, evalWorkers
 		Replicates:  reps,
 		CellWorkers: cellWorkers,
 		EvalWorkers: evalWorkers,
+		WarmStart:   warmStart,
 	}
 	var err error
 	cfg.NWs, err = parseNWs(nws)

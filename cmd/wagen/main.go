@@ -1,7 +1,9 @@
 // Command wagen generates synthetic task graphs in the textual format
-// the other tools consume, with an optional random one-to-one mapping
-// onto the ring cores — the workload generator of the benchmark
-// harness.
+// the other tools consume, with an optional random mapping onto the
+// ring cores — the workload generator of the benchmark harness.
+// Graphs with at most -cores tasks get a one-to-one mapping; larger
+// graphs get a load-balanced shared-core mapping (several tasks
+// serialized per core).
 //
 // Usage:
 //
@@ -71,8 +73,13 @@ func run(kind string, tasks, layers, width int, p float64, seed int64, cores int
 	var m graph.Mapping
 	if kind == "paper" && cores == 16 {
 		m = graph.PaperMapping()
-	} else if cores > 0 {
+	} else if cores > 0 && g.NumTasks() <= cores {
 		m, err = graph.RandomMapping(rng, g, cores)
+		if err != nil {
+			return err
+		}
+	} else if cores > 0 {
+		m, err = graph.SharedRandomMapping(rng, g, cores)
 		if err != nil {
 			return err
 		}

@@ -141,6 +141,42 @@ func TestGeneratedWorkloadEndToEnd(t *testing.T) {
 	}
 }
 
+func TestSharedCoreCampaignEndToEnd(t *testing.T) {
+	// The acceptance path of the shared-core change: a campaign over a
+	// >16-task workload (the CLI's `wadate -campaign -workloads
+	// chain32` route) completes with every projected-front genome
+	// cross-checked on the simulator and zero violations.
+	wl, err := expt.NamedWorkload("chain32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp, err := expt.RunCampaign(expt.CampaignConfig{
+		NWs:           []int{8},
+		ObjectiveSets: []core.ObjectiveSet{core.TimeEnergyBER},
+		Workloads:     []expt.Workload{wl},
+		Pop:           24,
+		Generations:   10,
+		Seed:          13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cr := range camp.Cells {
+		if cr.Result == nil || len(cr.Result.Valid) == 0 {
+			t.Fatalf("cell %v found no valid allocations for the shared-core workload", cr.Cell)
+		}
+		if cr.SimChecked == 0 {
+			t.Fatalf("cell %v: simulator cross-check did not run", cr.Cell)
+		}
+		if cr.SimViolations != 0 {
+			t.Fatalf("cell %v: %d simulator violations on a shared-core workload", cr.Cell, cr.SimViolations)
+		}
+		if cr.SimBracketMisses != 0 {
+			t.Fatalf("cell %v: %d makespan bracket misses on a shared-core workload", cr.Cell, cr.SimBracketMisses)
+		}
+	}
+}
+
 func TestPipelineDeterminism(t *testing.T) {
 	// The same configuration must reproduce the same rendered figure,
 	// byte for byte.

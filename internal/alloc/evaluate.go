@@ -94,7 +94,7 @@ func (in *Instance) bankFor(e int, s *sched.Schedule, sets [][]int) ring.BankSta
 	nw := in.Channels()
 	bank := ring.NewBank(in.Ring.Size(), nw)
 	for o := 0; o < in.Edges(); o++ {
-		if in.App.Edges[o].VolumeBits <= 0 {
+		if in.App.Edges[o].VolumeBits <= 0 || in.selfEdge[o] {
 			continue
 		}
 		if in.paths[o].Dir != in.paths[e].Dir {

@@ -41,7 +41,7 @@ func NewEvaluator(in *Instance) (*Evaluator, error) {
 	if in == nil {
 		return nil, fmt.Errorf("alloc: nil instance")
 	}
-	planner, err := sched.NewPlanner(in.App)
+	planner, err := sched.NewPlannerMapped(in.App, in.Map, in.Ring.Size())
 	if err != nil {
 		return nil, err
 	}
@@ -125,7 +125,10 @@ func (e *Evaluator) EvaluateInto(out *Eval, g Genome) {
 		e.eff[ei] = n
 		e.commBER[ei] = 0
 		e.commFJ[ei] = 0
-		if n == 0 && in.App.Edges[ei].VolumeBits > 0 {
+		// Self edges (same-core endpoints under a shared mapping) are
+		// served by the core's memory: they need no wavelengths and any
+		// reserved ones are inert.
+		if n == 0 && in.App.Edges[ei].VolumeBits > 0 && !in.selfEdge[ei] {
 			violation++
 			if reason == "" {
 				reason = fmt.Sprintf("communication %s reserves no wavelength", in.App.Edges[ei].Name)
@@ -180,7 +183,9 @@ func (e *Evaluator) EvaluateInto(out *Eval, g Genome) {
 	var berN int
 	var totalFJ, totalBits float64
 	for ei := 0; ei < nl; ei++ {
-		if in.App.Edges[ei].VolumeBits <= 0 || e.counts[ei] == 0 {
+		// Self edges never reach the optics: no BER, no laser energy,
+		// and their bits do not count as optically transmitted.
+		if in.App.Edges[ei].VolumeBits <= 0 || e.counts[ei] == 0 || in.selfEdge[ei] {
 			continue
 		}
 		e.fillBank(ei, s)
@@ -208,7 +213,7 @@ func (e *Evaluator) EvaluateInto(out *Eval, g Genome) {
 			// transfer is active, walked along the interferer's own
 			// route.
 			for o := 0; in.Xtalk.inter() && o < nl; o++ {
-				if o == ei || e.counts[o] == 0 || in.App.Edges[o].VolumeBits <= 0 {
+				if o == ei || e.counts[o] == 0 || in.App.Edges[o].VolumeBits <= 0 || in.selfEdge[o] {
 					continue
 				}
 				// Counter-propagating transfers live on the twin
@@ -265,7 +270,7 @@ func (e *Evaluator) fillBank(ei int, s *sched.Schedule) {
 	in := e.in
 	e.bank.Reset()
 	for o := 0; o < in.Edges(); o++ {
-		if in.App.Edges[o].VolumeBits <= 0 {
+		if in.App.Edges[o].VolumeBits <= 0 || in.selfEdge[o] {
 			continue
 		}
 		if in.paths[o].Dir != in.paths[ei].Dir {

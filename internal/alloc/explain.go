@@ -92,7 +92,9 @@ func (in *Instance) Explain(g Genome) (*Explanation, error) {
 
 	ex := &Explanation{Eval: ev}
 	for e := 0; e < in.Edges(); e++ {
-		if in.App.Edges[e].VolumeBits <= 0 || len(sets[e]) == 0 {
+		// Self edges have no link budget: nothing travels the
+		// waveguide.
+		if in.App.Edges[e].VolumeBits <= 0 || len(sets[e]) == 0 || in.selfEdge[e] {
 			continue
 		}
 		bank := in.bankFor(e, ev.Schedule, sets)

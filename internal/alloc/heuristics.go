@@ -51,9 +51,11 @@ func (p Policy) String() string {
 // Assign builds a genome reserving counts[e] wavelengths for each
 // communication following the policy. Communications are processed in
 // order of their activity-window start (the schedule is fully
-// determined by the counts); each pick avoids channels that would
-// violate the validity rule against already-assigned, time- and
-// path-overlapping communications. rng is only consulted by
+// determined by the counts and the instance's mapping); each pick
+// avoids channels that would violate the validity rule against
+// already-assigned, time- and path-overlapping communications. Self
+// edges of shared-core mappings are skipped — they need no
+// wavelengths, whatever their count says. rng is only consulted by
 // RandomFit. Returns an error when a communication cannot be served,
 // i.e. the counts are infeasible for this policy.
 func Assign(in *Instance, counts []int, policy Policy, rng *rand.Rand) (Genome, error) {
@@ -63,8 +65,12 @@ func Assign(in *Instance, counts []int, policy Policy, rng *rand.Rand) (Genome, 
 	if policy == RandomFit && rng == nil {
 		return Genome{}, fmt.Errorf("alloc: random assignment needs a rand source")
 	}
-	s, err := sched.Compute(in.App, counts, in.BitsPerCycle)
+	p, err := sched.NewPlannerMapped(in.App, in.Map, in.Ring.Size())
 	if err != nil {
+		return Genome{}, err
+	}
+	s := &sched.Schedule{}
+	if err := p.ComputeInto(s, counts, in.BitsPerCycle); err != nil {
 		return Genome{}, err
 	}
 	order := make([]int, in.Edges())
@@ -80,7 +86,7 @@ func Assign(in *Instance, counts []int, policy Policy, rng *rand.Rand) (Genome, 
 	usage := make([]int, nw) // how many assigned communications use each channel
 	assigned := make([]bool, in.Edges())
 	for _, e := range order {
-		if counts[e] == 0 {
+		if counts[e] == 0 || in.SelfEdge(e) {
 			assigned[e] = true
 			continue
 		}

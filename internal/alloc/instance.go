@@ -52,6 +52,12 @@ func (m CrosstalkMode) inter() bool { return m == XtalkBoth || m == XtalkInterOn
 // task graph mapped onto a ring ONoC, with the data rate and energy
 // calibration. It precomputes the per-communication ring paths so the
 // GA's evaluation loop does no repeated path construction.
+//
+// The mapping may be shared-core (several tasks per core): the
+// evaluation then runs the core-serialized time model, and edges
+// between same-core tasks become zero-cost self edges outside the
+// optical layer. Injective mappings (the paper's Definition 3)
+// evaluate bit-identically to the original model.
 type Instance struct {
 	Ring *ring.Ring
 	App  *graph.TaskGraph
@@ -64,9 +70,10 @@ type Instance struct {
 	// Explain; the zero value is the full physical model.
 	Xtalk CrosstalkMode
 
-	paths   []ring.Path // per edge: src core -> dst core route
-	srcCore []int       // per edge
-	dstCore []int       // per edge
+	paths    []ring.Path // per edge: src core -> dst core route
+	srcCore  []int       // per edge
+	dstCore  []int       // per edge
+	selfEdge []bool      // per edge: endpoints mapped onto the same core
 	// pathOverlap[i*Nl+j] caches paths[i].Overlaps(paths[j]) — the
 	// pair relation is fixed at instance construction and sits on the
 	// validity check of every evaluation.
@@ -104,16 +111,24 @@ func NewInstance(r *ring.Ring, app *graph.TaskGraph, m graph.Mapping, bitsPerCyc
 		paths:        make([]ring.Path, app.NumEdges()),
 		srcCore:      make([]int, app.NumEdges()),
 		dstCore:      make([]int, app.NumEdges()),
+		selfEdge:     make([]bool, app.NumEdges()),
 	}
 	for ei, e := range app.Edges {
 		src, dst := m[e.Src], m[e.Dst]
+		in.srcCore[ei] = src
+		in.dstCore[ei] = dst
+		if src == dst {
+			// Shared-core mapping: the transfer stays in the core's
+			// memory and never enters the optical layer.
+			in.paths[ei] = ring.SelfPath(src)
+			in.selfEdge[ei] = true
+			continue
+		}
 		p, err := r.PathBetween(src, dst)
 		if err != nil {
 			return nil, fmt.Errorf("alloc: edge %s: %v", e.Name, err)
 		}
 		in.paths[ei] = p
-		in.srcCore[ei] = src
-		in.dstCore[ei] = dst
 	}
 	nl := app.NumEdges()
 	in.pathOverlap = make([]bool, nl*nl)
@@ -157,6 +172,11 @@ func (in *Instance) SrcCore(e int) int { return in.srcCore[e] }
 
 // DstCore returns the destination core of edge e.
 func (in *Instance) DstCore(e int) int { return in.dstCore[e] }
+
+// SelfEdge reports whether edge e connects two tasks mapped onto the
+// same core. Self edges need no wavelengths, emit no light and cost
+// zero cycles; wavelengths a genome reserves on them are ignored.
+func (in *Instance) SelfEdge(e int) bool { return in.selfEdge[e] }
 
 // NewZeroGenome returns an all-zero chromosome of this instance's
 // shape.

@@ -78,7 +78,10 @@ type Config struct {
 	// Ring optionally overrides the platform; its Grid.Channels must
 	// equal NW when set.
 	Ring *ring.Config
-	// App and Mapping optionally override the workload.
+	// App and Mapping optionally override the workload. The mapping
+	// may place several tasks on one core (shared-core regime): the
+	// evaluation stack then core-serializes same-core tasks, and
+	// campaigns can sweep workloads larger than the 16-core platform.
 	App     *graph.TaskGraph
 	Mapping graph.Mapping
 	// BitsPerCycle is B of the time model.

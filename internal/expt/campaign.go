@@ -13,9 +13,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/alloc"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/nsga2"
+	"repro/internal/sim"
 )
 
 // This file implements the campaign layer: large multi-cell
@@ -45,6 +47,11 @@ func PaperWorkload() Workload { return Workload{Name: "paper"} }
 // graphs draw volumes and execution times from the default generator
 // configuration with a PRNG seeded by the spec string, so the same
 // name always denotes the same workload.
+//
+// Workloads with at most 16 tasks keep the paper's injective random
+// mapping; larger ones (chain64, fft64, gauss8, ...) get a
+// load-balanced shared-core mapping, which the core-serialized time
+// model and the simulator handle end to end.
 func NamedWorkload(spec string) (Workload, error) {
 	if spec == "paper" {
 		return PaperWorkload(), nil
@@ -54,8 +61,8 @@ func NamedWorkload(spec string) (Workload, error) {
 		return Workload{}, fmt.Errorf("expt: unknown workload %q (want paper, chain<N>, forkjoin<W>, fft<N>, gauss<N> or diamond<N>)", spec)
 	}
 	n, err := strconv.Atoi(spec[len(kind):])
-	if err != nil {
-		return Workload{}, fmt.Errorf("expt: workload %q: bad size", spec)
+	if err != nil || n < 1 {
+		return Workload{}, fmt.Errorf("expt: workload %q: size must be >= 1 (shared-core mappings support more than %d tasks)", spec, PlatformCores)
 	}
 	h := fnv.New64a()
 	io.WriteString(h, spec)
@@ -79,7 +86,14 @@ func NamedWorkload(spec string) (Workload, error) {
 	if err != nil {
 		return Workload{}, fmt.Errorf("expt: workload %q: %w", spec, err)
 	}
-	m, err := graph.RandomMapping(rng, g, PlatformCores)
+	// Small graphs keep the historical injective mapping (existing
+	// specs stay bit-identical); larger graphs share cores.
+	var m graph.Mapping
+	if g.NumTasks() <= PlatformCores {
+		m, err = graph.RandomMapping(rng, g, PlatformCores)
+	} else {
+		m, err = graph.SharedRandomMapping(rng, g, PlatformCores)
+	}
 	if err != nil {
 		return Workload{}, fmt.Errorf("expt: workload %q: %w", spec, err)
 	}
@@ -230,6 +244,21 @@ type CellResult struct {
 	Result  *core.Result
 	Err     error
 	Elapsed time.Duration
+	// SimChecked counts the distinct projected-front genomes that were
+	// cross-run on the cycle-resolution simulator; SimViolations sums
+	// their occupancy double-bookings ((segment, channel) and core).
+	// Any nonzero SimViolations means the analytic validity rule and
+	// the simulator disagree — a model bug, not a workload property.
+	SimChecked    int
+	SimViolations int
+	// SimBracketMisses counts genomes whose integer makespan fell
+	// outside the expected analytic bracket. The bracket allows one
+	// ceiling per task and communication plus one task execution (an
+	// integer-rounding tie on a shared core may dispatch same-core
+	// tasks in a different order than the fractional model), so a miss
+	// flags a scheduling disagreement worth investigating rather than
+	// a hard invariant breach.
+	SimBracketMisses int
 }
 
 // Campaign is the outcome of one campaign run.
@@ -352,7 +381,8 @@ func firstErr(results []CellResult) error {
 	return nil
 }
 
-// runCell executes one exploration with the cell's derived seed.
+// runCell executes one exploration with the cell's derived seed, then
+// cross-checks the projected fronts on the simulator.
 func runCell(cfg CampaignConfig, wl Workload, cell Cell) CellResult {
 	t0 := time.Now()
 	p, err := core.New(core.Config{
@@ -372,7 +402,52 @@ func runCell(cfg CampaignConfig, wl Workload, cell Cell) CellResult {
 		return CellResult{Cell: cell, Err: err, Elapsed: time.Since(t0)}
 	}
 	res, err := p.Optimize()
-	return CellResult{Cell: cell, Result: res, Err: err, Elapsed: time.Since(t0)}
+	cr := CellResult{Cell: cell, Result: res, Err: err}
+	if err == nil && res != nil {
+		cr.SimChecked, cr.SimViolations, cr.SimBracketMisses, cr.Err = simCheck(p.Instance(), res)
+	}
+	cr.Elapsed = time.Since(t0)
+	return cr
+}
+
+// simCheck runs every distinct projected-front genome of a cell
+// through the cycle-resolution simulator. Occupancy double-bookings
+// ((segment, channel) and core) are violations — the hard invariant.
+// An integer makespan outside [analytic − ε, analytic + one ceiling
+// per task and communication + one maximal task execution] counts
+// separately as a bracket miss: on shared cores an integer-rounding
+// tie can reorder same-core dispatch against the fractional model, so
+// the looser bound keeps a correct model/simulator pair at zero.
+func simCheck(in *alloc.Instance, res *core.Result) (checked, violations, bracketMisses int, err error) {
+	var maxExec float64
+	for _, t := range in.App.Tasks {
+		if t.ExecCycles > maxExec {
+			maxExec = t.ExecCycles
+		}
+	}
+	slack := float64(in.App.NumTasks()+in.Edges()+1) + maxExec
+	seen := make(map[string]bool)
+	for _, front := range [][]core.Solution{res.FrontTimeEnergy, res.FrontTimeBER} {
+		for _, sol := range front {
+			key := sol.Genome.Key()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			r, serr := sim.Run(in, sol.Genome, sim.Options{})
+			if serr != nil {
+				return checked, violations, bracketMisses, fmt.Errorf("sim cross-check: %w", serr)
+			}
+			checked++
+			violations += len(r.Violations)
+			simT := float64(r.MakespanCycles)
+			analytic := sol.TimeKCC * 1000
+			if simT < analytic-maxExec-1e-6 || simT > analytic+slack {
+				bracketMisses++
+			}
+		}
+	}
+	return checked, violations, bracketMisses, nil
 }
 
 // ---- artifacts ----
@@ -406,6 +481,9 @@ type cellJSON struct {
 	ValidEvaluations  int         `json:"valid_evaluations"`
 	DistinctEvaluated int         `json:"distinct_evaluated"`
 	DistinctValid     int         `json:"distinct_valid"`
+	SimChecked        int         `json:"sim_checked"`
+	SimViolations     int         `json:"sim_violations"`
+	SimBracketMisses  int         `json:"sim_bracket_misses"`
 	BestTimeKCC       *float64    `json:"best_time_kcc,omitempty"`
 	MinEnergyFJ       *float64    `json:"min_energy_fj,omitempty"`
 	FrontTimeEnergy   []pointJSON `json:"front_time_energy,omitempty"`
@@ -464,6 +542,9 @@ func WriteCampaignJSON(w io.Writer, c *Campaign) error {
 		if cr.Err != nil {
 			cj.Error = cr.Err.Error()
 		}
+		cj.SimChecked = cr.SimChecked
+		cj.SimViolations = cr.SimViolations
+		cj.SimBracketMisses = cr.SimBracketMisses
 		if res := cr.Result; res != nil {
 			cj.Evaluations = res.Evaluations
 			cj.ValidEvaluations = res.ValidEvaluations
@@ -507,7 +588,7 @@ func WriteCampaignCSV(w io.Writer, c *Campaign) error {
 // CampaignSummary renders the per-cell outcome table for the
 // terminal.
 func CampaignSummary(c *Campaign) string {
-	headers := []string{"cell", "workload", "objectives", "NW", "rep", "evals", "valid", "best t (k-cc)", "min E (fJ/bit)", "|front TE|", "|front TB|", "wall"}
+	headers := []string{"cell", "workload", "objectives", "NW", "rep", "evals", "valid", "best t (k-cc)", "min E (fJ/bit)", "|front TE|", "|front TB|", "sim viol", "wall"}
 	var rows [][]string
 	for _, cr := range c.Cells {
 		row := []string{
@@ -518,7 +599,7 @@ func CampaignSummary(c *Campaign) string {
 			strconv.Itoa(cr.Cell.Replicate),
 		}
 		if cr.Err != nil {
-			row = append(row, "error: "+cr.Err.Error(), "", "", "", "", "", cr.Elapsed.Round(time.Millisecond).String())
+			row = append(row, "error: "+cr.Err.Error(), "", "", "", "", "", "", cr.Elapsed.Round(time.Millisecond).String())
 		} else if cr.Result != nil {
 			best := "-"
 			if bt := cr.Result.BestTimeKCC(); !math.IsInf(bt, 1) {
@@ -535,6 +616,7 @@ func CampaignSummary(c *Campaign) string {
 				minE,
 				strconv.Itoa(len(cr.Result.FrontTimeEnergy)),
 				strconv.Itoa(len(cr.Result.FrontTimeBER)),
+				fmt.Sprintf("%d/%d", cr.SimViolations, cr.SimChecked),
 				cr.Elapsed.Round(time.Millisecond).String(),
 			)
 		}

@@ -192,10 +192,120 @@ func TestNamedWorkloads(t *testing.T) {
 			}
 		}
 	}
-	for _, bad := range []string{"", "paper2x", "fft", "fft0", "mesh4", "chain999"} {
+	for _, bad := range []string{"", "paper2x", "fft", "fft0", "mesh4", "chain0"} {
 		if _, err := NamedWorkload(bad); err == nil {
 			t.Errorf("%q: want error", bad)
 		}
+	}
+	// Out-of-range sizes fail with an actionable message, not a raw
+	// internal error.
+	if _, err := NamedWorkload("chain0"); err == nil ||
+		!strings.Contains(err.Error(), "size must be >= 1") ||
+		!strings.Contains(err.Error(), "shared-core") {
+		t.Errorf("chain0 error = %v, want the size/shared-core message", err)
+	}
+}
+
+// TestNamedWorkloadsBeyondPlatform pins the tentpole: specs larger
+// than the 16-core platform resolve through load-balanced shared-core
+// mappings instead of failing.
+func TestNamedWorkloadsBeyondPlatform(t *testing.T) {
+	for _, spec := range []string{"chain32", "chain64", "fft64", "gauss8", "diamond6"} {
+		wl, err := NamedWorkload(spec)
+		if err != nil {
+			t.Errorf("%s: %v", spec, err)
+			continue
+		}
+		n := wl.App.NumTasks()
+		if n <= PlatformCores {
+			t.Errorf("%s: only %d tasks, expected a >%d-task workload", spec, n, PlatformCores)
+		}
+		if err := wl.Mapping.Validate(wl.App, PlatformCores); err != nil {
+			t.Errorf("%s: %v", spec, err)
+		}
+		if wl.Mapping.Injective() {
+			t.Errorf("%s: %d tasks on %d cores cannot be injective", spec, n, PlatformCores)
+		}
+		// Load-balanced: no core idles while another is overloaded by
+		// more than one task.
+		loads := wl.Mapping.CoreLoads(PlatformCores)
+		min, max := loads[0], loads[0]
+		for _, l := range loads[1:] {
+			if l < min {
+				min = l
+			}
+			if l > max {
+				max = l
+			}
+		}
+		if max-min > 1 {
+			t.Errorf("%s: core loads spread %d..%d, want load-balanced", spec, min, max)
+		}
+		// Determinism, as for the small specs.
+		again, err := NamedWorkload(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range wl.Mapping {
+			if wl.Mapping[i] != again.Mapping[i] {
+				t.Errorf("%s: mapping not deterministic", spec)
+				break
+			}
+		}
+	}
+}
+
+// TestCampaignSharedCoreDeterminism is the shared-core arm of the
+// campaign determinism guarantee: a workload larger than the 16-core
+// platform produces byte-identical artifacts for any worker counts,
+// and its projected-front genomes pass the simulator cross-check with
+// zero violations. CI runs this under -race.
+func TestCampaignSharedCoreDeterminism(t *testing.T) {
+	wl, err := NamedWorkload("chain20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl.Mapping.Injective() {
+		t.Fatal("chain20 must need a shared-core mapping")
+	}
+	artifacts := func(cellWorkers, evalWorkers int) string {
+		camp, err := RunCampaign(CampaignConfig{
+			NWs:           []int{4, 8},
+			ObjectiveSets: []core.ObjectiveSet{core.TimeEnergy},
+			Workloads:     []Workload{wl},
+			Pop:           16,
+			Generations:   6,
+			Seed:          5,
+			CellWorkers:   cellWorkers,
+			EvalWorkers:   evalWorkers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cr := range camp.Cells {
+			if cr.SimChecked == 0 {
+				t.Fatalf("cell %v: no genomes cross-checked on the simulator", cr.Cell)
+			}
+			if cr.SimViolations != 0 {
+				t.Fatalf("cell %v: %d simulator violations", cr.Cell, cr.SimViolations)
+			}
+			if cr.SimBracketMisses != 0 {
+				t.Fatalf("cell %v: %d makespan bracket misses", cr.Cell, cr.SimBracketMisses)
+			}
+		}
+		var j bytes.Buffer
+		if err := WriteCampaignJSON(&j, camp); err != nil {
+			t.Fatal(err)
+		}
+		return j.String()
+	}
+	serial := artifacts(1, 0)
+	parallel := artifacts(2, 2)
+	if serial != parallel {
+		t.Error("shared-core campaign artifact differs between serial and parallel runs")
+	}
+	if !strings.Contains(serial, `"sim_violations": 0`) {
+		t.Error("JSON artifact missing the sim cross-check fields")
 	}
 }
 

@@ -249,3 +249,39 @@ func RandomMapping(rng *rand.Rand, g *TaskGraph, nCores int) (Mapping, error) {
 	copy(m, perm[:g.NumTasks()])
 	return m, nil
 }
+
+// SharedRandomMapping draws a load-balanced random mapping that may
+// place several tasks on one core: tasks are placed in index order,
+// each on a uniformly random core among those currently carrying the
+// fewest tasks. Graphs with at most nCores tasks therefore get an
+// injective mapping; larger graphs spread ceil(tasks/cores) tasks per
+// core — the relaxed regime the core-serialized time model handles.
+func SharedRandomMapping(rng *rand.Rand, g *TaskGraph, nCores int) (Mapping, error) {
+	if nCores < 1 {
+		return nil, fmt.Errorf("graph: shared mapping needs >= 1 core, got %d", nCores)
+	}
+	if g.NumTasks() == 0 {
+		return nil, fmt.Errorf("graph: cannot map an empty graph")
+	}
+	loads := make([]int, nCores)
+	cands := make([]int, 0, nCores)
+	m := make(Mapping, g.NumTasks())
+	for t := range m {
+		minLoad := loads[0]
+		for _, l := range loads[1:] {
+			if l < minLoad {
+				minLoad = l
+			}
+		}
+		cands = cands[:0]
+		for c, l := range loads {
+			if l == minLoad {
+				cands = append(cands, c)
+			}
+		}
+		core := cands[rng.Intn(len(cands))]
+		m[t] = core
+		loads[core]++
+	}
+	return m, nil
+}

@@ -1,8 +1,10 @@
 // Package graph implements the application model of the paper: task
 // graphs (Definition 1), the architecture characterization graph
-// (Definition 2), and the one-to-one task mapping (Definition 3),
-// together with builders for the paper's virtual application and a
-// family of random DAG generators for wider experiments.
+// (Definition 2), and the task mapping — both the paper's one-to-one
+// form (Definition 3) and the relaxed shared-core form where several
+// tasks serialize on one core — together with builders for the
+// paper's virtual application and a family of random DAG generators
+// for wider experiments.
 package graph
 
 import (

@@ -179,12 +179,75 @@ func TestMappingValidate(t *testing.T) {
 		{"too short", Mapping{0, 1, 2}},
 		{"out of range", Mapping{0, 1, 2, 3, 4, 16}},
 		{"negative", Mapping{0, 1, 2, 3, 4, -1}},
-		{"duplicate core", Mapping{0, 1, 2, 3, 4, 0}},
 	}
 	for _, c := range cases {
 		if err := c.m.Validate(g, 16); err == nil {
 			t.Errorf("%s: expected error", c.name)
 		}
+	}
+	// The relaxed check accepts shared cores; the strict one (paper
+	// mode, Definition 3) rejects them.
+	shared := Mapping{0, 1, 2, 3, 4, 0}
+	if err := shared.Validate(g, 16); err != nil {
+		t.Errorf("shared-core mapping must pass the relaxed check: %v", err)
+	}
+	if err := shared.ValidateInjective(g, 16); err == nil {
+		t.Error("shared-core mapping must fail the injective check")
+	}
+	if err := (Mapping{0, 1, 2, 3, 4, 5}).ValidateInjective(g, 16); err != nil {
+		t.Errorf("injective mapping failed the strict check: %v", err)
+	}
+	if shared.Injective() {
+		t.Error("Injective() must report the shared core")
+	}
+	if !(Mapping{0, 1, 2, 3, 4, 5}).Injective() {
+		t.Error("Injective() must accept distinct cores")
+	}
+	loads := shared.CoreLoads(16)
+	if loads[0] != 2 || loads[1] != 1 || loads[5] != 0 {
+		t.Errorf("CoreLoads = %v", loads)
+	}
+}
+
+func TestSharedRandomMapping(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g, err := Chain(rng, 40, DefaultGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := SharedRandomMapping(rng, g, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(g, 16); err != nil {
+		t.Fatalf("shared mapping invalid: %v", err)
+	}
+	// Load balance: 40 tasks on 16 cores means every core carries
+	// floor(40/16)=2 or ceil(40/16)=3 tasks.
+	for c, l := range m.CoreLoads(16) {
+		if l < 2 || l > 3 {
+			t.Errorf("core %d carries %d tasks, want 2 or 3", c, l)
+		}
+	}
+	// Small graphs stay injective.
+	small := PaperApp()
+	mi, err := SharedRandomMapping(rng, small, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mi.ValidateInjective(small, 16); err != nil {
+		t.Errorf("<=16-task shared mapping must be injective: %v", err)
+	}
+	// Determinism for a fixed source.
+	a, _ := SharedRandomMapping(rand.New(rand.NewSource(3)), g, 16)
+	b, _ := SharedRandomMapping(rand.New(rand.NewSource(3)), g, 16)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("shared mapping is not deterministic for a fixed seed")
+		}
+	}
+	if _, err := SharedRandomMapping(rng, g, 0); err == nil {
+		t.Error("zero cores must fail")
 	}
 }
 

@@ -30,7 +30,7 @@ func TestExploreImprovesOrMatchesInitial(t *testing.T) {
 	if math.IsInf(res.BestScore, 1) {
 		t.Error("explorer never found a feasible placement")
 	}
-	if err := res.Best.Validate(graph.PaperApp(), 16); err != nil {
+	if err := res.Best.ValidateInjective(graph.PaperApp(), 16); err != nil {
 		t.Errorf("best mapping invalid: %v", err)
 	}
 	if res.Evaluated != res.Accepted && res.Evaluated < len(res.History) {
@@ -151,7 +151,7 @@ func TestNeighbourStaysInjective(t *testing.T) {
 	m := graph.PaperMapping()
 	for trial := 0; trial < 200; trial++ {
 		m = neighbour(rng, m, 16)
-		if err := m.Validate(graph.PaperApp(), 16); err != nil {
+		if err := m.ValidateInjective(graph.PaperApp(), 16); err != nil {
 			t.Fatalf("trial %d: neighbour broke the mapping: %v", trial, err)
 		}
 	}

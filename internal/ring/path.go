@@ -100,6 +100,15 @@ func (r *Ring) DirectedPath(src, dst int, dir Direction) (Path, error) {
 	return p, nil
 }
 
+// SelfPath returns the degenerate zero-hop path of a communication
+// whose endpoint cores coincide — the shared-core mapping case where
+// producer and consumer run on the same core and the transfer never
+// enters the optical layer. It traverses no waveguide segment,
+// overlaps nothing and crosses no receiver bank.
+func SelfPath(oni int) Path {
+	return Path{Src: oni, Dst: oni, Dir: CW, onis: []int{oni}}
+}
+
 // Hops returns the number of traversed segments.
 func (p Path) Hops() int { return len(p.segIdx) }
 

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -337,6 +338,210 @@ func TestPlannerComputeIntoRejectsBadInput(t *testing.T) {
 	bad[0] = 0
 	if err := pl.ComputeInto(&s, bad, 1); err == nil {
 		t.Error("zero wavelengths on a loaded edge must be rejected")
+	}
+}
+
+// sharedTestGraph is a 4-task, 2-core workload exercising every
+// shared-core rule: a zero-cost self edge, core waits, and serialized
+// same-core execution.
+func sharedTestGraph() (*graph.TaskGraph, graph.Mapping) {
+	g := &graph.TaskGraph{
+		Tasks: []graph.Task{
+			{Name: "T0", ExecCycles: 10},
+			{Name: "T1", ExecCycles: 10},
+			{Name: "T2", ExecCycles: 10},
+			{Name: "T3", ExecCycles: 10},
+		},
+		Edges: []graph.Edge{
+			{Name: "c0", Src: 0, Dst: 1, VolumeBits: 10},
+			{Name: "c1", Src: 0, Dst: 2, VolumeBits: 10}, // self edge on core 0
+			{Name: "c2", Src: 1, Dst: 3, VolumeBits: 10}, // self edge on core 1
+			{Name: "c3", Src: 2, Dst: 3, VolumeBits: 10},
+		},
+	}
+	return g, graph.Mapping{0, 1, 0, 1}
+}
+
+func TestSerializedSharedCoreSchedule(t *testing.T) {
+	g, m := sharedTestGraph()
+	p, err := NewPlannerMapped(g, m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Shared() {
+		t.Fatal("mapping shares core 0; planner must serialize")
+	}
+	if !p.SelfEdge(1) || !p.SelfEdge(2) || p.SelfEdge(0) || p.SelfEdge(3) {
+		t.Fatal("self-edge detection wrong")
+	}
+	var s Schedule
+	if err := p.ComputeInto(&s, []int{1, 0, 0, 1}, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Hand-computed: T0 [0,10); the self edge c1 is free so T2 runs
+	// [10,20) on core 0; c0 delivers at 20 so T1 runs [20,30) on core
+	// 1; c3 [20,30) and the free self edge c2 gate T3, which waits for
+	// core 1 until 30: [30,40).
+	wantStart := []float64{0, 20, 10, 30}
+	wantEnd := []float64{10, 30, 20, 40}
+	for tsk := range wantStart {
+		if s.TaskStart[tsk] != wantStart[tsk] || s.TaskEnd[tsk] != wantEnd[tsk] {
+			t.Errorf("task %d window [%v,%v), want [%v,%v)",
+				tsk, s.TaskStart[tsk], s.TaskEnd[tsk], wantStart[tsk], wantEnd[tsk])
+		}
+	}
+	if s.MakespanCycles != 40 {
+		t.Errorf("makespan = %v, want 40", s.MakespanCycles)
+	}
+	if s.Comm[1].Duration() != 0 || s.Comm[2].Duration() != 0 {
+		t.Errorf("self edges must have zero duration: %+v, %+v", s.Comm[1], s.Comm[2])
+	}
+	if err := s.ValidateCoreSerial(g, m); err != nil {
+		t.Errorf("core-serial self-check: %v", err)
+	}
+	// A loaded non-self edge still needs a wavelength.
+	if err := p.ComputeInto(&s, []int{0, 0, 1, 1}, 1); err == nil {
+		t.Error("zero wavelengths on a loaded cross-core edge must fail")
+	}
+}
+
+func TestSerializedIndependentTasksRunInIndexOrder(t *testing.T) {
+	g := &graph.TaskGraph{
+		Tasks: []graph.Task{{Name: "a", ExecCycles: 5}, {Name: "b", ExecCycles: 7}},
+	}
+	p, err := NewPlannerMapped(g, graph.Mapping{0, 0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Schedule
+	if err := p.ComputeInto(&s, nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if s.TaskStart[0] != 0 || s.TaskStart[1] != 5 || s.MakespanCycles != 12 {
+		t.Errorf("equal-ready tasks must serialize by index: starts %v/%v, makespan %v",
+			s.TaskStart[0], s.TaskStart[1], s.MakespanCycles)
+	}
+}
+
+// TestSerializedInjectiveBitIdentical pins the compatibility
+// guarantee: forcing the core-serialized dispatcher on an injective
+// mapping reproduces the pre-change topological model bit for bit, so
+// every reproduction number computed before this change stands.
+func TestSerializedInjectiveBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		g, err := graph.Layered(rng, 3, 4, 0.5, graph.DefaultGenConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := graph.RandomMapping(rng, g, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lambdas := make([]int, g.NumEdges())
+		for i := range lambdas {
+			lambdas[i] = 1 + rng.Intn(6)
+		}
+		want, err := Compute(g, lambdas, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := NewPlannerMapped(g, m, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Shared() {
+			t.Fatal("random injective mapping misclassified as shared")
+		}
+		// Force the serialized dispatcher the way a shared mapping
+		// would take it.
+		got := &Schedule{
+			TaskStart: make([]float64, g.NumTasks()),
+			TaskEnd:   make([]float64, g.NumTasks()),
+			Comm:      make([]Window, g.NumEdges()),
+		}
+		p.shared = true
+		p.computeSerialInto(got, lambdas, 1)
+		for tsk := range want.TaskStart {
+			if math.Float64bits(got.TaskStart[tsk]) != math.Float64bits(want.TaskStart[tsk]) ||
+				math.Float64bits(got.TaskEnd[tsk]) != math.Float64bits(want.TaskEnd[tsk]) {
+				t.Fatalf("trial %d task %d: serialized [%v,%v) vs model [%v,%v) not bit-identical",
+					trial, tsk, got.TaskStart[tsk], got.TaskEnd[tsk], want.TaskStart[tsk], want.TaskEnd[tsk])
+			}
+		}
+		for ei := range want.Comm {
+			if math.Float64bits(got.Comm[ei].Start) != math.Float64bits(want.Comm[ei].Start) ||
+				math.Float64bits(got.Comm[ei].End) != math.Float64bits(want.Comm[ei].End) {
+				t.Fatalf("trial %d edge %d: windows differ", trial, ei)
+			}
+		}
+		if math.Float64bits(got.MakespanCycles) != math.Float64bits(want.MakespanCycles) {
+			t.Fatalf("trial %d: makespans differ: %v vs %v", trial, got.MakespanCycles, want.MakespanCycles)
+		}
+	}
+}
+
+func TestSerializedScheduleProperty(t *testing.T) {
+	// Every core-serialized schedule on a random shared mapping passes
+	// the full consistency check including core exclusivity.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := graph.Layered(rng, 4, 5, 0.4, graph.DefaultGenConfig())
+		if err != nil {
+			return false
+		}
+		m, err := graph.SharedRandomMapping(rng, g, 4)
+		if err != nil {
+			return false
+		}
+		p, err := NewPlannerMapped(g, m, 4)
+		if err != nil {
+			return false
+		}
+		l := make([]int, g.NumEdges())
+		for i := range l {
+			l[i] = 1 + rng.Intn(6)
+		}
+		var s Schedule
+		if err := p.ComputeInto(&s, l, 1); err != nil {
+			return false
+		}
+		return s.ValidateCoreSerial(g, m) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSerializedComputeIntoReusesStorage(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g, err := graph.Chain(rng, 40, graph.DefaultGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := graph.SharedRandomMapping(rng, g, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlannerMapped(g, m, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambdas := make([]int, g.NumEdges())
+	for i := range lambdas {
+		lambdas[i] = 1 + i%3
+	}
+	var s Schedule
+	if err := p.ComputeInto(&s, lambdas, 1); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := p.ComputeInto(&s, lambdas, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state shared-core ComputeInto allocates %v objects per run, want 0", allocs)
 	}
 }
 

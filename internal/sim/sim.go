@@ -1,16 +1,19 @@
 // Package sim is a cycle-resolution, event-driven simulator of the
 // mapped ring WDM ONoC. It executes the task graph on the cores and
 // serializes every communication bit-by-bit over its reserved
-// wavelengths, reserving waveguide segments per (segment, channel) and
-// receiver micro-rings per (ONI, channel) as it goes.
+// wavelengths, reserving waveguide segments per (segment, channel),
+// receiver micro-rings per (ONI, channel) and — since shared-core
+// mappings became first-class — core occupancy per core as it goes.
 //
 // The simulator exists because no off-the-shelf optical-NoC simulation
 // ecosystem exists in Go (see DESIGN.md): it independently
 // cross-validates the paper's analytic time model (internal/sched) —
 // integer-cycle makespans must bracket the analytic ones within
-// ceiling error — and it double-checks the chromosome validity rule by
+// ceiling error, including the core-serialized model for shared-core
+// mappings — and it double-checks the chromosome validity rule by
 // construction: any double-booking of a (segment, channel) during
-// overlapping cycles is reported as a violation.
+// overlapping cycles, or of a core by two concurrent tasks, is
+// reported as a violation.
 package sim
 
 import (
@@ -37,7 +40,8 @@ type Options struct {
 // Interval is a half-open busy interval in integer cycles.
 type Interval struct {
 	Start, End int64
-	// Comm is the communication (edge index) holding the resource.
+	// Comm is the index of the holder: the communication (edge index)
+	// for SegmentChannel entries, the task index for CoreBusy entries.
 	Comm int
 }
 
@@ -48,16 +52,26 @@ type Result struct {
 	// TaskStart and TaskEnd are per-task integer times.
 	TaskStart, TaskEnd []int64
 	// CommStart and CommEnd are per-edge integer windows (zero-volume
-	// edges collapse to a point).
+	// edges and same-core self edges collapse to a point).
 	CommStart, CommEnd []int64
 	// SegmentChannel maps (segment, channel) to its busy intervals,
 	// sorted by start. Keys only exist for used pairs.
 	SegmentChannel map[[2]int][]Interval
-	// Violations lists every double-booking detected; empty for any
-	// genome the analytic validity rule accepts.
+	// CoreBusy maps a core to its execution intervals (Interval.Comm
+	// holds the task index), sorted by start. Keys only exist for
+	// cores that ran tasks. The simulator serializes same-core tasks
+	// itself, so overlapping intervals here mean the dispatcher is
+	// broken — they are reported as violations, mirroring the
+	// (segment, channel) cross-check.
+	CoreBusy map[int][]Interval
+	// Violations lists every double-booking detected — (segment,
+	// channel) or core — empty for any genome the analytic validity
+	// rule accepts.
 	Violations []string
-	// LaserFJ is the integrated laser energy (same model as the
-	// analytic evaluation, integrated over integer windows).
+	// LaserFJ is the integrated laser energy: the analytic per-window
+	// energies re-integrated over the simulated integer windows. For
+	// Unchecked runs of analytically invalid genomes it is NaN — the
+	// analytic model produced no energy windows to integrate.
 	LaserFJ float64
 }
 
@@ -91,7 +105,12 @@ func (q *eventQueue) Pop() interface{} {
 	return e
 }
 
-// Run simulates the allocation g on instance in.
+// Run simulates the allocation g on instance in. Cores are a
+// simulated resource: a core executes one task at a time, picking
+// among its data-ready tasks the one with the earliest (ready time,
+// task index) — the same deterministic policy as the analytic
+// core-serialized model, so the two stay bracketed within ceiling
+// error.
 func Run(in *alloc.Instance, g alloc.Genome, opt Options) (*Result, error) {
 	ev := in.Evaluate(g)
 	if !ev.Valid && !opt.Unchecked {
@@ -103,7 +122,7 @@ func Run(in *alloc.Instance, g alloc.Genome, opt Options) (*Result, error) {
 	app := in.App
 	counts := g.Counts()
 	for e := range app.Edges {
-		if app.Edges[e].VolumeBits > 0 && counts[e] == 0 && !opt.Unchecked {
+		if app.Edges[e].VolumeBits > 0 && counts[e] == 0 && !in.SelfEdge(e) && !opt.Unchecked {
 			return nil, fmt.Errorf("sim: communication %s has no wavelengths", app.Edges[e].Name)
 		}
 	}
@@ -114,6 +133,7 @@ func Run(in *alloc.Instance, g alloc.Genome, opt Options) (*Result, error) {
 		CommStart:      make([]int64, app.NumEdges()),
 		CommEnd:        make([]int64, app.NumEdges()),
 		SegmentChannel: make(map[[2]int][]Interval),
+		CoreBusy:       make(map[int][]Interval),
 	}
 	for i := range res.TaskStart {
 		res.TaskStart[i] = -1
@@ -127,48 +147,101 @@ func Run(in *alloc.Instance, g alloc.Genome, opt Options) (*Result, error) {
 		pending[t] = len(preds[t])
 	}
 
+	nCores := in.Ring.Size()
+	coreFree := make([]int64, nCores) // next instant the core is idle
+	waiting := make([][]int, nCores)  // data-ready tasks queued per core
+	readyAt := make([]int64, app.NumTasks())
+
 	var q eventQueue
 	seq := 0
 	push := func(time int64, kind, id int) {
 		heap.Push(&q, event{time: time, kind: kind, id: id, seq: seq})
 		seq++
 	}
+	// startTask books the core and schedules the completion. The
+	// CoreBusy overlap scan is the occupancy cross-check: the
+	// dispatcher below serializes same-core tasks, so a hit means the
+	// simulator itself is broken.
 	startTask := func(t int, now int64) {
 		res.TaskStart[t] = now
-		push(now+ceil64(app.Tasks[t].ExecCycles), 0, t)
+		end := now + ceil64(app.Tasks[t].ExecCycles)
+		core := in.Map[t]
+		for _, iv := range res.CoreBusy[core] {
+			if now < iv.End && iv.Start < end {
+				res.Violations = append(res.Violations, fmt.Sprintf(
+					"core %d double-booked: task %d [%d,%d) vs task %d [%d,%d)",
+					core, iv.Comm, iv.Start, iv.End, t, now, end))
+			}
+		}
+		res.CoreBusy[core] = append(res.CoreBusy[core], Interval{Start: now, End: end, Comm: t})
+		coreFree[core] = end
+		push(end, 0, t)
+	}
+	// dispatch starts the waiting task with the earliest (ready, index)
+	// on core if the core is idle at now.
+	dispatch := func(core int, now int64) {
+		if coreFree[core] > now || len(waiting[core]) == 0 {
+			return
+		}
+		best, bestPos := -1, -1
+		for pos, t := range waiting[core] {
+			if best == -1 || readyAt[t] < readyAt[best] ||
+				(readyAt[t] == readyAt[best] && t < best) {
+				best, bestPos = t, pos
+			}
+		}
+		waiting[core] = append(waiting[core][:bestPos], waiting[core][bestPos+1:]...)
+		startTask(best, now)
 	}
 	for t := range pending {
 		if pending[t] == 0 {
-			startTask(t, 0)
+			readyAt[t] = 0
+			waiting[in.Map[t]] = append(waiting[in.Map[t]], t)
 		}
+	}
+	for core := 0; core < nCores; core++ {
+		dispatch(core, 0)
 	}
 
 	for q.Len() > 0 {
-		e := heap.Pop(&q).(event)
-		switch e.kind {
-		case 0: // task finished: launch its outgoing communications
-			t := e.id
-			res.TaskEnd[t] = e.time
-			if e.time > res.MakespanCycles {
-				res.MakespanCycles = e.time
-			}
-			for _, ei := range succs[t] {
-				dur := commDuration(in, counts, ei)
-				dur += opt.LatencyPerHopCycles * int64(in.Path(ei).Hops())
-				res.CommStart[ei] = e.time
-				res.CommEnd[ei] = e.time + dur
-				if dur > 0 {
-					reserve(in, g, res, ei, e.time, e.time+dur)
+		// Drain every event at this timestamp before dispatching, so
+		// a core choosing its next task sees all tasks that became
+		// ready at this instant — matching the analytic model's
+		// global (start, ready, index) commitment order.
+		now := q[0].time
+		for q.Len() > 0 && q[0].time == now {
+			e := heap.Pop(&q).(event)
+			switch e.kind {
+			case 0: // task finished: launch its outgoing communications
+				t := e.id
+				res.TaskEnd[t] = e.time
+				if e.time > res.MakespanCycles {
+					res.MakespanCycles = e.time
 				}
-				push(e.time+dur, 1, ei)
+				for _, ei := range succs[t] {
+					// Self edges have zero-hop paths, so they pick up
+					// no hop latency either.
+					dur := commDuration(in, counts, ei)
+					dur += opt.LatencyPerHopCycles * int64(in.Path(ei).Hops())
+					res.CommStart[ei] = e.time
+					res.CommEnd[ei] = e.time + dur
+					if dur > 0 {
+						reserve(in, g, res, ei, e.time, e.time+dur)
+					}
+					push(e.time+dur, 1, ei)
+				}
+			case 1: // communication delivered: maybe queue its consumer
+				ei := e.id
+				dst := app.Edges[ei].Dst
+				pending[dst]--
+				if pending[dst] == 0 {
+					readyAt[dst] = e.time
+					waiting[in.Map[dst]] = append(waiting[in.Map[dst]], dst)
+				}
 			}
-		case 1: // communication delivered: maybe release its consumer
-			ei := e.id
-			dst := app.Edges[ei].Dst
-			pending[dst]--
-			if pending[dst] == 0 {
-				startTask(dst, e.time)
-			}
+		}
+		for core := 0; core < nCores; core++ {
+			dispatch(core, now)
 		}
 	}
 
@@ -177,15 +250,16 @@ func Run(in *alloc.Instance, g alloc.Genome, opt Options) (*Result, error) {
 			return nil, fmt.Errorf("sim: task %d never completed (broken dependency graph)", t)
 		}
 	}
-	res.LaserFJ = integrateLaser(in, g, res)
+	res.LaserFJ = integrateLaser(in, &ev, counts, res)
 	sortIntervals(res)
 	return res, nil
 }
 
-// commDuration is the integer transfer time of edge ei.
+// commDuration is the integer transfer time of edge ei. Self edges of
+// shared-core mappings stay in the core's memory: zero cycles.
 func commDuration(in *alloc.Instance, counts []int, ei int) int64 {
 	vol := in.App.Edges[ei].VolumeBits
-	if vol <= 0 {
+	if vol <= 0 || in.SelfEdge(ei) {
 		return 0
 	}
 	n := counts[ei]
@@ -218,17 +292,17 @@ func reserve(in *alloc.Instance, g alloc.Genome, res *Result, ei int, start, end
 	}
 }
 
-// integrateLaser reruns the analytic per-wavelength laser power over
-// the simulated integer windows.
-func integrateLaser(in *alloc.Instance, g alloc.Genome, res *Result) float64 {
-	var fj float64
-	counts := g.Counts()
-	ev := in.Evaluate(g)
+// integrateLaser re-integrates the analytic per-wavelength laser power
+// over the simulated integer windows, reusing the evaluation Run
+// already computed. An invalid evaluation (only reachable in unchecked
+// mode) carries no energy windows: the result is NaN, not a silent 0.
+func integrateLaser(in *alloc.Instance, ev *alloc.Eval, counts []int, res *Result) float64 {
 	if !ev.Valid {
-		return 0
+		return math.NaN()
 	}
+	var fj float64
 	for e := 0; e < in.Edges(); e++ {
-		if in.App.Edges[e].VolumeBits <= 0 || counts[e] == 0 {
+		if in.App.Edges[e].VolumeBits <= 0 || counts[e] == 0 || in.SelfEdge(e) {
 			continue
 		}
 		dur := float64(res.CommEnd[e] - res.CommStart[e])
@@ -243,6 +317,10 @@ func integrateLaser(in *alloc.Instance, g alloc.Genome, res *Result) float64 {
 func sortIntervals(res *Result) {
 	for k := range res.SegmentChannel {
 		ivs := res.SegmentChannel[k]
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i].Start < ivs[j].Start })
+	}
+	for k := range res.CoreBusy {
+		ivs := res.CoreBusy[k]
 		sort.Slice(ivs, func(i, j int) bool { return ivs[i].Start < ivs[j].Start })
 	}
 }
@@ -276,6 +354,16 @@ func (r *Result) ChannelBusyCycles(ch int) int64 {
 		for _, iv := range ivs {
 			busy += iv.End - iv.Start
 		}
+	}
+	return busy
+}
+
+// CoreBusyCycles sums the execution cycles one core spends running
+// tasks.
+func (r *Result) CoreBusyCycles(core int) int64 {
+	var busy int64
+	for _, iv := range r.CoreBusy[core] {
+		busy += iv.End - iv.Start
 	}
 	return busy
 }

@@ -7,6 +7,9 @@ import (
 	"testing"
 
 	"repro/internal/alloc"
+	"repro/internal/energy"
+	"repro/internal/graph"
+	"repro/internal/ring"
 )
 
 func mustInstance(t *testing.T, nw int) *alloc.Instance {
@@ -223,6 +226,161 @@ func TestSimZeroVolumeEdge(t *testing.T) {
 	}
 	if len(res.Violations) != 0 {
 		t.Errorf("violations: %v", res.Violations)
+	}
+}
+
+// sharedInstance builds a >16-task chain mapped with shared cores
+// onto the paper's 16-core ring.
+func sharedInstance(t *testing.T, nTasks int, cfg graph.GenConfig, seed int64) *alloc.Instance {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	app, err := graph.Chain(rng, nTasks, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := graph.SharedRandomMapping(rng, app, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := ring.New(ring.DefaultConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := alloc.NewInstance(r, app, m, 1, energy.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestSimSharedCoreMatchesAnalyticOnIntegerSchedule(t *testing.T) {
+	// Constant integer execution times and volumes with one wavelength
+	// per communication: every duration is integral, so the simulator
+	// and the core-serialized analytic model must agree exactly —
+	// including the per-core dispatch order.
+	cfg := graph.GenConfig{ExecMin: 4000, ExecMax: 4000, VolMin: 4000, VolMax: 4000}
+	in := sharedInstance(t, 24, cfg, 3)
+	g, err := alloc.Assign(in, alloc.UniformCounts(in.Edges(), 1), alloc.LeastUsed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := in.Evaluate(g)
+	if !ev.Valid {
+		t.Fatalf("allocation invalid: %s", ev.Reason)
+	}
+	res, err := Run(in, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(res.MakespanCycles) != ev.MakespanCycles {
+		t.Errorf("sim %d vs analytic %v on an integer schedule", res.MakespanCycles, ev.MakespanCycles)
+	}
+	if len(res.Violations) != 0 {
+		t.Errorf("violations on a valid shared-core genome: %v", res.Violations)
+	}
+	for tsk := range res.TaskStart {
+		if float64(res.TaskStart[tsk]) != ev.Schedule.TaskStart[tsk] {
+			t.Errorf("task %d starts at %d, analytic %v", tsk, res.TaskStart[tsk], ev.Schedule.TaskStart[tsk])
+		}
+	}
+}
+
+func TestSimSharedCoreBracketsAnalytic(t *testing.T) {
+	// Property over random fractional shared-core workloads: the
+	// integer simulator reports no violations and lands within one
+	// ceiling per task and communication — plus one task execution,
+	// since an integer-rounding tie may reorder same-core dispatch
+	// against the fractional model — of the core-serialized analytic
+	// makespan.
+	for seed := int64(1); seed <= 10; seed++ {
+		in := sharedInstance(t, 20+int(seed), graph.DefaultGenConfig(), seed)
+		rng := rand.New(rand.NewSource(seed * 7))
+		counts := make([]int, in.Edges())
+		for i := range counts {
+			counts[i] = 1 + rng.Intn(3)
+		}
+		g, err := alloc.Assign(in, counts, alloc.LeastUsed, nil)
+		if err != nil {
+			continue // infeasible budget on this placement: skip
+		}
+		ev := in.Evaluate(g)
+		if !ev.Valid {
+			t.Fatalf("seed %d: heuristic allocation invalid: %s", seed, ev.Reason)
+		}
+		res, err := Run(in, g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Violations) != 0 {
+			t.Fatalf("seed %d: violations: %v", seed, res.Violations)
+		}
+		var maxExec float64
+		for _, tsk := range in.App.Tasks {
+			if tsk.ExecCycles > maxExec {
+				maxExec = tsk.ExecCycles
+			}
+		}
+		simT := float64(res.MakespanCycles)
+		slack := float64(in.App.NumTasks()+in.Edges()+1) + maxExec
+		if simT < ev.MakespanCycles-maxExec-1e-9 || simT > ev.MakespanCycles+slack {
+			t.Fatalf("seed %d: sim %v vs analytic %v out of bracket (slack %v)",
+				seed, simT, ev.MakespanCycles, slack)
+		}
+	}
+}
+
+func TestSimCoreOccupancyTraces(t *testing.T) {
+	cfg := graph.GenConfig{ExecMin: 1000, ExecMax: 1000, VolMin: 2000, VolMax: 2000}
+	in := sharedInstance(t, 32, cfg, 9)
+	g, err := alloc.Assign(in, alloc.UniformCounts(in.Edges(), 1), alloc.FirstFit, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(in, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every task appears in exactly one core interval, on its mapped
+	// core, and per-core busy cycles add up to its tasks' work.
+	seen := make(map[int]bool)
+	for core, ivs := range res.CoreBusy {
+		var want int64
+		for tsk, c := range in.Map {
+			if c == core {
+				want += int64(in.App.Tasks[tsk].ExecCycles)
+			}
+		}
+		if got := res.CoreBusyCycles(core); got != want {
+			t.Errorf("core %d busy %d cycles, tasks need %d", core, got, want)
+		}
+		for _, iv := range ivs {
+			if in.Map[iv.Comm] != core {
+				t.Errorf("task %d recorded on core %d, mapped to %d", iv.Comm, core, in.Map[iv.Comm])
+			}
+			if seen[iv.Comm] {
+				t.Errorf("task %d booked twice", iv.Comm)
+			}
+			seen[iv.Comm] = true
+		}
+	}
+	if len(seen) != in.App.NumTasks() {
+		t.Errorf("%d of %d tasks booked a core", len(seen), in.App.NumTasks())
+	}
+	if len(res.Violations) != 0 {
+		t.Errorf("violations: %v", res.Violations)
+	}
+}
+
+func TestSimUncheckedInvalidLaserIsNaN(t *testing.T) {
+	// An analytically invalid genome carries no energy windows: the
+	// unchecked run must say NaN, not a silent 0.
+	in := mustInstance(t, 8)
+	res, err := Run(in, in.NewZeroGenome(), Options{Unchecked: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(res.LaserFJ) {
+		t.Errorf("LaserFJ = %v for an invalid unchecked run, want NaN", res.LaserFJ)
 	}
 }
 
