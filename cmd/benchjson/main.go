@@ -5,19 +5,33 @@
 //
 // Usage:
 //
-//	go test -run '^$' -bench . -benchmem | benchjson > BENCH.json
+//	go test -run '^$' -bench . -benchmem | benchjson [flags] > BENCH.json
+//
+//	-sha string                  git commit SHA to record in the
+//	                             environment map (default: $GITHUB_SHA,
+//	                             then `git rev-parse HEAD`, else omitted)
+//	-require-zero-allocs regexp  benchmarks whose base name matches must
+//	                             report 0 allocs/op; the JSON is still
+//	                             written, then the command exits 1 on any
+//	                             violation (or if nothing matched, which
+//	                             catches renamed benchmarks silently
+//	                             skipping the gate)
 //
 // Each benchmark line becomes one record with the iteration count and
 // a metrics map keyed by unit ("ns/op", "B/op", "allocs/op", plus any
 // custom b.ReportMetric units such as "hypervolume"). The goos/goarch/
-// pkg/cpu header lines land in the environment map.
+// pkg/cpu header lines land in the environment map, alongside the git
+// SHA, so a BENCH_*.json is attributable to the commit it measured.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -35,17 +49,97 @@ type document struct {
 }
 
 func main() {
+	var (
+		sha         = flag.String("sha", "", "git commit SHA to record (default: $GITHUB_SHA, then git rev-parse HEAD)")
+		requireZero = flag.String("require-zero-allocs", "", "regexp of benchmark base names that must report 0 allocs/op")
+	)
+	flag.Parse()
+
 	doc, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+		fatal(err)
+	}
+	if s := resolveSHA(*sha); s != "" {
+		doc.Environment["git_sha"] = s
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+		fatal(err)
 	}
+	// Gate after writing, so the artifact exists even on failure.
+	if *requireZero != "" {
+		if err := checkZeroAllocs(doc, *requireZero); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+	os.Exit(1)
+}
+
+// resolveSHA picks the recorded commit: the explicit flag, the CI
+// environment, or the local git checkout; empty when none resolve.
+func resolveSHA(flagSHA string) string {
+	if flagSHA != "" {
+		return flagSHA
+	}
+	if s := os.Getenv("GITHUB_SHA"); s != "" {
+		return s
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// checkZeroAllocs enforces the allocation budget: every benchmark
+// whose base name (the "-8" GOMAXPROCS suffix stripped) matches the
+// pattern must carry an allocs/op metric equal to zero.
+func checkZeroAllocs(doc *document, pattern string) error {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return fmt.Errorf("bad -require-zero-allocs pattern: %v", err)
+	}
+	matched := 0
+	var violations []string
+	for _, rec := range doc.Benchmarks {
+		if !re.MatchString(baseName(rec.Name)) {
+			continue
+		}
+		matched++
+		allocs, ok := rec.Metrics["allocs/op"]
+		switch {
+		case !ok:
+			violations = append(violations, fmt.Sprintf("%s: no allocs/op metric (run with -benchmem)", rec.Name))
+		case allocs != 0:
+			violations = append(violations, fmt.Sprintf("%s: %v allocs/op, want 0", rec.Name, allocs))
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("zero-alloc gate %q matched no benchmark — renamed or not run?", pattern)
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("allocation budget violated:\n  %s", strings.Join(violations, "\n  "))
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: zero-alloc gate passed for %d benchmark(s)\n", matched)
+	return nil
+}
+
+// baseName strips the -GOMAXPROCS suffix go test appends to
+// benchmark names ("BenchmarkGeneration-8" -> "BenchmarkGeneration").
+func baseName(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
 }
 
 func parse(sc *bufio.Scanner) (*document, error) {

@@ -44,12 +44,21 @@
 //	                  shared-core mappings, serialized per core.
 //	-json string      write the campaign JSON artifact to this file
 //	-csv string       write the campaign CSV table to this file
+//
+// Profiling flags apply to both modes, so hot-path regressions can be
+// diagnosed straight from a campaign run without editing code:
+//
+//	-cpuprofile file  write a CPU profile of the run to file
+//	-memprofile file  write an allocation (heap) profile taken at the
+//	                  end of the run to file
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -78,6 +87,9 @@ func main() {
 		warmstart   = flag.Bool("warmstart", false, "seed every campaign cell's GA with the heuristic allocations")
 		workloads   = flag.String("workloads", "paper", "comma-separated campaign workloads: paper, chain<N>, forkjoin<W>, fft<N>, gauss<N>, diamond<N> (>16-task specs share cores)")
 		jsonPath    = flag.String("json", "", "write the campaign JSON artifact to this file")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	)
 	flag.Parse()
 	explicitly := map[string]bool{}
@@ -116,6 +128,10 @@ func main() {
 			break
 		}
 	}
+	var stopCPU func()
+	if err == nil && *cpuprofile != "" {
+		stopCPU, err = startCPUProfile(*cpuprofile)
+	}
 	if err == nil {
 		if *campaign {
 			err = runCampaign(*nws, *pop, *gens, *seed, *cellworkers, *workers, *reps, *objsets, *workloads, *jsonPath, *csv, *warmstart)
@@ -123,10 +139,49 @@ func main() {
 			err = run(*exp, *nws, *pop, *gens, *seed, *csv, *seeds, *workers)
 		}
 	}
+	if stopCPU != nil {
+		stopCPU()
+	}
+	if err == nil && *memprofile != "" {
+		err = writeMemProfile(*memprofile)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "wadate: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// startCPUProfile begins CPU profiling into path; the returned stop
+// function flushes and closes the file. Profiling wraps the run
+// explicitly (not via defer) because main exits through os.Exit on
+// errors.
+func startCPUProfile(path string) (func(), error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+		fmt.Fprintf(os.Stderr, "wadate: CPU profile written to %s\n", path)
+	}, nil
+}
+
+// writeMemProfile records the post-run live heap (after a GC, so the
+// profile shows retained memory rather than collectable garbage).
+func writeMemProfile(path string) error {
+	return writeArtifact(path, func(f *os.File) error {
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wadate: heap profile written to %s\n", path)
+		return nil
+	})
 }
 
 // runCampaign drives the multi-cell sweep: deterministic cells,

@@ -2,6 +2,7 @@ package alloc
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/phys"
 	"repro/internal/ring"
@@ -28,6 +29,11 @@ type Evaluator struct {
 	eff     []int
 	sets    [][]int
 	setsBuf []int
+	// masks holds the decoded per-edge wavelength bitmasks, one
+	// in.MaskWords()-word row per edge: the native representation of
+	// the conflict kernel (disjointness = word-wise AND) and of the
+	// receiver-bank fill (Bank.OrRow).
+	masks   []uint64
 	bank    *ring.Bank
 	powers  []phys.MilliWatt
 	commBER []float64
@@ -53,6 +59,7 @@ func NewEvaluator(in *Instance) (*Evaluator, error) {
 		eff:     make([]int, nl),
 		sets:    make([][]int, nl),
 		setsBuf: make([]int, 0, nl*nw),
+		masks:   make([]uint64, nl*in.maskWords),
 		bank:    ring.NewBank(in.Ring.Size(), nw),
 		powers:  make([]phys.MilliWatt, 0, nw),
 		commBER: make([]float64, nl),
@@ -100,23 +107,30 @@ func (e *Evaluator) EvaluateInto(out *Eval, g Genome) {
 			g.Edges(), g.Channels(), in.Edges(), in.Channels()), 1)
 		return
 	}
-	nl, nw := in.Edges(), in.Channels()
+	nl, W := in.Edges(), in.maskWords
 
-	// Decode the chromosome into per-edge channel sets backed by one
-	// flat buffer, grading missing reservations as we go. Effective
-	// counts let the scheduler produce windows even for a broken
-	// chromosome, so the conflict grading below stays meaningful while
-	// the genome is repaired by evolution.
+	// Decode the chromosome into per-edge wavelength bitmasks, then
+	// derive the channel index sets (the optics walk iterates those)
+	// and the effective counts from the mask rows: counts are
+	// popcounts, set members come off TrailingZeros. Missing
+	// reservations are graded as we go; effective counts let the
+	// scheduler produce windows even for a broken chromosome, so the
+	// conflict grading below stays meaningful while the genome is
+	// repaired by evolution.
+	g.MaskInto(e.masks, W)
 	var violation float64
 	var reason string
 	e.setsBuf = e.setsBuf[:0]
 	off := 0
 	for ei := 0; ei < nl; ei++ {
+		row := e.masks[ei*W : (ei+1)*W]
 		n := 0
-		for ch := 0; ch < nw; ch++ {
-			if g.Get(ei, ch) {
-				e.setsBuf = append(e.setsBuf, ch)
-				n++
+		for w, word := range row {
+			n += bits.OnesCount64(word)
+			base := w * 64
+			for word != 0 {
+				e.setsBuf = append(e.setsBuf, base+bits.TrailingZeros64(word))
+				word &= word - 1
 			}
 		}
 		e.sets[ei] = e.setsBuf[off : off+n : off+n]
@@ -146,17 +160,33 @@ func (e *Evaluator) EvaluateInto(out *Eval, g Genome) {
 	// Validity: time-overlapping communications sharing waveguide
 	// segments must not share wavelengths (the paper's "same
 	// wavelength assigned to the same link"). Every shared channel
-	// adds to the violation grade.
+	// adds to the violation grade. Only the precomputed
+	// conflict-neighbor pairs (paths sharing a segment, ascending
+	// i < j exactly like the full matrix scan) can trip the rule, and
+	// set intersection is a word-wise AND over the mask rows.
 	for i := 0; i < nl; i++ {
-		for j := i + 1; j < nl; j++ {
-			if !s.Comm[i].Overlaps(s.Comm[j]) || !in.PathsOverlap(i, j) {
+		wi := e.masks[i*W : (i+1)*W]
+		for k := in.confStart[i]; k < in.confStart[i+1]; k++ {
+			j := int(in.confAdj[k])
+			if !s.Comm[i].Overlaps(s.Comm[j]) {
 				continue
 			}
-			if shared := countShared(e.sets[i], e.sets[j]); shared > 0 {
+			wj := e.masks[j*W : (j+1)*W]
+			shared := 0
+			first := -1
+			for w := range wi {
+				if x := wi[w] & wj[w]; x != 0 {
+					shared += bits.OnesCount64(x)
+					if first < 0 {
+						first = w*64 + bits.TrailingZeros64(x)
+					}
+				}
+			}
+			if shared > 0 {
 				violation += float64(shared)
 				if reason == "" {
 					reason = fmt.Sprintf("communications %s and %s share wavelength %d on a common link while both active",
-						in.App.Edges[i].Name, in.App.Edges[j].Name, intersects(e.sets[i], e.sets[j]))
+						in.App.Edges[i].Name, in.App.Edges[j].Name, first)
 				}
 			}
 		}
@@ -265,9 +295,11 @@ func (e *Evaluator) EvaluateInto(out *Eval, g Genome) {
 
 // fillBank rebuilds the evaluator's receiver-bank scratch with the
 // state seen by communication ei's light (the zero-allocation form of
-// Instance.bankFor).
+// Instance.bankFor). Each contributing communication installs its
+// whole wavelength set with one word-wise OR of its mask row.
 func (e *Evaluator) fillBank(ei int, s *sched.Schedule) {
 	in := e.in
+	W := in.maskWords
 	e.bank.Reset()
 	for o := 0; o < in.Edges(); o++ {
 		if in.App.Edges[o].VolumeBits <= 0 || in.selfEdge[o] {
@@ -279,9 +311,7 @@ func (e *Evaluator) fillBank(ei int, s *sched.Schedule) {
 		if o != ei && !s.Comm[ei].Overlaps(s.Comm[o]) {
 			continue
 		}
-		for _, ch := range e.sets[o] {
-			e.bank.Set(in.dstCore[o], ch, true)
-		}
+		e.bank.OrRow(in.dstCore[o], e.masks[o*W:(o+1)*W])
 	}
 }
 

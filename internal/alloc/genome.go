@@ -81,6 +81,31 @@ func (g Genome) ChannelSet(e int) []int {
 	return set
 }
 
+// MaskInto decodes the chromosome into per-edge wavelength bitmasks:
+// row e occupies dst[e*words : (e+1)*words], with bit ch of the row
+// (bit ch&63 of word ch>>6) set iff gene (e, ch) is 1. words must be
+// at least ring.MaskWords(Channels()) and dst must hold Edges()*words
+// words. The evaluation kernel consumes these rows natively: set
+// disjointness is a word-wise AND, wavelength counts are popcounts.
+func (g Genome) MaskInto(dst []uint64, words int) {
+	if g.edges*words == 0 {
+		return
+	}
+	_ = dst[g.edges*words-1]
+	for e := 0; e < g.edges; e++ {
+		row := dst[e*words : (e+1)*words]
+		for w := range row {
+			row[w] = 0
+		}
+		base := e * g.nw
+		for ch := 0; ch < g.nw; ch++ {
+			if g.bits[base+ch] != 0 {
+				row[ch>>6] |= 1 << (uint(ch) & 63)
+			}
+		}
+	}
+}
+
 // Counts returns the per-edge number of reserved wavelengths: the
 // "[2, 8, 6, 6, 4, 7]" vectors printed beside the paper's Pareto
 // plots.

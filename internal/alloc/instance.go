@@ -78,6 +78,20 @@ type Instance struct {
 	// pair relation is fixed at instance construction and sits on the
 	// validity check of every evaluation.
 	pathOverlap []bool
+	// maskWords is the stride of one edge's wavelength bitmask row
+	// (ring.MaskWords of the comb size).
+	maskWords int
+	// confStart/confAdj hold the overlap matrix as a CSR adjacency
+	// over edge pairs: confAdj[confStart[i]:confStart[i+1]] lists, in
+	// ascending order, the edges j > i whose ring paths share a
+	// waveguide segment with edge i's — the only pairs the wavelength
+	// disjointness rule can reject. The conflict kernel walks this
+	// sparse list instead of the Nl x Nl matrix, so a validity check
+	// costs O(actually-overlapping pairs). Both slices are immutable
+	// after construction and shared read-only by every evaluator (and,
+	// through core.Config.Instance, by every campaign replicate).
+	confStart []int32
+	confAdj   []int32
 
 	// evalPool recycles evaluators behind the compatibility Evaluate
 	// method, so concurrent callers run genuinely in parallel; hot
@@ -137,7 +151,31 @@ func NewInstance(r *ring.Ring, app *graph.TaskGraph, m graph.Mapping, bitsPerCyc
 			in.pathOverlap[i*nl+j] = in.paths[i].Overlaps(in.paths[j])
 		}
 	}
+	in.maskWords = ring.MaskWords(r.Channels())
+	in.confStart = make([]int32, nl+1)
+	var adj []int32
+	for i := 0; i < nl; i++ {
+		in.confStart[i] = int32(len(adj))
+		for j := i + 1; j < nl; j++ {
+			if in.pathOverlap[i*nl+j] {
+				adj = append(adj, int32(j))
+			}
+		}
+	}
+	in.confStart[nl] = int32(len(adj))
+	in.confAdj = adj
 	return in, nil
+}
+
+// MaskWords returns the per-edge wavelength bitmask stride of this
+// instance's comb (see Genome.MaskInto and ring.MaskWords).
+func (in *Instance) MaskWords() int { return in.maskWords }
+
+// ConflictNeighbors returns the edges j > i whose precomputed ring
+// paths share a waveguide segment with edge i's, in ascending order.
+// The returned slice is shared; callers must not mutate it.
+func (in *Instance) ConflictNeighbors(i int) []int32 {
+	return in.confAdj[in.confStart[i]:in.confStart[i+1]]
 }
 
 // PathsOverlap reports whether the precomputed routes of edges i and

@@ -90,6 +90,15 @@ type Config struct {
 	Energy *energy.Model
 	// Objectives selects the optimization criteria.
 	Objectives ObjectiveSet
+	// Instance optionally supplies a prebuilt evaluation instance
+	// (see NewSharedInstance). Instances are read-only during
+	// evaluation, so any number of problems — e.g. a campaign's
+	// replicate cells over the same (workload, NW) pair — may share
+	// one and reuse its precomputed routes, path-overlap matrix and
+	// conflict-neighbor lists instead of rebuilding them per run.
+	// Mutually exclusive with Ring, App, Mapping, BitsPerCycle and
+	// Energy; its comb size must equal NW.
+	Instance *alloc.Instance
 	// WarmStart seeds the GA's initial population with the
 	// related-work heuristic allocations (First-Fit / Most-Used /
 	// Least-Used at small uniform budgets): the all-ones energy
@@ -133,8 +142,14 @@ func (m Metrics) Log10BER() float64 {
 	return math.Log10(m.MeanBER)
 }
 
-// New validates the configuration and builds the problem.
-func New(cfg Config) (*Problem, error) {
+// NewSharedInstance builds the evaluation instance a Config
+// describes, without the GA around it. The result is safe to share
+// read-only across any number of problems via Config.Instance: a
+// campaign hands every replicate cell of one (workload, NW) pair the
+// same instance, so the precomputed routes, overlap matrix and
+// conflict-neighbor lists are built once per pair instead of once per
+// cell.
+func NewSharedInstance(cfg Config) (*alloc.Instance, error) {
 	if cfg.NW <= 0 {
 		return nil, fmt.Errorf("core: NW must be positive, got %d", cfg.NW)
 	}
@@ -169,9 +184,29 @@ func New(cfg Config) (*Problem, error) {
 	if cfg.Energy != nil {
 		em = *cfg.Energy
 	}
-	in, err := alloc.NewInstance(r, app, m, bpc, em)
-	if err != nil {
-		return nil, err
+	return alloc.NewInstance(r, app, m, bpc, em)
+}
+
+// New validates the configuration and builds the problem.
+func New(cfg Config) (*Problem, error) {
+	if cfg.NW <= 0 {
+		return nil, fmt.Errorf("core: NW must be positive, got %d", cfg.NW)
+	}
+	in := cfg.Instance
+	if in != nil {
+		if cfg.Ring != nil || cfg.App != nil || cfg.Mapping != nil || cfg.Energy != nil || cfg.BitsPerCycle != 0 {
+			return nil, fmt.Errorf("core: Instance is mutually exclusive with Ring, App, Mapping, BitsPerCycle and Energy")
+		}
+		if in.Channels() != cfg.NW {
+			return nil, fmt.Errorf("core: shared instance has %d channels, config says NW=%d",
+				in.Channels(), cfg.NW)
+		}
+	} else {
+		var err error
+		in, err = NewSharedInstance(cfg)
+		if err != nil {
+			return nil, err
+		}
 	}
 	objs, err := cfg.Objectives.objectives()
 	if err != nil {

@@ -317,6 +317,20 @@ func RunCampaign(cfg CampaignConfig) (*Campaign, error) {
 	cells := cfg.Cells()
 	results := make([]CellResult, len(cells))
 
+	// Build one shared evaluation instance per (workload, NW) pair up
+	// front: instances are read-only during evaluation, so every
+	// replicate and objective-set cell of a pair reuses the same
+	// precomputed routes, overlap matrix and conflict-neighbor lists.
+	// A failed build surfaces as the owning cells' error, exactly as
+	// a per-cell core.New failure used to.
+	instances := make(map[string]sharedInstance, len(cfg.Workloads)*len(cfg.NWs))
+	for _, wl := range cfg.Workloads {
+		for _, nw := range cfg.NWs {
+			in, err := core.NewSharedInstance(core.Config{NW: nw, App: wl.App, Mapping: wl.Mapping})
+			instances[instanceKey(wl.Name, nw)] = sharedInstance{in: in, err: err}
+		}
+	}
+
 	// progressMu serializes event delivery AND the completed counter,
 	// so the Completed values seen by the consumer are monotone in
 	// delivery order.
@@ -358,7 +372,7 @@ func RunCampaign(cfg CampaignConfig) (*Campaign, error) {
 				}
 				cell := cells[i]
 				notifyStart(cell)
-				results[i] = runCell(cfg, byName[cell.Workload], cell)
+				results[i] = runCell(cfg, instances[instanceKey(cell.Workload, cell.NW)], cell)
 				notifyDone(cell, results[i])
 			}
 		}()
@@ -381,14 +395,28 @@ func firstErr(results []CellResult) error {
 	return nil
 }
 
-// runCell executes one exploration with the cell's derived seed, then
-// cross-checks the projected fronts on the simulator.
-func runCell(cfg CampaignConfig, wl Workload, cell Cell) CellResult {
+// sharedInstance pairs a prebuilt per-(workload, NW) evaluation
+// instance with its construction error, if any.
+type sharedInstance struct {
+	in  *alloc.Instance
+	err error
+}
+
+func instanceKey(workload string, nw int) string {
+	return workload + "|" + strconv.Itoa(nw)
+}
+
+// runCell executes one exploration with the cell's derived seed on
+// the pair's shared read-only instance, then cross-checks the
+// projected fronts on the simulator.
+func runCell(cfg CampaignConfig, si sharedInstance, cell Cell) CellResult {
 	t0 := time.Now()
+	if si.err != nil {
+		return CellResult{Cell: cell, Err: si.err, Elapsed: time.Since(t0)}
+	}
 	p, err := core.New(core.Config{
 		NW:         cell.NW,
-		App:        wl.App,
-		Mapping:    wl.Mapping,
+		Instance:   si.in,
 		Objectives: cell.Objectives,
 		WarmStart:  cfg.WarmStart,
 		GA: nsga2.Config{

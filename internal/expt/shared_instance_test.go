@@ -1,0 +1,92 @@
+package expt
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/nsga2"
+)
+
+// TestSharedInstanceCellsMatchStandalone proves the campaign's
+// per-(workload, NW) instance sharing is invisible in the results:
+// every cell of a shared-instance campaign reproduces, bit for bit,
+// a standalone exploration that builds its own instance.
+func TestSharedInstanceCellsMatchStandalone(t *testing.T) {
+	cfg := CampaignConfig{
+		NWs:         []int{4},
+		Replicates:  3,
+		Pop:         20,
+		Generations: 8,
+		Seed:        7,
+		CellWorkers: 2,
+	}
+	camp, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cr := range camp.Cells {
+		p, err := core.New(core.Config{
+			NW:         cr.Cell.NW,
+			Objectives: cr.Cell.Objectives,
+			GA: nsga2.Config{
+				PopSize:     cfg.Pop,
+				Generations: cfg.Generations,
+				Seed:        cr.Cell.Seed,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := p.Optimize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := cr.Result
+		if got.Evaluations != want.Evaluations || got.ValidEvaluations != want.ValidEvaluations ||
+			got.DistinctEvaluated != want.DistinctEvaluated || got.DistinctValid != want.DistinctValid {
+			t.Fatalf("cell %s: counters diverge from standalone run", cr.Cell)
+		}
+		if len(got.FrontTimeEnergy) != len(want.FrontTimeEnergy) {
+			t.Fatalf("cell %s: time/energy front sizes diverge", cr.Cell)
+		}
+		for i := range want.FrontTimeEnergy {
+			if got.FrontTimeEnergy[i].Genome.Key() != want.FrontTimeEnergy[i].Genome.Key() {
+				t.Fatalf("cell %s: time/energy front genome %d diverges", cr.Cell, i)
+			}
+		}
+	}
+}
+
+// TestCampaignInstanceBuildFailureScopedToCells proves a workload
+// whose shared instance cannot be built fails its own cells without
+// aborting the rest of the campaign.
+func TestCampaignInstanceBuildFailureScopedToCells(t *testing.T) {
+	good := PaperWorkload()
+	bad, err := NamedWorkload("chain4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Mapping = bad.Mapping[:2] // wrong shape: instance build must fail
+	camp, err := RunCampaign(CampaignConfig{
+		NWs:         []int{4},
+		Workloads:   []Workload{good, bad},
+		Pop:         12,
+		Generations: 4,
+		Seed:        3,
+	})
+	if err == nil {
+		t.Fatal("campaign with a broken workload must report an error")
+	}
+	if camp == nil || camp.Failed() != 1 {
+		t.Fatalf("want exactly the broken workload's cell to fail, got %d failures", camp.Failed())
+	}
+	for _, cr := range camp.Cells {
+		broken := cr.Cell.Workload == bad.Name
+		if broken && cr.Err == nil {
+			t.Error("broken workload cell carries no error")
+		}
+		if !broken && cr.Err != nil {
+			t.Errorf("healthy cell %s failed: %v", cr.Cell, cr.Err)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package nsga2
+
+import (
+	"bytes"
+	"hash/maphash"
+	"math"
+)
+
+// genomeCache is the engine's evaluation cache and archive: an
+// open-addressing hash table over interned genome keys whose entry
+// slice doubles as the insertion-order archive. Unlike a
+// map[string]..., a lookup never converts the genome to a string and
+// never allocates: the probe compares the 64-bit hash first and the
+// interned key bytes only on a hash match. Only inserting a
+// previously unseen genome allocates (the interned key copy and the
+// table growth), which is exactly the data the run retains anyway.
+type genomeCache struct {
+	seed    maphash.Seed
+	entries []cacheEntry
+	// table holds 1-based indices into entries (0 = empty slot) and
+	// always has power-of-two length; mask is len(table)-1.
+	table []int32
+	mask  uint64
+}
+
+// cacheEntry is one distinct evaluated genotype in insertion order.
+// A freshly inserted entry is pending (violation NaN) until the
+// evaluation batch that created it stores its result.
+type cacheEntry struct {
+	hash      uint64
+	key       []byte
+	objs      []float64
+	violation float64
+}
+
+func newGenomeCache() genomeCache {
+	const initialSlots = 1024
+	return genomeCache{
+		seed:  maphash.MakeSeed(),
+		table: make([]int32, initialSlots),
+		mask:  initialSlots - 1,
+	}
+}
+
+// lookup returns the entry index of g, or false. Allocation-free.
+func (c *genomeCache) lookup(g []byte) (int, bool) {
+	h := maphash.Bytes(c.seed, g)
+	for slot := h & c.mask; ; slot = (slot + 1) & c.mask {
+		t := c.table[slot]
+		if t == 0 {
+			return 0, false
+		}
+		e := &c.entries[t-1]
+		if e.hash == h && bytes.Equal(e.key, g) {
+			return int(t - 1), true
+		}
+	}
+}
+
+// insert interns a copy of g as a new pending entry and returns its
+// index. The caller must know g is absent (lookup first).
+func (c *genomeCache) insert(g []byte) int {
+	// Grow at 3/4 load so probe chains stay short.
+	if uint64(len(c.entries)+1)*4 >= uint64(len(c.table))*3 {
+		c.grow()
+	}
+	h := maphash.Bytes(c.seed, g)
+	idx := len(c.entries)
+	c.entries = append(c.entries, cacheEntry{
+		hash:      h,
+		key:       append([]byte(nil), g...),
+		violation: math.NaN(),
+	})
+	for slot := h & c.mask; ; slot = (slot + 1) & c.mask {
+		if c.table[slot] == 0 {
+			c.table[slot] = int32(idx + 1)
+			break
+		}
+	}
+	return idx
+}
+
+func (c *genomeCache) grow() {
+	nt := make([]int32, 2*len(c.table))
+	mask := uint64(len(nt) - 1)
+	for i := range c.entries {
+		h := c.entries[i].hash
+		for slot := h & mask; ; slot = (slot + 1) & mask {
+			if nt[slot] == 0 {
+				nt[slot] = int32(i + 1)
+				break
+			}
+		}
+	}
+	c.table, c.mask = nt, mask
+}

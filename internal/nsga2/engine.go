@@ -1,0 +1,662 @@
+package nsga2
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Engine is an incremental NSGA-II run: NewEngine evaluates and ranks
+// the initial population, each Step advances one generation, and
+// Result assembles the outcome at any point. Run wraps the three for
+// the common case.
+//
+// The engine owns a scratch arena sized once at construction — genome
+// slabs for the population, offspring and survivors, flat objective /
+// violation / dominance buffers for the non-dominated sort, index
+// buffers for crowding and truncation, and the interned-key genome
+// cache — so a steady-state Step performs zero heap allocations
+// beyond the entries retained for newly discovered genotypes (and the
+// problem's own allocations while evaluating them). Everything a Step
+// hands out (OnGeneration populations, Population) aliases that
+// arena; Result detaches what it returns.
+//
+// An Engine is not safe for concurrent use.
+type Engine struct {
+	p       Problem
+	cfg     Config
+	rng     *rand.Rand
+	src     *countingSource
+	workers []Problem
+
+	gl   int // genome length
+	nObj int
+	size int // population size (even)
+	gen  int
+
+	evals      int
+	validEvals int
+
+	cache genomeCache
+
+	// Population arena: pop always aliases popBuf, whose genomes live
+	// in curSlab; offspring go to offBuf/offSlab; survivors are built
+	// in nextBuf/nextSlab, then the buffers swap roles.
+	pop      []Individual
+	popBuf   []Individual
+	nextBuf  []Individual
+	offBuf   []Individual
+	merged   []Individual
+	curSlab  []byte
+	nextSlab []byte
+	offSlab  []byte
+
+	// Batch-evaluation scratch.
+	rowRefs  [][]byte
+	jobs     []int
+	entryIdx []int
+
+	// Rank/crowd scratch (sized for the merged 2*size population).
+	objsFlat  []float64
+	viol      []float64
+	feas      []bool
+	domCount  []int32
+	dominated [][]int32
+	fronts    [][]int
+	frontBuf  []int
+	crowdIdx  []int
+	rest      []int
+	oSort     objSorter
+	cSort     crowdSorter
+}
+
+// countingSource wraps the standard math/rand source, counting state
+// advances so Restore can rebuild the exact PRNG position by fast-
+// forwarding a fresh source. Both Int63 and Uint64 advance the
+// underlying generator by one step, so a single counter suffices.
+type countingSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+func (c *countingSource) Int63() int64 {
+	c.n++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.n++
+	return c.src.Uint64()
+}
+
+func (c *countingSource) Seed(s int64) { c.src.Seed(s) }
+
+// newCountedRNG builds the engine PRNG: the exact sequence of
+// rand.New(rand.NewSource(seed)), observed through a draw counter.
+func newCountedRNG(seed int64) (*rand.Rand, *countingSource) {
+	src := &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+	return rand.New(src), src
+}
+
+// NewEngine validates the configuration, sizes the scratch arena, and
+// evaluates and ranks the initial population (seeds first, then
+// random genomes).
+func NewEngine(p Problem, cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if p.GenomeLen() <= 0 {
+		return nil, fmt.Errorf("nsga2: genome length must be positive")
+	}
+	if p.NumObjectives() <= 0 {
+		return nil, fmt.Errorf("nsga2: need at least one objective")
+	}
+	if cfg.CrossoverProb < 0 || cfg.CrossoverProb > 1 {
+		return nil, fmt.Errorf("nsga2: crossover probability %v outside [0,1] (use nsga2.Off to disable)", cfg.CrossoverProb)
+	}
+	if cfg.MutationProb < 0 || cfg.MutationProb > 1 {
+		return nil, fmt.Errorf("nsga2: mutation probability %v outside [0,1] (use nsga2.Off to disable)", cfg.MutationProb)
+	}
+	if len(cfg.Seeds) > cfg.PopSize {
+		return nil, fmt.Errorf("nsga2: %d seeds exceed population %d", len(cfg.Seeds), cfg.PopSize)
+	}
+	for i, s := range cfg.Seeds {
+		if len(s) != p.GenomeLen() {
+			return nil, fmt.Errorf("nsga2: seed %d has %d genes, want %d", i, len(s), p.GenomeLen())
+		}
+	}
+	P, gl, m := cfg.PopSize, p.GenomeLen(), p.NumObjectives()
+	e := &Engine{
+		p:     p,
+		cfg:   cfg,
+		gl:    gl,
+		nObj:  m,
+		size:  P,
+		cache: newGenomeCache(),
+
+		popBuf:   make([]Individual, P),
+		nextBuf:  make([]Individual, P),
+		offBuf:   make([]Individual, P),
+		merged:   make([]Individual, 0, 2*P),
+		curSlab:  make([]byte, P*gl),
+		nextSlab: make([]byte, P*gl),
+		offSlab:  make([]byte, P*gl),
+
+		rowRefs:  make([][]byte, 0, P),
+		jobs:     make([]int, 0, P),
+		entryIdx: make([]int, 0, P),
+
+		objsFlat:  make([]float64, 2*P*m),
+		viol:      make([]float64, 2*P),
+		feas:      make([]bool, 2*P),
+		domCount:  make([]int32, 2*P),
+		dominated: make([][]int32, 2*P),
+		frontBuf:  make([]int, 0, 2*P),
+		crowdIdx:  make([]int, 2*P),
+		rest:      make([]int, 0, 2*P),
+	}
+	e.rng, e.src = newCountedRNG(cfg.Seed)
+	if cfg.Workers > 1 {
+		e.workers = make([]Problem, cfg.Workers)
+		for w := range e.workers {
+			if pw, ok := p.(PerWorkerProblem); ok {
+				e.workers[w] = pw.NewWorker()
+			} else {
+				e.workers[w] = p
+			}
+		}
+	}
+
+	e.rowRefs = e.rowRefs[:0]
+	for i := 0; i < P; i++ {
+		row := e.curRow(i)
+		if i < len(cfg.Seeds) {
+			copy(row, cfg.Seeds[i])
+		} else {
+			e.fillRandomGenome(row)
+		}
+		e.rowRefs = append(e.rowRefs, row)
+	}
+	e.evaluateBatch(e.rowRefs, e.popBuf)
+	e.pop = e.popBuf[:P]
+	e.rankAndCrowd(e.pop)
+	return e, nil
+}
+
+func (e *Engine) curRow(i int) []byte {
+	return e.curSlab[i*e.gl : (i+1)*e.gl : (i+1)*e.gl]
+}
+
+func (e *Engine) offRow(i int) []byte {
+	return e.offSlab[i*e.gl : (i+1)*e.gl : (i+1)*e.gl]
+}
+
+// Generation returns the number of completed Steps.
+func (e *Engine) Generation() int { return e.gen }
+
+// Population returns the current ranked population. The slice and its
+// genomes alias engine scratch: they are valid until the next Step or
+// Restore. Copy to retain.
+func (e *Engine) Population() []Individual { return e.pop }
+
+// Step advances one generation: binary-tournament mating, two-point
+// crossover, mutation, batched (optionally parallel) evaluation of
+// the distinct new genomes, and elitist survival over the merged
+// parent+offspring population.
+func (e *Engine) Step() {
+	off := e.makeOffspring()
+	m := append(e.merged[:0], e.pop...)
+	m = append(m, off...)
+	e.pop = e.surviveInto(m)
+	if e.cfg.OnGeneration != nil {
+		e.cfg.OnGeneration(e.gen, e.pop)
+	}
+	e.gen++
+}
+
+// Result assembles the run outcome. The returned population and
+// archive are detached from engine scratch (archive genomes are the
+// cache's interned keys, which the engine never mutates), so the
+// result stays valid across further Steps.
+func (e *Engine) Result() *Result {
+	res := &Result{
+		Final:             make([]Individual, len(e.pop)),
+		Evaluations:       e.evals,
+		ValidEvaluations:  e.validEvals,
+		DistinctEvaluated: len(e.cache.entries),
+	}
+	copy(res.Final, e.pop)
+	for i := range res.Final {
+		res.Final[i].Genome = append([]byte(nil), res.Final[i].Genome...)
+	}
+	for i := range e.cache.entries {
+		ent := &e.cache.entries[i]
+		if ent.violation == 0 {
+			res.DistinctValid++
+		}
+		if e.cfg.ArchiveAll {
+			res.Archive = append(res.Archive, ArchiveEntry{Genome: ent.key, Objs: ent.objs, Violation: ent.violation})
+		}
+	}
+	return res
+}
+
+// fillRandomGenome draws a random chromosome into g, consuming the
+// PRNG exactly like the original engine.
+func (e *Engine) fillRandomGenome(g []byte) {
+	for i := range g {
+		g[i] = 0
+		if e.rng.Float64() < e.cfg.InitDensity {
+			g[i] = 1
+		}
+	}
+}
+
+// evaluateBatch resolves a generation's genomes through the dedup
+// cache, evaluating the distinct new ones — in parallel when Workers
+// is set — and writes the individuals into out (one per genome, same
+// order). Cache insertion order, counters and results are identical
+// to a serial run.
+func (e *Engine) evaluateBatch(genomes [][]byte, out []Individual) {
+	e.jobs = e.jobs[:0]
+	e.entryIdx = e.entryIdx[:0]
+	for _, g := range genomes {
+		idx, ok := e.cache.lookup(g)
+		if !ok {
+			idx = e.cache.insert(g)
+			e.jobs = append(e.jobs, idx)
+		}
+		e.entryIdx = append(e.entryIdx, idx)
+	}
+	// All inserts for this batch are done, so the entries slice is
+	// stable while the jobs are filled (possibly concurrently).
+	if len(e.workers) > 0 && len(e.jobs) > 1 {
+		// Fixed worker pool pulling job indices from an atomic
+		// counter: each worker keeps its own evaluation state for the
+		// whole generation, and results land at their entry, so
+		// scheduling order cannot influence the outcome.
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < len(e.workers) && w < len(e.jobs); w++ {
+			wg.Add(1)
+			go func(p Problem) {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(e.jobs) {
+						return
+					}
+					ent := &e.cache.entries[e.jobs[i]]
+					ent.objs, ent.violation = p.Evaluate(ent.key)
+				}
+			}(e.workers[w])
+		}
+		wg.Wait()
+	} else {
+		for _, ji := range e.jobs {
+			ent := &e.cache.entries[ji]
+			ent.objs, ent.violation = e.p.Evaluate(ent.key)
+		}
+	}
+	for i, g := range genomes {
+		e.evals++
+		ent := &e.cache.entries[e.entryIdx[i]]
+		if ent.violation == 0 {
+			e.validEvals++
+		}
+		out[i] = Individual{Genome: g, Objs: ent.objs, Violation: ent.violation}
+	}
+}
+
+// makeOffspring builds PopSize children by binary tournament,
+// two-point crossover and mutation into the offspring slab. The
+// genetic operators run serially (they consume the engine's PRNG);
+// evaluation is batched.
+func (e *Engine) makeOffspring() []Individual {
+	e.rowRefs = e.rowRefs[:0]
+	for n := 0; n < e.size; n += 2 {
+		p1 := e.tournament()
+		p2 := e.tournament()
+		c1, c2 := e.offRow(n), e.offRow(n+1)
+		copy(c1, p1.Genome)
+		copy(c2, p2.Genome)
+		if e.rng.Float64() < e.cfg.CrossoverProb {
+			e.twoPointCrossover(c1, c2)
+		}
+		e.mutate(c1)
+		e.mutate(c2)
+		e.rowRefs = append(e.rowRefs, c1, c2)
+	}
+	e.evaluateBatch(e.rowRefs, e.offBuf)
+	return e.offBuf[:e.size]
+}
+
+// tournament picks the better of two random individuals by
+// (rank, crowding).
+func (e *Engine) tournament() Individual {
+	pop := e.pop
+	a := pop[e.rng.Intn(len(pop))]
+	b := pop[e.rng.Intn(len(pop))]
+	if a.Rank != b.Rank {
+		if a.Rank < b.Rank {
+			return a
+		}
+		return b
+	}
+	if a.Crowding != b.Crowding {
+		if a.Crowding > b.Crowding {
+			return a
+		}
+		return b
+	}
+	if e.rng.Intn(2) == 0 {
+		return a
+	}
+	return b
+}
+
+// twoPointCrossover exchanges the gene range [x,y] of the two
+// chromosomes (the paper's operator).
+func (e *Engine) twoPointCrossover(a, b []byte) {
+	n := len(a)
+	x, y := e.rng.Intn(n), e.rng.Intn(n)
+	if x > y {
+		x, y = y, x
+	}
+	for i := x; i <= y; i++ {
+		a[i], b[i] = b[i], a[i]
+	}
+}
+
+// mutate applies the configured mutation operator in place.
+func (e *Engine) mutate(g []byte) {
+	if e.cfg.PerBitMutation > 0 {
+		for i := range g {
+			if e.rng.Float64() < e.cfg.PerBitMutation {
+				g[i] ^= 1
+			}
+		}
+		return
+	}
+	if e.rng.Float64() < e.cfg.MutationProb {
+		i := e.rng.Intn(len(g))
+		g[i] ^= 1
+	}
+}
+
+// surviveInto performs the elitist (mu + lambda) selection over the
+// merged population into the next-generation buffers, copies the
+// survivor genomes into the next slab, and swaps the arena roles.
+// Identical survivors, in identical order, to the reference survive.
+func (e *Engine) surviveInto(m []Individual) []Individual {
+	fronts := e.rankAndCrowd(m)
+	dst := e.nextBuf
+	n := 0
+	for _, front := range fronts {
+		if n+len(front) <= e.size {
+			for _, i := range front {
+				dst[n] = m[i]
+				n++
+			}
+			continue
+		}
+		rest := append(e.rest[:0], front...)
+		e.cSort.ind, e.cSort.idx = m, rest
+		sort.Stable(&e.cSort)
+		e.cSort.ind, e.cSort.idx = nil, nil
+		for _, i := range rest[:e.size-n] {
+			dst[n] = m[i]
+			n++
+		}
+		break
+	}
+	for k := 0; k < n; k++ {
+		row := e.nextSlab[k*e.gl : (k+1)*e.gl : (k+1)*e.gl]
+		copy(row, dst[k].Genome)
+		dst[k].Genome = row
+	}
+	e.popBuf, e.nextBuf = e.nextBuf, e.popBuf
+	e.curSlab, e.nextSlab = e.nextSlab, e.curSlab
+	return dst[:n]
+}
+
+// rankAndCrowd assigns ranks and crowding distances in place and
+// returns the fronts (aliasing engine scratch, valid until the next
+// call). It produces bit-identical results to the reference
+// fastNonDominatedSort + assignCrowding pair, but runs on flat
+// scratch arrays and decides each unordered pair with a single
+// early-exiting objective pass instead of two full dominance tests.
+func (e *Engine) rankAndCrowd(m []Individual) [][]int {
+	n, mo := len(m), e.nObj
+	for i := 0; i < n; i++ {
+		v := m[i].Violation
+		e.viol[i] = v
+		e.feas[i] = v == 0
+		row := e.objsFlat[i*mo : (i+1)*mo]
+		c := copy(row, m[i].Objs)
+		for k := c; k < mo; k++ {
+			row[k] = 0
+		}
+		e.domCount[i] = 0
+		e.dominated[i] = e.dominated[i][:0]
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			switch e.relation(i, j) {
+			case 1:
+				e.dominated[i] = append(e.dominated[i], int32(j))
+				e.domCount[j]++
+			case -1:
+				e.dominated[j] = append(e.dominated[j], int32(i))
+				e.domCount[i]++
+			}
+		}
+	}
+	// Build the fronts as consecutive runs of one flat index buffer:
+	// every individual lands in exactly one front, so frontBuf never
+	// outgrows its n-capacity and the per-front slices stay valid.
+	fb := e.frontBuf[:0]
+	for i := 0; i < n; i++ {
+		if e.domCount[i] == 0 {
+			fb = append(fb, i)
+		}
+	}
+	e.fronts = e.fronts[:0]
+	for start := 0; start < len(fb); {
+		end := len(fb)
+		for _, i := range fb[start:end] {
+			for _, j := range e.dominated[i] {
+				e.domCount[j]--
+				if e.domCount[j] == 0 {
+					fb = append(fb, int(j))
+				}
+			}
+		}
+		e.fronts = append(e.fronts, fb[start:end:end])
+		start = end
+	}
+	for rank, front := range e.fronts {
+		for _, i := range front {
+			m[i].Rank = rank
+		}
+		e.assignCrowdingScratch(m, front)
+	}
+	return e.fronts
+}
+
+// relation decides one unordered pair under Deb's constraint
+// dominance: 1 if i dominates j, -1 if j dominates i, 0 otherwise.
+// Exactly equivalent to evaluating the reference dominates in both
+// directions.
+func (e *Engine) relation(i, j int) int {
+	fi, fj := e.feas[i], e.feas[j]
+	if fi != fj {
+		if fi {
+			return 1
+		}
+		return -1
+	}
+	if !fi {
+		switch {
+		case e.viol[i] < e.viol[j]:
+			return 1
+		case e.viol[j] < e.viol[i]:
+			return -1
+		}
+		return 0
+	}
+	mo := e.nObj
+	a := e.objsFlat[i*mo : (i+1)*mo]
+	b := e.objsFlat[j*mo : (j+1)*mo]
+	iBetter, jBetter := false, false
+	for k := 0; k < mo; k++ {
+		switch {
+		case a[k] < b[k]:
+			if jBetter {
+				return 0
+			}
+			iBetter = true
+		case a[k] > b[k]:
+			if iBetter {
+				return 0
+			}
+			jBetter = true
+		}
+	}
+	switch {
+	case iBetter:
+		return 1
+	case jBetter:
+		return -1
+	}
+	return 0
+}
+
+// assignCrowdingScratch mirrors the reference assignCrowding on the
+// engine's flat objective buffer with a preallocated index slice and
+// an allocation-free stable sort.
+func (e *Engine) assignCrowdingScratch(m []Individual, front []int) {
+	if len(front) == 0 {
+		return
+	}
+	for _, i := range front {
+		m[i].Crowding = 0
+	}
+	if len(front) <= 2 {
+		for _, i := range front {
+			m[i].Crowding = math.Inf(1)
+		}
+		return
+	}
+	mo := e.nObj
+	idx := e.crowdIdx[:len(front)]
+	for obj := 0; obj < mo; obj++ {
+		copy(idx, front)
+		e.oSort.idx, e.oSort.objs, e.oSort.stride, e.oSort.obj = idx, e.objsFlat, mo, obj
+		sort.Stable(&e.oSort)
+		e.oSort.idx, e.oSort.objs = nil, nil
+		lo := e.objsFlat[idx[0]*mo+obj]
+		hi := e.objsFlat[idx[len(idx)-1]*mo+obj]
+		spread := hi - lo
+		m[idx[0]].Crowding = math.Inf(1)
+		m[idx[len(idx)-1]].Crowding = math.Inf(1)
+		if spread <= 0 || math.IsInf(spread, 0) || math.IsNaN(spread) {
+			// Degenerate axis (all equal, or infeasible front at
+			// +Inf): contributes nothing.
+			continue
+		}
+		for k := 1; k < len(idx)-1; k++ {
+			d := (e.objsFlat[idx[k+1]*mo+obj] - e.objsFlat[idx[k-1]*mo+obj]) / spread
+			if !math.IsInf(m[idx[k]].Crowding, 1) {
+				m[idx[k]].Crowding += d
+			}
+		}
+	}
+}
+
+// objSorter stable-sorts an index slice by one flat-stored objective.
+// A stable sort's output is uniquely determined by the comparator, so
+// sort.Stable here reproduces the reference sort.SliceStable exactly
+// — without the reflection swapper's allocations.
+type objSorter struct {
+	idx         []int
+	objs        []float64
+	stride, obj int
+}
+
+func (s *objSorter) Len() int { return len(s.idx) }
+func (s *objSorter) Less(a, b int) bool {
+	return s.objs[s.idx[a]*s.stride+s.obj] < s.objs[s.idx[b]*s.stride+s.obj]
+}
+func (s *objSorter) Swap(a, b int) { s.idx[a], s.idx[b] = s.idx[b], s.idx[a] }
+
+// crowdSorter stable-sorts a front's index slice by descending
+// crowding distance for the survival truncation.
+type crowdSorter struct {
+	ind []Individual
+	idx []int
+}
+
+func (s *crowdSorter) Len() int { return len(s.idx) }
+func (s *crowdSorter) Less(a, b int) bool {
+	return s.ind[s.idx[a]].Crowding > s.ind[s.idx[b]].Crowding
+}
+func (s *crowdSorter) Swap(a, b int) { s.idx[a], s.idx[b] = s.idx[b], s.idx[a] }
+
+// Snapshot captures the engine's evolutionary state — the ranked
+// population and the PRNG position — so Restore can rewind and replay
+// from it bit-for-bit. The evaluation cache and its counters are NOT
+// part of the snapshot: evaluation is deterministic, so a replayed
+// generation reads identical results out of the cache, and the
+// benchmark suite uses exactly that to measure a steady-state
+// generation with every genome already cached.
+type Snapshot struct {
+	gen        int
+	draws      uint64
+	evals      int
+	validEvals int
+	genomes    []byte
+	inds       []Individual
+}
+
+// Snapshot captures the current state. The copy is private to the
+// snapshot; later Steps do not disturb it.
+func (e *Engine) Snapshot() *Snapshot {
+	s := &Snapshot{
+		gen:        e.gen,
+		draws:      e.src.n,
+		evals:      e.evals,
+		validEvals: e.validEvals,
+		genomes:    make([]byte, len(e.pop)*e.gl),
+		inds:       make([]Individual, len(e.pop)),
+	}
+	copy(s.inds, e.pop)
+	for i := range e.pop {
+		copy(s.genomes[i*e.gl:(i+1)*e.gl], e.pop[i].Genome)
+		s.inds[i].Genome = nil
+	}
+	return s
+}
+
+// Restore rewinds the engine to a snapshot taken from it: the
+// population (including ranks and crowding) is copied back into the
+// arena and the PRNG is rebuilt at the recorded draw position, so the
+// following Steps replay the original trajectory exactly. Restore
+// allocates (the PRNG rebuild); Step afterwards does not.
+func (e *Engine) Restore(s *Snapshot) {
+	e.gen, e.evals, e.validEvals = s.gen, s.evals, s.validEvals
+	e.rng, e.src = newCountedRNG(e.cfg.Seed)
+	for i := uint64(0); i < s.draws; i++ {
+		e.src.src.Int63()
+	}
+	e.src.n = s.draws
+	n := len(s.inds)
+	copy(e.popBuf[:n], s.inds)
+	for i := 0; i < n; i++ {
+		row := e.curRow(i)
+		copy(row, s.genomes[i*e.gl:(i+1)*e.gl])
+		e.popBuf[i].Genome = row
+	}
+	e.pop = e.popBuf[:n]
+}

@@ -10,15 +10,19 @@
 // paper "sets the fitness to infinity") are handled with Deb's
 // constraint dominance: any feasible individual dominates any
 // infeasible one, infeasible ones tie among themselves.
+//
+// The hot path lives in the Engine (engine.go): an incremental,
+// scratch-arena form of the generation loop that performs zero
+// steady-state heap allocations per generation. This file keeps the
+// public problem/config/result types and the simple reference
+// implementations of the ranking machinery (fastNonDominatedSort,
+// assignCrowding, survive), which the property tests use as the
+// equivalence oracle for the scratch versions.
 package nsga2
 
 import (
-	"fmt"
 	"math"
-	"math/rand"
 	"sort"
-	"sync"
-	"sync/atomic"
 )
 
 // Problem is the optimization problem the engine minimizes.
@@ -32,7 +36,8 @@ type Problem interface {
 	// values mean "more broken". Deb's constraint domination uses the
 	// magnitude to give the search a gradient toward feasibility even
 	// from an all-infeasible population. Implementations must be
-	// deterministic.
+	// deterministic, must not retain or mutate the genome slice, and
+	// must return exactly NumObjectives objective values.
 	Evaluate(genome []byte) (objs []float64, violation float64)
 }
 
@@ -53,6 +58,13 @@ type PerWorkerProblem interface {
 	NewWorker() Problem
 }
 
+// Off is the sentinel disabling a genetic operator probability.
+// Config's zero value keeps the paper's defaults, so a literal 0 for
+// CrossoverProb or MutationProb cannot mean "never apply the
+// operator" — set the field to Off for that. Any other negative value
+// is rejected by Run.
+const Off = -1
+
 // Config tunes the engine. The zero value is completed by
 // (*Config).withDefaults; the paper's settings are population 400 and
 // 300 generations.
@@ -64,9 +76,12 @@ type Config struct {
 	Generations int
 	// CrossoverProb is the probability of applying two-point
 	// crossover to a mating pair (otherwise the parents are copied).
+	// 0 means the paper's default (0.9); use Off to disable crossover
+	// entirely.
 	CrossoverProb float64
 	// MutationProb is the probability of inverting one random gene of
-	// each offspring (the paper's mutation operator).
+	// each offspring (the paper's mutation operator). 0 means the
+	// paper's default (1.0); use Off to disable mutation entirely.
 	MutationProb float64
 	// PerBitMutation, when positive, replaces the single-gene
 	// operator by an independent per-gene flip rate (classic binary
@@ -93,7 +108,10 @@ type Config struct {
 	// evaluation cache either way.
 	ArchiveAll bool
 	// OnGeneration, when non-nil, observes each generation's
-	// population after survival selection.
+	// population after survival selection. The Individual slice and
+	// the genome bytes it references alias engine-owned scratch that
+	// is reused by the next generation: callbacks that retain genomes
+	// past their own return must copy them.
 	OnGeneration func(gen int, pop []Individual)
 }
 
@@ -107,11 +125,17 @@ func (c Config) withDefaults() Config {
 	if c.Generations <= 0 {
 		c.Generations = 300
 	}
-	if c.CrossoverProb == 0 {
+	switch {
+	case c.CrossoverProb == 0:
 		c.CrossoverProb = 0.9
+	case c.CrossoverProb == Off:
+		c.CrossoverProb = 0
 	}
-	if c.MutationProb == 0 {
+	switch {
+	case c.MutationProb == 0:
 		c.MutationProb = 1.0
+	case c.MutationProb == Off:
+		c.MutationProb = 0
 	}
 	if c.InitDensity == 0 {
 		c.InitDensity = 0.5
@@ -163,250 +187,16 @@ type Result struct {
 	DistinctValid     int
 }
 
-type engine struct {
-	p          Problem
-	cfg        Config
-	rng        *rand.Rand
-	cache      map[string]cached
-	order      []string // insertion order of cache keys, for the archive
-	evals      int
-	validEvals int
-	// workers holds the per-goroutine evaluation views used when
-	// Workers > 1: either the problem's own NewWorker products or the
-	// shared problem repeated (which must then be concurrency-safe).
-	workers []Problem
-}
-
-type cached struct {
-	objs      []float64
-	violation float64
-}
-
 // Run executes NSGA-II on the problem.
 func Run(p Problem, cfg Config) (*Result, error) {
-	cfg = cfg.withDefaults()
-	if p.GenomeLen() <= 0 {
-		return nil, fmt.Errorf("nsga2: genome length must be positive")
+	e, err := NewEngine(p, cfg)
+	if err != nil {
+		return nil, err
 	}
-	if p.NumObjectives() <= 0 {
-		return nil, fmt.Errorf("nsga2: need at least one objective")
+	for g := 0; g < e.cfg.Generations; g++ {
+		e.Step()
 	}
-	if cfg.CrossoverProb < 0 || cfg.CrossoverProb > 1 {
-		return nil, fmt.Errorf("nsga2: crossover probability %v outside [0,1]", cfg.CrossoverProb)
-	}
-	if cfg.MutationProb < 0 || cfg.MutationProb > 1 {
-		return nil, fmt.Errorf("nsga2: mutation probability %v outside [0,1]", cfg.MutationProb)
-	}
-	if len(cfg.Seeds) > cfg.PopSize {
-		return nil, fmt.Errorf("nsga2: %d seeds exceed population %d", len(cfg.Seeds), cfg.PopSize)
-	}
-	for i, s := range cfg.Seeds {
-		if len(s) != p.GenomeLen() {
-			return nil, fmt.Errorf("nsga2: seed %d has %d genes, want %d", i, len(s), p.GenomeLen())
-		}
-	}
-	e := &engine{
-		p:     p,
-		cfg:   cfg,
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
-		cache: make(map[string]cached),
-	}
-	if cfg.Workers > 1 {
-		e.workers = make([]Problem, cfg.Workers)
-		for w := range e.workers {
-			if pw, ok := p.(PerWorkerProblem); ok {
-				e.workers[w] = pw.NewWorker()
-			} else {
-				e.workers[w] = p
-			}
-		}
-	}
-
-	genomes := make([][]byte, cfg.PopSize)
-	for i := range genomes {
-		if i < len(cfg.Seeds) {
-			genomes[i] = append([]byte(nil), cfg.Seeds[i]...)
-		} else {
-			genomes[i] = e.randomGenome()
-		}
-	}
-	pop := e.evaluateBatch(genomes)
-	sortPopulation(pop)
-
-	for gen := 0; gen < cfg.Generations; gen++ {
-		offspring := e.makeOffspring(pop)
-		merged := append(pop, offspring...)
-		pop = survive(merged, cfg.PopSize)
-		if cfg.OnGeneration != nil {
-			cfg.OnGeneration(gen, pop)
-		}
-	}
-
-	res := &Result{
-		Final:             pop,
-		Evaluations:       e.evals,
-		ValidEvaluations:  e.validEvals,
-		DistinctEvaluated: len(e.cache),
-	}
-	for _, k := range e.order {
-		c := e.cache[k]
-		if c.violation == 0 {
-			res.DistinctValid++
-		}
-		if cfg.ArchiveAll {
-			res.Archive = append(res.Archive, ArchiveEntry{Genome: []byte(k), Objs: c.objs, Violation: c.violation})
-		}
-	}
-	return res, nil
-}
-
-func (e *engine) randomGenome() []byte {
-	g := make([]byte, e.p.GenomeLen())
-	for i := range g {
-		if e.rng.Float64() < e.cfg.InitDensity {
-			g[i] = 1
-		}
-	}
-	return g
-}
-
-// evaluateBatch resolves a generation's genomes through the dedup
-// cache, evaluating the distinct new ones — in parallel when Workers
-// is set. The cache insertion order, counters and results are
-// identical to a serial run.
-func (e *engine) evaluateBatch(genomes [][]byte) []Individual {
-	type job struct {
-		key    string
-		genome []byte
-	}
-	var jobs []job
-	pending := make(map[string]bool)
-	for _, g := range genomes {
-		k := string(g)
-		if _, ok := e.cache[k]; ok || pending[k] {
-			continue
-		}
-		pending[k] = true
-		jobs = append(jobs, job{key: k, genome: g})
-	}
-	results := make([]cached, len(jobs))
-	if len(e.workers) > 0 && len(jobs) > 1 {
-		// Fixed worker pool pulling job indices from an atomic
-		// counter: each worker keeps its own evaluation state for the
-		// whole generation, and results land at their job index, so
-		// scheduling order cannot influence the outcome.
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < len(e.workers) && w < len(jobs); w++ {
-			wg.Add(1)
-			go func(p Problem) {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= len(jobs) {
-						return
-					}
-					objs, violation := p.Evaluate(jobs[i].genome)
-					results[i] = cached{objs: objs, violation: violation}
-				}
-			}(e.workers[w])
-		}
-		wg.Wait()
-	} else {
-		for i := range jobs {
-			objs, violation := e.p.Evaluate(jobs[i].genome)
-			results[i] = cached{objs: objs, violation: violation}
-		}
-	}
-	for i, j := range jobs {
-		e.cache[j.key] = results[i]
-		e.order = append(e.order, j.key)
-	}
-	out := make([]Individual, len(genomes))
-	for i, g := range genomes {
-		e.evals++
-		c := e.cache[string(g)]
-		if c.violation == 0 {
-			e.validEvals++
-		}
-		out[i] = Individual{Genome: g, Objs: c.objs, Violation: c.violation}
-	}
-	return out
-}
-
-// makeOffspring builds PopSize children by binary tournament,
-// two-point crossover and mutation. The genetic operators run
-// serially (they consume the engine's PRNG); evaluation is batched.
-func (e *engine) makeOffspring(pop []Individual) []Individual {
-	children := make([][]byte, 0, e.cfg.PopSize)
-	for len(children) < e.cfg.PopSize {
-		p1 := e.tournament(pop)
-		p2 := e.tournament(pop)
-		c1 := append([]byte(nil), p1.Genome...)
-		c2 := append([]byte(nil), p2.Genome...)
-		if e.rng.Float64() < e.cfg.CrossoverProb {
-			e.twoPointCrossover(c1, c2)
-		}
-		e.mutate(c1)
-		e.mutate(c2)
-		children = append(children, c1)
-		if len(children) < e.cfg.PopSize {
-			children = append(children, c2)
-		}
-	}
-	return e.evaluateBatch(children)
-}
-
-// tournament picks the better of two random individuals by
-// (rank, crowding).
-func (e *engine) tournament(pop []Individual) Individual {
-	a := pop[e.rng.Intn(len(pop))]
-	b := pop[e.rng.Intn(len(pop))]
-	if a.Rank != b.Rank {
-		if a.Rank < b.Rank {
-			return a
-		}
-		return b
-	}
-	if a.Crowding != b.Crowding {
-		if a.Crowding > b.Crowding {
-			return a
-		}
-		return b
-	}
-	if e.rng.Intn(2) == 0 {
-		return a
-	}
-	return b
-}
-
-// twoPointCrossover exchanges the gene range [x,y] of the two
-// chromosomes (the paper's operator).
-func (e *engine) twoPointCrossover(a, b []byte) {
-	n := len(a)
-	x, y := e.rng.Intn(n), e.rng.Intn(n)
-	if x > y {
-		x, y = y, x
-	}
-	for i := x; i <= y; i++ {
-		a[i], b[i] = b[i], a[i]
-	}
-}
-
-// mutate applies the configured mutation operator in place.
-func (e *engine) mutate(g []byte) {
-	if e.cfg.PerBitMutation > 0 {
-		for i := range g {
-			if e.rng.Float64() < e.cfg.PerBitMutation {
-				g[i] ^= 1
-			}
-		}
-		return
-	}
-	if e.rng.Float64() < e.cfg.MutationProb {
-		i := e.rng.Intn(len(g))
-		g[i] ^= 1
-	}
+	return e.Result(), nil
 }
 
 // dominates implements Deb's constraint dominance for minimization:
@@ -432,7 +222,8 @@ func dominates(a, b Individual) bool {
 	return strictly
 }
 
-// sortPopulation assigns ranks and crowding distances in place.
+// sortPopulation assigns ranks and crowding distances in place — the
+// reference implementation of the engine's rankAndCrowd scratch pass.
 func sortPopulation(pop []Individual) {
 	fronts := fastNonDominatedSort(pop)
 	for rank, front := range fronts {
@@ -443,7 +234,9 @@ func sortPopulation(pop []Individual) {
 	}
 }
 
-// fastNonDominatedSort returns the indices of each front.
+// fastNonDominatedSort returns the indices of each front (reference
+// implementation; the Engine carries an allocation-free scratch
+// version producing identical fronts).
 func fastNonDominatedSort(pop []Individual) [][]int {
 	n := len(pop)
 	domCount := make([]int, n)
@@ -482,7 +275,8 @@ func fastNonDominatedSort(pop []Individual) [][]int {
 	return fronts
 }
 
-// assignCrowding computes crowding distances for one front.
+// assignCrowding computes crowding distances for one front (reference
+// implementation).
 func assignCrowding(pop []Individual, front []int) {
 	if len(front) == 0 {
 		return
@@ -523,7 +317,7 @@ func assignCrowding(pop []Individual, front []int) {
 
 // survive performs the elitist (mu + lambda) environmental selection:
 // whole fronts are taken while they fit; the last partial front is
-// truncated by crowding distance.
+// truncated by crowding distance (reference implementation).
 func survive(merged []Individual, size int) []Individual {
 	fronts := fastNonDominatedSort(merged)
 	for rank, front := range fronts {

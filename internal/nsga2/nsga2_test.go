@@ -379,7 +379,7 @@ func TestFeasibleFrontDedupes(t *testing.T) {
 }
 
 func TestTwoPointCrossoverPreservesGenePool(t *testing.T) {
-	e := &engine{rng: rand.New(rand.NewSource(1)), cfg: Config{}.withDefaults()}
+	e := &Engine{rng: rand.New(rand.NewSource(1)), cfg: Config{}.withDefaults()}
 	a := []byte{1, 1, 1, 1, 1, 1, 1, 1}
 	b := []byte{0, 0, 0, 0, 0, 0, 0, 0}
 	e.twoPointCrossover(a, b)
@@ -391,7 +391,7 @@ func TestTwoPointCrossoverPreservesGenePool(t *testing.T) {
 }
 
 func TestSingleFlipMutationChangesOneGene(t *testing.T) {
-	e := &engine{rng: rand.New(rand.NewSource(2)), cfg: Config{MutationProb: 1}.withDefaults()}
+	e := &Engine{rng: rand.New(rand.NewSource(2)), cfg: Config{MutationProb: 1}.withDefaults()}
 	g := []byte{0, 0, 0, 0, 0, 0}
 	e.mutate(g)
 	if countOnes(g) != 1 {
