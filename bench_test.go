@@ -340,7 +340,7 @@ func BenchmarkHeuristicsVsGA(b *testing.B) {
 				}
 				ev := in.Evaluate(g)
 				if !ev.Valid {
-					b.Fatalf("heuristic produced invalid genome: %s", ev.Reason)
+					b.Fatalf("heuristic produced invalid genome: %s", ev.Reason())
 				}
 				total++
 				for _, sol := range s.Results[8].FrontTimeEnergy {
@@ -377,7 +377,7 @@ func BenchmarkEvaluateValid(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		ev := in.Evaluate(g)
 		if !ev.Valid {
-			b.Fatal(ev.Reason)
+			b.Fatal(ev.Reason())
 		}
 	}
 }
@@ -408,7 +408,34 @@ func BenchmarkEvaluateKernel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		ev.EvaluateInto(&out, g)
 		if !out.Valid {
-			b.Fatal(out.Reason)
+			b.Fatal(out.Reason())
+		}
+	}
+}
+
+// BenchmarkEvaluateInvalidKernel measures the fast-reject path
+// through a dedicated Evaluator: with the reason recorded as indices
+// instead of a formatted string, rejecting a genome is allocation-free
+// (gated at 0 allocs/op in CI — the invalid path dominates early GA
+// generations).
+func BenchmarkEvaluateInvalidKernel(b *testing.B) {
+	in, err := alloc.DefaultInstance(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev, err := alloc.NewEvaluator(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := in.NewZeroGenome()
+	var out alloc.Eval
+	ev.EvaluateInto(&out, g) // warm-up: schedule scratch growth
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.EvaluateInto(&out, g)
+		if out.Valid {
+			b.Fatal("zero genome cannot be valid")
 		}
 	}
 }
@@ -785,7 +812,7 @@ func BenchmarkAblationCrosstalkSources(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				ev := in.Evaluate(g)
 				if !ev.Valid {
-					b.Fatal(ev.Reason)
+					b.Fatal(ev.Reason())
 				}
 				ber = ev.MeanBER
 			}

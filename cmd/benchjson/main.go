@@ -16,6 +16,16 @@
 //	                             violation (or if nothing matched, which
 //	                             catches renamed benchmarks silently
 //	                             skipping the gate)
+//	-compare file                baseline BENCH_*.json to gate ns/op
+//	                             regressions against (e.g. the committed
+//	                             BENCH_PR3.json)
+//	-regress-gate regexp         benchmarks whose base name matches are
+//	                             held to the regression budget; required
+//	                             with -compare, and matching nothing (or
+//	                             a benchmark absent from the baseline) is
+//	                             itself a failure
+//	-max-regress fraction        allowed ns/op growth over the baseline
+//	                             before the gate fails (default 0.15)
 //
 // Each benchmark line becomes one record with the iteration count and
 // a metrics map keyed by unit ("ns/op", "B/op", "allocs/op", plus any
@@ -32,6 +42,7 @@ import (
 	"os"
 	"os/exec"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -52,6 +63,9 @@ func main() {
 	var (
 		sha         = flag.String("sha", "", "git commit SHA to record (default: $GITHUB_SHA, then git rev-parse HEAD)")
 		requireZero = flag.String("require-zero-allocs", "", "regexp of benchmark base names that must report 0 allocs/op")
+		compareFile = flag.String("compare", "", "baseline BENCH_*.json to gate ns/op regressions against")
+		regressGate = flag.String("regress-gate", "", "regexp of benchmark base names held to the regression budget (required with -compare)")
+		maxRegress  = flag.Float64("max-regress", 0.15, "allowed fractional ns/op growth over the -compare baseline")
 	)
 	flag.Parse()
 
@@ -67,12 +81,131 @@ func main() {
 	if err := enc.Encode(doc); err != nil {
 		fatal(err)
 	}
-	// Gate after writing, so the artifact exists even on failure.
+	// Gates run after writing, so the artifact exists even on failure.
 	if *requireZero != "" {
 		if err := checkZeroAllocs(doc, *requireZero); err != nil {
 			fatal(err)
 		}
 	}
+	if *compareFile != "" {
+		base, err := loadBaseline(*compareFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := checkRegression(doc, base, *regressGate, *maxRegress); err != nil {
+			fatal(err)
+		}
+	} else if *regressGate != "" {
+		fatal(fmt.Errorf("-regress-gate needs -compare"))
+	}
+}
+
+// loadBaseline reads a previously emitted benchjson document.
+func loadBaseline(path string) (*document, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	var doc document
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if doc.Schema != "benchjson/v1" {
+		return nil, fmt.Errorf("baseline %s: schema %q, want benchjson/v1", path, doc.Schema)
+	}
+	return &doc, nil
+}
+
+// checkRegression enforces the performance budget: every benchmark
+// whose base name matches the gate pattern must report ns/op no more
+// than (1+maxRegress) times the baseline's. Matching nothing, or a
+// gated benchmark missing from either side, fails too — a renamed
+// benchmark must not silently drop out of the gate.
+//
+// When a document holds several samples of one benchmark (go test
+// -count=N), the MINIMUM ns/op represents it on both sides: the
+// minimum is the least-noise estimate of a deterministic kernel's
+// cost, so scheduler interference on a shared CI runner widens the
+// samples upward without tripping the gate, while a genuine
+// regression lifts the floor itself.
+func checkRegression(cur, base *document, pattern string, maxRegress float64) error {
+	if pattern == "" {
+		return fmt.Errorf("-compare needs -regress-gate (the benchmarks held to the budget)")
+	}
+	if maxRegress < 0 {
+		return fmt.Errorf("-max-regress must be >= 0, got %v", maxRegress)
+	}
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return fmt.Errorf("bad -regress-gate pattern: %v", err)
+	}
+	baseNS := minNSByName(base)
+	curNS := minNSByName(cur)
+	// Gate over the UNION of gated names from both documents: a
+	// benchmark present only in the baseline (deleted or renamed since)
+	// must fail just like one missing from the baseline.
+	nameSet := map[string]bool{}
+	for name := range curNS {
+		if re.MatchString(name) {
+			nameSet[name] = true
+		}
+	}
+	for name := range baseNS {
+		if re.MatchString(name) {
+			nameSet[name] = true
+		}
+	}
+	names := make([]string, 0, len(nameSet))
+	for name := range nameSet {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var violations []string
+	for _, name := range names {
+		ns, inCur := curNS[name]
+		if !inCur {
+			violations = append(violations, fmt.Sprintf("%s: in baseline but not in this run — renamed, or dropped from the bench pattern?", name))
+			continue
+		}
+		ref, ok := baseNS[name]
+		switch {
+		case !ok:
+			violations = append(violations, fmt.Sprintf("%s: not in baseline — renamed, or the baseline predates it?", name))
+		case ref <= 0:
+			violations = append(violations, fmt.Sprintf("%s: baseline ns/op %v is not positive", name, ref))
+		case ns > ref*(1+maxRegress):
+			violations = append(violations, fmt.Sprintf("%s: %.1f ns/op vs baseline %.1f (%+.1f%%, budget %+.0f%%)",
+				name, ns, ref, (ns/ref-1)*100, maxRegress*100))
+		default:
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %.1f ns/op vs baseline %.1f (%+.1f%%) within budget\n",
+				name, ns, ref, (ns/ref-1)*100)
+		}
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("regression gate %q matched no benchmark — renamed or not run?", pattern)
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("performance budget violated:\n  %s", strings.Join(violations, "\n  "))
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: regression gate passed for %d benchmark(s)\n", len(names))
+	return nil
+}
+
+// minNSByName folds a document's records to the minimum ns/op per
+// benchmark base name. Records without an ns/op metric are skipped.
+func minNSByName(doc *document) map[string]float64 {
+	out := map[string]float64{}
+	for _, rec := range doc.Benchmarks {
+		ns, ok := rec.Metrics["ns/op"]
+		if !ok {
+			continue
+		}
+		name := baseName(rec.Name)
+		if cur, ok := out[name]; !ok || ns < cur {
+			out[name] = ns
+		}
+	}
+	return out
 }
 
 func fatal(err error) {

@@ -93,7 +93,7 @@ func run(appPath string, nw int, countsStr, genomeStr, policyStr string, seed, l
 	ev := in.Evaluate(g)
 	fmt.Printf("allocation %v  (chromosome %s)\n", ev.Counts, g)
 	if !ev.Valid {
-		return fmt.Errorf("allocation invalid: %s", ev.Reason)
+		return fmt.Errorf("allocation invalid: %s", ev.Reason())
 	}
 	fmt.Printf("analytic:  time %.3f k-cc   bit energy %.3f fJ/bit   mean BER %.3e (log10 %.2f)\n",
 		ev.TimeKCC(), ev.BitEnergyFJ, ev.MeanBER, ev.Log10MeanBER())

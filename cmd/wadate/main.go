@@ -45,6 +45,24 @@
 //	-json string      write the campaign JSON artifact to this file
 //	-csv string       write the campaign CSV table to this file
 //
+// Long campaigns survive preemption with durable checkpoints: the
+// campaign manifest, per-cell completion records and in-flight GA
+// snapshots live in -checkpoint-dir (atomic tmp+rename writes), and a
+// killed run resumes mid-cell with -resume. A resumed campaign's
+// JSON/CSV artifacts are byte-identical to an uninterrupted run's —
+// CI enforces this with the resume-equivalence job:
+//
+//	-checkpoint-dir dir    maintain durable campaign checkpoints in dir
+//	-checkpoint-every int  generations between in-flight snapshots
+//	                       (default 25)
+//	-resume                continue the campaign recorded in
+//	                       -checkpoint-dir (its manifest must match the
+//	                       flags exactly; mismatches fail loudly)
+//	-halt-after-checkpoints int
+//	                       crash-test aid: exit the process (status 3,
+//	                       no artifacts) after the Nth checkpoint write,
+//	                       simulating preemption deterministically
+//
 // Profiling flags apply to both modes, so hot-path regressions can be
 // diagnosed straight from a campaign run without editing code:
 //
@@ -54,6 +72,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -88,6 +107,11 @@ func main() {
 		workloads   = flag.String("workloads", "paper", "comma-separated campaign workloads: paper, chain<N>, forkjoin<W>, fft<N>, gauss<N>, diamond<N> (>16-task specs share cores)")
 		jsonPath    = flag.String("json", "", "write the campaign JSON artifact to this file")
 
+		checkpointDir   = flag.String("checkpoint-dir", "", "maintain durable campaign checkpoints in this directory")
+		checkpointEvery = flag.Int("checkpoint-every", 0, "generations between in-flight cell snapshots (default 25 with -checkpoint-dir)")
+		resume          = flag.Bool("resume", false, "resume the campaign recorded in -checkpoint-dir")
+		haltAfter       = flag.Int("halt-after-checkpoints", 0, "crash-test aid: exit(3) after the Nth checkpoint write (simulated preemption)")
+
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	)
@@ -116,7 +140,8 @@ func main() {
 	var err error
 	conflicting := []string{"exp", "seeds"}
 	if !*campaign {
-		conflicting = []string{"json", "cellworkers", "reps", "objsets", "workloads", "warmstart"}
+		conflicting = []string{"json", "cellworkers", "reps", "objsets", "workloads", "warmstart",
+			"checkpoint-dir", "checkpoint-every", "resume", "halt-after-checkpoints"}
 	}
 	for _, name := range conflicting {
 		if explicitly[name] {
@@ -134,7 +159,14 @@ func main() {
 	}
 	if err == nil {
 		if *campaign {
-			err = runCampaign(*nws, *pop, *gens, *seed, *cellworkers, *workers, *reps, *objsets, *workloads, *jsonPath, *csv, *warmstart)
+			err = runCampaign(campaignOpts{
+				nws: *nws, pop: *pop, gens: *gens, seed: *seed,
+				cellWorkers: *cellworkers, evalWorkers: *workers, reps: *reps,
+				objsets: *objsets, workloads: *workloads,
+				jsonPath: *jsonPath, csvPath: *csv, warmStart: *warmstart,
+				checkpointDir: *checkpointDir, checkpointEvery: *checkpointEvery,
+				resume: *resume, haltAfter: *haltAfter,
+			})
 		} else {
 			err = run(*exp, *nws, *pop, *gens, *seed, *csv, *seeds, *workers)
 		}
@@ -184,28 +216,49 @@ func writeMemProfile(path string) error {
 	})
 }
 
+// campaignOpts carries the campaign-mode flag values.
+type campaignOpts struct {
+	nws                      string
+	pop, gens                int
+	seed                     int64
+	cellWorkers, evalWorkers int
+	reps                     int
+	objsets, workloads       string
+	jsonPath, csvPath        string
+	warmStart                bool
+	checkpointDir            string
+	checkpointEvery          int
+	resume                   bool
+	haltAfter                int
+}
+
 // runCampaign drives the multi-cell sweep: deterministic cells,
-// bounded fan-out, progress on stderr, artifacts on demand.
-func runCampaign(nws string, pop, gens int, seed int64, cellWorkers, evalWorkers, reps int, objsets, workloads, jsonPath, csvPath string, warmStart bool) error {
+// bounded fan-out, progress on stderr, artifacts on demand, durable
+// checkpoints on request.
+func runCampaign(o campaignOpts) error {
 	cfg := expt.CampaignConfig{
-		Pop:         pop,
-		Generations: gens,
-		Seed:        seed,
-		Replicates:  reps,
-		CellWorkers: cellWorkers,
-		EvalWorkers: evalWorkers,
-		WarmStart:   warmStart,
+		Pop:                  o.pop,
+		Generations:          o.gens,
+		Seed:                 o.seed,
+		Replicates:           o.reps,
+		CellWorkers:          o.cellWorkers,
+		EvalWorkers:          o.evalWorkers,
+		WarmStart:            o.warmStart,
+		CheckpointDir:        o.checkpointDir,
+		CheckpointEvery:      o.checkpointEvery,
+		Resume:               o.resume,
+		StopAfterCheckpoints: o.haltAfter,
 	}
 	var err error
-	cfg.NWs, err = parseNWs(nws)
+	cfg.NWs, err = parseNWs(o.nws)
 	if err != nil {
 		return err
 	}
-	cfg.ObjectiveSets, err = parseObjectiveSets(objsets)
+	cfg.ObjectiveSets, err = parseObjectiveSets(o.objsets)
 	if err != nil {
 		return err
 	}
-	for _, spec := range splitList(workloads) {
+	for _, spec := range splitList(o.workloads) {
 		wl, err := expt.NamedWorkload(spec)
 		if err != nil {
 			return err
@@ -213,13 +266,16 @@ func runCampaign(nws string, pop, gens int, seed int64, cellWorkers, evalWorkers
 		cfg.Workloads = append(cfg.Workloads, wl)
 	}
 	if len(cfg.Workloads) == 0 {
-		return fmt.Errorf("no workloads in %q", workloads)
+		return fmt.Errorf("no workloads in %q", o.workloads)
 	}
 	cfg.Progress = func(ev expt.CellEvent) {
 		if ev.Done {
 			status := "ok"
-			if ev.Err != nil {
+			switch {
+			case ev.Err != nil:
 				status = "FAILED: " + ev.Err.Error()
+			case ev.Restored:
+				status = "restored from checkpoint"
 			}
 			fmt.Fprintf(os.Stderr, "[%d/%d] %s: %s (%s)\n",
 				ev.Completed, ev.Total, ev.Cell, status, ev.Elapsed.Round(time.Millisecond))
@@ -228,21 +284,28 @@ func runCampaign(nws string, pop, gens int, seed int64, cellWorkers, evalWorkers
 		}
 	}
 	camp, err := expt.RunCampaign(cfg)
+	if errors.Is(err, expt.ErrCampaignStopped) {
+		// Simulated preemption: die like a killed process would — no
+		// summary, no artifacts, nonzero status. The checkpoint
+		// directory already holds everything a -resume needs.
+		fmt.Fprintf(os.Stderr, "wadate: %v\n", err)
+		os.Exit(3)
+	}
 	if camp == nil {
 		return err
 	}
 	fmt.Print(expt.CampaignSummary(camp))
-	if jsonPath != "" {
-		if werr := writeArtifact(jsonPath, func(f *os.File) error { return expt.WriteCampaignJSON(f, camp) }); werr != nil {
+	if o.jsonPath != "" {
+		if werr := writeArtifact(o.jsonPath, func(f *os.File) error { return expt.WriteCampaignJSON(f, camp) }); werr != nil {
 			return werr
 		}
-		fmt.Printf("\nJSON artifact written to %s\n", jsonPath)
+		fmt.Printf("\nJSON artifact written to %s\n", o.jsonPath)
 	}
-	if csvPath != "" {
-		if werr := writeArtifact(csvPath, func(f *os.File) error { return expt.WriteCampaignCSV(f, camp) }); werr != nil {
+	if o.csvPath != "" {
+		if werr := writeArtifact(o.csvPath, func(f *os.File) error { return expt.WriteCampaignCSV(f, camp) }); werr != nil {
 			return werr
 		}
-		fmt.Printf("CSV table written to %s\n", csvPath)
+		fmt.Printf("CSV table written to %s\n", o.csvPath)
 	}
 	return err
 }

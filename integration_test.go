@@ -91,7 +91,7 @@ func TestCSVGenomesRoundTripThroughEvaluation(t *testing.T) {
 		}
 		ev := in.Evaluate(g)
 		if !ev.Valid {
-			t.Fatalf("CSV genome %q re-evaluates invalid: %s", row[7], ev.Reason)
+			t.Fatalf("CSV genome %q re-evaluates invalid: %s", row[7], ev.Reason())
 		}
 	}
 }
@@ -127,7 +127,7 @@ func TestGeneratedWorkloadEndToEnd(t *testing.T) {
 	}
 	ev := in.Evaluate(g)
 	if !ev.Valid {
-		t.Fatalf("generated workload allocation invalid: %s", ev.Reason)
+		t.Fatalf("generated workload allocation invalid: %s", ev.Reason())
 	}
 	simRes, err := sim.Run(in, g, sim.Options{})
 	if err != nil {

@@ -10,19 +10,24 @@ import (
 )
 
 // Eval is the full figure-of-merit vector of one chromosome. Invalid
-// chromosomes (the paper sets their fitness to infinity) carry the
-// Reason and infinite objectives.
+// chromosomes (the paper sets their fitness to infinity) carry a
+// failure reason (see Reason) and infinite objectives.
 type Eval struct {
 	// Valid reports whether the chromosome satisfies the paper's
-	// validity rules; when false, Reason explains which rule fired
+	// validity rules; when false, Reason() explains which rule fired
 	// first and Violation grades how badly the rules are broken (the
 	// number of missing reservations plus the number of shared
 	// wavelength/link/time collisions). The GA uses the magnitude as
 	// Deb's constraint violation, which gives evolution a gradient
 	// toward the feasible region.
 	Valid     bool
-	Reason    string
 	Violation float64
+	// reason records which validity rule fired first, as indices into
+	// the instance rather than a formatted string: the GA discards
+	// reasons wholesale, so the invalid hot path must not pay a
+	// fmt.Sprintf allocation per rejected genome. Reason() formats it
+	// on demand.
+	reason failureReason
 
 	// MakespanCycles is the global execution time (Eq. 11).
 	MakespanCycles float64
@@ -52,12 +57,67 @@ func (e Eval) TimeKCC() float64 { return e.MakespanCycles / 1000 }
 // Log10MeanBER returns the display form used by Figs. 6(b) and 7.
 func (e Eval) Log10MeanBER() float64 { return phys.Log10BER(e.MeanBER) }
 
+// reasonKind discriminates the lazily formatted failure reasons.
+type reasonKind uint8
+
+const (
+	// reasonNone marks a valid evaluation (Reason returns "").
+	reasonNone reasonKind = iota
+	// reasonText carries a pre-formatted message, used only on the
+	// exceptional paths (shape mismatch, scheduler failure) where the
+	// message is built from an error anyway.
+	reasonText
+	// reasonNoWavelength: communication `edge` reserves no wavelength.
+	reasonNoWavelength
+	// reasonSharedWavelength: communications `edge` and `other` share
+	// `channel` on a common link while both active.
+	reasonSharedWavelength
+)
+
+// failureReason is the allocation-free record of the first validity
+// rule an evaluation broke: indices into the (immutable, long-lived)
+// instance instead of a formatted string. It stays resolvable after
+// Detach and after the producing evaluator moves on, because it
+// references no evaluator scratch.
+type failureReason struct {
+	kind                 reasonKind
+	text                 string
+	in                   *Instance
+	edge, other, channel int
+}
+
+// Reason formats the first-failure explanation of an invalid
+// evaluation ("" for valid ones). The string is computed on demand:
+// the GA's invalid path records only indices, so rejecting a genome
+// does not allocate, while explain/simulator/CLI callers that surface
+// the message still get exactly the historical wording.
+func (e *Eval) Reason() string {
+	r := &e.reason
+	switch r.kind {
+	case reasonText:
+		return r.text
+	case reasonNoWavelength:
+		return fmt.Sprintf("communication %s reserves no wavelength", r.in.App.Edges[r.edge].Name)
+	case reasonSharedWavelength:
+		return fmt.Sprintf("communications %s and %s share wavelength %d on a common link while both active",
+			r.in.App.Edges[r.edge].Name, r.in.App.Edges[r.other].Name, r.channel)
+	}
+	return ""
+}
+
+// invalid builds an infeasible evaluation with a pre-formatted text
+// reason (exceptional paths only — the kernel's graded-violation path
+// uses invalidEval with an index-backed reason instead).
 func invalid(reason string, violation float64) Eval {
+	return invalidEval(failureReason{kind: reasonText, text: reason}, violation)
+}
+
+func invalidEval(reason failureReason, violation float64) Eval {
 	inf := math.Inf(1)
 	if violation <= 0 {
 		violation = 1
 	}
-	return Eval{Valid: false, Reason: reason, Violation: violation,
+	return Eval{Valid: false, reason: reason, Violation: violation,
 		MakespanCycles: inf, BitEnergyFJ: inf, MeanBER: inf, WorstBER: inf}
 }
 

@@ -72,7 +72,7 @@ func TestEvaluateAllOnesIsValid(t *testing.T) {
 	in := mustInstance(t, 8)
 	ev := in.Evaluate(allOnesDisjoint(t, in))
 	if !ev.Valid {
-		t.Fatalf("spread all-ones genome must be valid: %s", ev.Reason)
+		t.Fatalf("spread all-ones genome must be valid: %s", ev.Reason())
 	}
 	if ev.MakespanCycles != 36000 {
 		t.Errorf("makespan = %v, want 36000 (single wavelength each)", ev.MakespanCycles)
@@ -88,7 +88,7 @@ func TestEvaluateBitEnergyInPaperDecade(t *testing.T) {
 	in := mustInstance(t, 8)
 	lean := in.Evaluate(allOnesDisjoint(t, in))
 	if !lean.Valid {
-		t.Fatal(lean.Reason)
+		t.Fatal(lean.Reason())
 	}
 	if lean.BitEnergyFJ < 2 || lean.BitEnergyFJ > 5.5 {
 		t.Errorf("lean bit energy = %v fJ/bit, want in the 3.5 fJ/bit region", lean.BitEnergyFJ)
@@ -112,7 +112,7 @@ func TestEvaluateBitEnergyInPaperDecade(t *testing.T) {
 	}
 	mid := in.Evaluate(g)
 	if !mid.Valid {
-		t.Fatalf("staggered genome invalid: %s", mid.Reason)
+		t.Fatalf("staggered genome invalid: %s", mid.Reason())
 	}
 	if mid.BitEnergyFJ <= lean.BitEnergyFJ {
 		t.Errorf("multi-wavelength allocation must cost more than all-ones: %v vs %v",
@@ -134,8 +134,8 @@ func TestEvaluateInvalidZeroWavelengths(t *testing.T) {
 	if !math.IsInf(ev.MakespanCycles, 1) || !math.IsInf(ev.BitEnergyFJ, 1) {
 		t.Error("invalid genome must carry infinite objectives")
 	}
-	if !strings.Contains(ev.Reason, "no wavelength") {
-		t.Errorf("reason = %q", ev.Reason)
+	if !strings.Contains(ev.Reason(), "no wavelength") {
+		t.Errorf("reason = %q", ev.Reason())
 	}
 }
 
@@ -153,8 +153,8 @@ func TestEvaluateInvalidSharedWavelength(t *testing.T) {
 	if ev.Valid {
 		t.Fatal("conflicting genome must be invalid")
 	}
-	if !strings.Contains(ev.Reason, "share wavelength 2") {
-		t.Errorf("reason = %q", ev.Reason)
+	if !strings.Contains(ev.Reason(), "share wavelength 2") {
+		t.Errorf("reason = %q", ev.Reason())
 	}
 }
 
@@ -172,7 +172,7 @@ func TestEvaluateSequentialCommsMayShareWavelength(t *testing.T) {
 	}
 	ev := in.Evaluate(g)
 	if !ev.Valid {
-		t.Fatalf("time-disjoint channel reuse must be valid: %s", ev.Reason)
+		t.Fatalf("time-disjoint channel reuse must be valid: %s", ev.Reason())
 	}
 }
 
@@ -200,10 +200,10 @@ func TestEvaluateBERWorsensWithParallelWavelengths(t *testing.T) {
 	evLean := in.Evaluate(lean)
 	evDense := in.Evaluate(dense)
 	if !evLean.Valid {
-		t.Fatalf("lean genome invalid: %s", evLean.Reason)
+		t.Fatalf("lean genome invalid: %s", evLean.Reason())
 	}
 	if !evDense.Valid {
-		t.Fatalf("dense genome invalid: %s", evDense.Reason)
+		t.Fatalf("dense genome invalid: %s", evDense.Reason())
 	}
 	if evDense.CommBER[1] <= evLean.CommBER[1] {
 		t.Errorf("c1 BER with 6 channels (%g) must exceed single channel (%g)",
@@ -233,7 +233,7 @@ func TestEvaluateSpreadChannelsBeatAdjacent(t *testing.T) {
 	evAdj := in.Evaluate(adjacent)
 	evSpread := in.Evaluate(spread)
 	if !evAdj.Valid || !evSpread.Valid {
-		t.Fatalf("genomes invalid: %s / %s", evAdj.Reason, evSpread.Reason)
+		t.Fatalf("genomes invalid: %s / %s", evAdj.Reason(), evSpread.Reason())
 	}
 	if evSpread.CommBER[1] >= evAdj.CommBER[1] {
 		t.Errorf("spread channels must lower BER: %g vs %g", evSpread.CommBER[1], evAdj.CommBER[1])
@@ -257,7 +257,7 @@ func TestEvaluateTimeMatchesHandSchedule(t *testing.T) {
 	}
 	ev := in.Evaluate(g)
 	if !ev.Valid {
-		t.Fatalf("invalid: %s", ev.Reason)
+		t.Fatalf("invalid: %s", ev.Reason())
 	}
 	want := 24000 + 4000.0/3
 	if math.Abs(ev.MakespanCycles-want) > 1e-6 {
@@ -314,10 +314,10 @@ func TestEvaluateInterCommCrosstalkRaisesBER(t *testing.T) {
 	}
 	evQuiet := inQuiet.Evaluate(zg)
 	if !evLoud.Valid {
-		t.Fatalf("loud genome invalid: %s", evLoud.Reason)
+		t.Fatalf("loud genome invalid: %s", evLoud.Reason())
 	}
 	if !evQuiet.Valid {
-		t.Fatalf("quiet genome invalid: %s", evQuiet.Reason)
+		t.Fatalf("quiet genome invalid: %s", evQuiet.Reason())
 	}
 	// c3 (p2 -> p10) terminates at c2's destination p10 while c2 is
 	// receiving: its channel leaks into c2's detectors.
@@ -343,7 +343,7 @@ func TestEvaluateZeroVolumeEdgeSkipped(t *testing.T) {
 	}
 	ev := in2.Evaluate(g)
 	if !ev.Valid {
-		t.Fatalf("zero-volume edge without wavelengths must be fine: %s", ev.Reason)
+		t.Fatalf("zero-volume edge without wavelengths must be fine: %s", ev.Reason())
 	}
 	if ev.CommEnergyFJ[0] != 0 || ev.CommBER[0] != 0 {
 		t.Error("silent edge must cost nothing")
@@ -436,10 +436,10 @@ func TestBidirectionalLowersEnergy(t *testing.T) {
 	evU := uni.Evaluate(g)
 	evB := bi.Evaluate(g)
 	if !evU.Valid {
-		t.Fatalf("unidirectional eval invalid: %s", evU.Reason)
+		t.Fatalf("unidirectional eval invalid: %s", evU.Reason())
 	}
 	if !evB.Valid {
-		t.Fatalf("bidirectional eval invalid: %s", evB.Reason)
+		t.Fatalf("bidirectional eval invalid: %s", evB.Reason())
 	}
 	if evB.BitEnergyFJ >= evU.BitEnergyFJ {
 		t.Errorf("twin waveguide must save laser energy: %v vs %v fJ/bit",
@@ -469,7 +469,7 @@ func TestBidirectionalRelaxesConflicts(t *testing.T) {
 		t.Fatal("channel sharing between overlapping c0/c1 must be invalid unidirectionally")
 	}
 	if ev := bi.Evaluate(g); !ev.Valid {
-		t.Fatalf("counter-propagating c0/c1 must be valid bidirectionally: %s", ev.Reason)
+		t.Fatalf("counter-propagating c0/c1 must be valid bidirectionally: %s", ev.Reason())
 	}
 }
 
@@ -492,7 +492,7 @@ func TestCrosstalkModeAttribution(t *testing.T) {
 		}
 		ev := in2.Evaluate(g)
 		if !ev.Valid {
-			t.Fatalf("%v: invalid: %s", mode, ev.Reason)
+			t.Fatalf("%v: invalid: %s", mode, ev.Reason())
 		}
 		return ev
 	}

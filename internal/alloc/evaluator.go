@@ -119,7 +119,7 @@ func (e *Evaluator) EvaluateInto(out *Eval, g Genome) {
 	// repaired by evolution.
 	g.MaskInto(e.masks, W)
 	var violation float64
-	var reason string
+	var reason failureReason
 	e.setsBuf = e.setsBuf[:0]
 	off := 0
 	for ei := 0; ei < nl; ei++ {
@@ -144,8 +144,8 @@ func (e *Evaluator) EvaluateInto(out *Eval, g Genome) {
 		// reserved ones are inert.
 		if n == 0 && in.App.Edges[ei].VolumeBits > 0 && !in.selfEdge[ei] {
 			violation++
-			if reason == "" {
-				reason = fmt.Sprintf("communication %s reserves no wavelength", in.App.Edges[ei].Name)
+			if reason.kind == reasonNone {
+				reason = failureReason{kind: reasonNoWavelength, in: in, edge: ei}
 			}
 			e.eff[ei] = 1
 		}
@@ -173,26 +173,26 @@ func (e *Evaluator) EvaluateInto(out *Eval, g Genome) {
 			}
 			wj := e.masks[j*W : (j+1)*W]
 			shared := 0
-			first := -1
 			for w := range wi {
-				if x := wi[w] & wj[w]; x != 0 {
-					shared += bits.OnesCount64(x)
-					if first < 0 {
-						first = w*64 + bits.TrailingZeros64(x)
-					}
-				}
+				shared += bits.OnesCount64(wi[w] & wj[w])
 			}
 			if shared > 0 {
 				violation += float64(shared)
-				if reason == "" {
-					reason = fmt.Sprintf("communications %s and %s share wavelength %d on a common link while both active",
-						in.App.Edges[i].Name, in.App.Edges[j].Name, first)
+				if reason.kind == reasonNone {
+					first := -1
+					for w := range wi {
+						if x := wi[w] & wj[w]; x != 0 {
+							first = w*64 + bits.TrailingZeros64(x)
+							break
+						}
+					}
+					reason = failureReason{kind: reasonSharedWavelength, in: in, edge: i, other: j, channel: first}
 				}
 			}
 		}
 	}
 	if violation > 0 {
-		*out = invalid(reason, violation)
+		*out = invalidEval(reason, violation)
 		return
 	}
 

@@ -3,6 +3,7 @@ package alloc
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -19,7 +20,7 @@ func randomGenome(rng *rand.Rand, edges, nw int, density float64) Genome {
 }
 
 func evalEqual(a, b Eval) bool {
-	if a.Valid != b.Valid || a.Reason != b.Reason || a.Violation != b.Violation {
+	if a.Valid != b.Valid || a.Reason() != b.Reason() || a.Violation != b.Violation {
 		return false
 	}
 	if a.MakespanCycles != b.MakespanCycles || a.BitEnergyFJ != b.BitEnergyFJ {
@@ -126,11 +127,57 @@ func TestEvaluatorSteadyStateZeroAllocs(t *testing.T) {
 	allocs := testing.AllocsPerRun(50, func() {
 		ev.EvaluateInto(&out, g)
 		if !out.Valid {
-			t.Fatal(out.Reason)
+			t.Fatal(out.Reason())
 		}
 	})
 	if allocs != 0 {
 		t.Errorf("steady-state EvaluateInto allocates %v objects per run, want 0", allocs)
+	}
+}
+
+// TestEvaluatorInvalidZeroAllocs pins the reason-free invalid path:
+// rejecting a chromosome — with both rule kinds firing — records the
+// failure as indices and must not allocate. Reason() still formats
+// the historical wording when a caller asks for it.
+func TestEvaluatorInvalidZeroAllocs(t *testing.T) {
+	in, err := DefaultInstance(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := NewEvaluator(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// zero: every loaded communication misses its reservation;
+	// ones: maximal shared-wavelength conflicts.
+	zero := in.NewZeroGenome()
+	ones := in.NewZeroGenome()
+	for e := 0; e < in.Edges(); e++ {
+		for ch := 0; ch < in.Channels(); ch++ {
+			ones.Set(e, ch, true)
+		}
+	}
+	var out Eval
+	ev.EvaluateInto(&out, zero) // warm-up
+	ev.EvaluateInto(&out, ones)
+	for _, g := range []Genome{zero, ones} {
+		allocs := testing.AllocsPerRun(50, func() {
+			ev.EvaluateInto(&out, g)
+			if out.Valid {
+				t.Fatal("genome cannot be valid")
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("invalid-path EvaluateInto allocates %v objects per run, want 0", allocs)
+		}
+	}
+	ev.EvaluateInto(&out, zero)
+	if r := out.Reason(); !strings.Contains(r, "reserves no wavelength") {
+		t.Errorf("zero-genome reason = %q", r)
+	}
+	ev.EvaluateInto(&out, ones)
+	if r := out.Reason(); !strings.Contains(r, "share wavelength") {
+		t.Errorf("all-ones reason = %q", r)
 	}
 }
 

@@ -61,7 +61,7 @@ func ExampleInstance_Evaluate_invalid() {
 	}
 	ev := in.Evaluate(g)
 	fmt.Println(ev.Valid)
-	fmt.Println(ev.Reason)
+	fmt.Println(ev.Reason())
 	// Output:
 	// false
 	// communications c2 and c4 share wavelength 2 on a common link while both active

@@ -79,7 +79,7 @@ type NoiseTerm struct {
 func (in *Instance) Explain(g Genome) (*Explanation, error) {
 	ev := in.Evaluate(g)
 	if !ev.Valid {
-		return nil, fmt.Errorf("alloc: cannot explain invalid chromosome: %s", ev.Reason)
+		return nil, fmt.Errorf("alloc: cannot explain invalid chromosome: %s", ev.Reason())
 	}
 	sets := make([][]int, in.Edges())
 	for e := range sets {

@@ -159,7 +159,7 @@ func TestBERTargetModeRaisesEnergyWithCrosstalk(t *testing.T) {
 	evLean := in2.Evaluate(lean)
 	evDense := in2.Evaluate(dense)
 	if !evLean.Valid || !evDense.Valid {
-		t.Fatalf("genomes invalid: %s / %s", evLean.Reason, evDense.Reason)
+		t.Fatalf("genomes invalid: %s / %s", evLean.Reason(), evDense.Reason())
 	}
 	// Per-bit laser energy on c1 (averaged over its channels) grows
 	// with the crosstalk its own parallelism injects. Compare the
@@ -184,7 +184,7 @@ func TestBERTargetStricterCostsMore(t *testing.T) {
 		}
 		ev := in2.Evaluate(g)
 		if !ev.Valid {
-			t.Fatal(ev.Reason)
+			t.Fatal(ev.Reason())
 		}
 		return ev.BitEnergyFJ
 	}

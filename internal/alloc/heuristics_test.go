@@ -23,7 +23,7 @@ func TestAssignPoliciesProduceValidGenomes(t *testing.T) {
 			}
 			ev := in.Evaluate(g)
 			if !ev.Valid {
-				t.Fatalf("%v produced invalid genome: %s", pol, ev.Reason)
+				t.Fatalf("%v produced invalid genome: %s", pol, ev.Reason())
 			}
 			for e, c := range ev.Counts {
 				if c != n {
@@ -44,7 +44,7 @@ func TestAssignMixedCounts(t *testing.T) {
 		}
 		ev := in.Evaluate(g)
 		if !ev.Valid {
-			t.Fatalf("%v invalid: %s", pol, ev.Reason)
+			t.Fatalf("%v invalid: %s", pol, ev.Reason())
 		}
 		if !reflect.DeepEqual(ev.Counts, counts) {
 			t.Fatalf("%v counts = %v, want %v", pol, ev.Counts, counts)
@@ -130,7 +130,7 @@ func TestAssignFirstFitMatchesPaperChromosomeShape(t *testing.T) {
 	}
 	ev := in.Evaluate(g)
 	if !ev.Valid {
-		t.Fatalf("first-fit genome invalid: %s", ev.Reason)
+		t.Fatalf("first-fit genome invalid: %s", ev.Reason())
 	}
 	// c0 (window [5,11), path 0->15) and c1 (window [5,13), path
 	// 1->5) overlap in both; they must differ.

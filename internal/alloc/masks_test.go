@@ -76,9 +76,9 @@ func checkMaskAgainstReference(t *testing.T, in *Instance, ev *Evaluator, g Geno
 			t.Fatalf("NW=%d genome %s: mask violation %v, reference %v",
 				in.Channels(), g, out.Violation, wantViolation)
 		}
-		if out.Reason != wantReason {
+		if out.Reason() != wantReason {
 			t.Fatalf("NW=%d genome %s:\nmask reason      %q\nreference reason %q",
-				in.Channels(), g, out.Reason, wantReason)
+				in.Channels(), g, out.Reason(), wantReason)
 		}
 	}
 }

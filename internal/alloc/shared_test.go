@@ -99,7 +99,7 @@ func TestSharedEvaluationSelfEdgesNeedNoWavelengths(t *testing.T) {
 	}
 	ev := in.Evaluate(g)
 	if !ev.Valid {
-		t.Fatalf("allocation invalid: %s", ev.Reason)
+		t.Fatalf("allocation invalid: %s", ev.Reason())
 	}
 	// The makespan must match the core-serialized analytic model.
 	p, err := sched.NewPlannerMapped(in.App, in.Map, in.Ring.Size())
@@ -135,7 +135,7 @@ func TestSharedEvaluationReservedSelfWavelengthsAreInert(t *testing.T) {
 	}
 	evBase := in.Evaluate(base)
 	if !evBase.Valid {
-		t.Fatalf("base allocation invalid: %s", evBase.Reason)
+		t.Fatalf("base allocation invalid: %s", evBase.Reason())
 	}
 	// Flip wavelengths on every self edge: the metrics must not move.
 	withSelf := base.Clone()
@@ -151,7 +151,7 @@ func TestSharedEvaluationReservedSelfWavelengthsAreInert(t *testing.T) {
 	}
 	evSelf := in.Evaluate(withSelf)
 	if !evSelf.Valid {
-		t.Fatalf("self-reserving allocation invalid: %s", evSelf.Reason)
+		t.Fatalf("self-reserving allocation invalid: %s", evSelf.Reason())
 	}
 	if evSelf.MakespanCycles != evBase.MakespanCycles ||
 		evSelf.BitEnergyFJ != evBase.BitEnergyFJ ||
@@ -175,7 +175,7 @@ func TestSharedEvaluatorZeroAlloc(t *testing.T) {
 	var out Eval
 	ev.EvaluateInto(&out, g)
 	if !out.Valid {
-		t.Fatalf("allocation invalid: %s", out.Reason)
+		t.Fatalf("allocation invalid: %s", out.Reason())
 	}
 	allocs := testing.AllocsPerRun(100, func() {
 		ev.EvaluateInto(&out, g)

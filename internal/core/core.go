@@ -382,18 +382,24 @@ func (p *Problem) HeuristicSeeds() [][]byte {
 	return seeds
 }
 
-// Optimize runs NSGA-II and assembles the result.
+// Optimize runs NSGA-II and assembles the result. It is a loop over
+// an Explorer: runs that need to checkpoint between generations use
+// NewExplorer/Step/Finish directly and get bit-identical results.
 func (p *Problem) Optimize() (*Result, error) {
-	ga := p.cfg.GA
-	ga.ArchiveAll = true
-	if p.cfg.WarmStart && len(ga.Seeds) == 0 {
-		ga.Seeds = p.HeuristicSeeds()
-	}
-	runRes, err := nsga2.Run(p, ga)
-	p.mergeWorkers()
+	x, err := p.NewExplorer()
 	if err != nil {
 		return nil, err
 	}
+	for !x.Done() {
+		x.Step()
+	}
+	return x.Finish()
+}
+
+// assembleResult builds the Result from a finished run: the feasible
+// final front, the valid archive and its 2D Pareto projections, all
+// resolved through the metric cache.
+func (p *Problem) assembleResult(runRes *nsga2.Result) (*Result, error) {
 	res := &Result{
 		NW:                p.in.Channels(),
 		Evaluations:       runRes.Evaluations,

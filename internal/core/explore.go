@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/nsga2"
+)
+
+// Explorer is the incremental form of Optimize: it exposes the
+// exploration one generation at a time, so long campaigns can
+// checkpoint between generations and resume after preemption.
+// Optimize itself is a thin loop over an Explorer, so a stepped run
+// is bit-for-bit identical to a monolithic one.
+//
+// An Explorer is not safe for concurrent use.
+type Explorer struct {
+	p    *Problem
+	eng  *nsga2.Engine
+	gens int
+}
+
+// gaConfig assembles the effective engine configuration of this
+// problem: the archive is forced on (result assembly needs it) and
+// WarmStart injects the heuristic seeds, exactly like Optimize always
+// did.
+func (p *Problem) gaConfig() nsga2.Config {
+	ga := p.cfg.GA
+	ga.ArchiveAll = true
+	if p.cfg.WarmStart && len(ga.Seeds) == 0 {
+		ga.Seeds = p.HeuristicSeeds()
+	}
+	return ga
+}
+
+// NewExplorer builds the engine and evaluates the initial population.
+func (p *Problem) NewExplorer() (*Explorer, error) {
+	eng, err := nsga2.NewEngine(p, p.gaConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &Explorer{p: p, eng: eng, gens: eng.Config().Generations}, nil
+}
+
+// ResumeExplorer rebuilds an exploration from a checkpoint written by
+// WriteCheckpoint, typically in a fresh process after preemption. The
+// problem must be configured identically to the checkpointed run (the
+// checkpoint header pins genome geometry, population size and seed
+// and fails loudly on mismatch).
+//
+// Beyond the engine state, the problem's metric cache is rehydrated:
+// every distinct valid genotype in the restored archive is
+// re-evaluated once, so result assembly resolves the same metric
+// triples as an uninterrupted run. Evaluation is deterministic, which
+// makes the rehydrated metrics — and therefore the final Result —
+// bit-identical. The cost is one evaluation per distinct valid
+// genotype, a small slice of the work the checkpoint saved.
+func (p *Problem) ResumeExplorer(r io.Reader) (*Explorer, error) {
+	// Warm-start seeds are an initial-population concern; the
+	// population comes from the checkpoint here, so skip the heuristic
+	// recomputation gaConfig would do per resumed cell.
+	ga := p.cfg.GA
+	ga.ArchiveAll = true
+	eng, err := nsga2.ResumeEngine(p, ga, r)
+	if err != nil {
+		return nil, err
+	}
+	eng.VisitArchive(func(genome []byte, objs []float64, violation float64) {
+		if violation == 0 {
+			p.Evaluate(genome)
+		}
+	})
+	return &Explorer{p: p, eng: eng, gens: eng.Config().Generations}, nil
+}
+
+// Generation returns the number of completed generations.
+func (x *Explorer) Generation() int { return x.eng.Generation() }
+
+// Generations returns the run's target generation count.
+func (x *Explorer) Generations() int { return x.gens }
+
+// Done reports whether the run has completed its configured
+// generations.
+func (x *Explorer) Done() bool { return x.eng.Generation() >= x.gens }
+
+// Step advances one generation.
+func (x *Explorer) Step() { x.eng.Step() }
+
+// WriteCheckpoint serializes the exploration state (see
+// nsga2.Engine.WriteCheckpoint). Call it between Steps.
+func (x *Explorer) WriteCheckpoint(w io.Writer) error {
+	return x.eng.WriteCheckpoint(w)
+}
+
+// Finish folds the worker metric shards and assembles the Result. The
+// explorer can keep stepping afterwards (e.g. to extend a run), but
+// the usual pattern is Step-until-Done, then Finish.
+func (x *Explorer) Finish() (*Result, error) {
+	if !x.Done() {
+		return nil, fmt.Errorf("core: Finish at generation %d of %d (step the explorer to completion first)",
+			x.eng.Generation(), x.gens)
+	}
+	runRes := x.eng.Result()
+	x.p.mergeWorkers()
+	return x.p.assembleResult(runRes)
+}

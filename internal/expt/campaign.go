@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
@@ -137,6 +138,28 @@ type CampaignConfig struct {
 	// Progress, when non-nil, observes cell starts and completions.
 	// Events are delivered serially.
 	Progress func(CellEvent)
+
+	// CheckpointDir, when set, makes the campaign durable: a manifest
+	// plus per-cell completion records and in-flight engine snapshots
+	// are maintained in the directory (atomic tmp+rename writes), so a
+	// killed campaign resumes where it stopped — mid-cell, not just at
+	// cell granularity. See checkpoint.go for the on-disk layout.
+	CheckpointDir string
+	// CheckpointEvery is the in-flight snapshot cadence in
+	// generations (default DefaultCheckpointEvery when checkpointing).
+	CheckpointEvery int
+	// Resume continues the campaign recorded in CheckpointDir:
+	// completed cells are restored from their records, in-flight cells
+	// resume their GA mid-run, untouched cells run from scratch. The
+	// resumed campaign's JSON/CSV artifacts are byte-identical to an
+	// uninterrupted run's. The directory's manifest must match this
+	// configuration exactly; a mismatch is an error.
+	Resume bool
+	// StopAfterCheckpoints > 0 stops the campaign ungracefully after
+	// that many checkpoint writes (RunCampaign returns
+	// ErrCampaignStopped): the deterministic preemption simulator
+	// behind the CI resume-equivalence job. Requires CheckpointDir.
+	StopAfterCheckpoints int
 }
 
 func (c CampaignConfig) withDefaults() CampaignConfig {
@@ -163,6 +186,9 @@ func (c CampaignConfig) withDefaults() CampaignConfig {
 	}
 	if c.CellWorkers <= 0 {
 		c.CellWorkers = 1
+	}
+	if c.CheckpointDir != "" && c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = DefaultCheckpointEvery
 	}
 	return c
 }
@@ -234,6 +260,9 @@ type CellEvent struct {
 	Elapsed time.Duration
 	// Completed and Total count finished cells and the campaign size.
 	Completed, Total int
+	// Restored marks a cell replayed from a checkpoint directory's
+	// completion record instead of being re-explored.
+	Restored bool
 }
 
 // CellResult pairs a cell with its exploration outcome. Elapsed is
@@ -259,6 +288,94 @@ type CellResult struct {
 	// flags a scheduling disagreement worth investigating rather than
 	// a hard invariant breach.
 	SimBracketMisses int
+	// restored holds a completed cell's artifact view loaded from a
+	// checkpoint directory; the artifact writers consume it in place
+	// of a live Result.
+	restored *cellArtifact
+}
+
+// Restored reports whether the cell was replayed from a checkpoint
+// completion record rather than explored in this run.
+func (cr *CellResult) Restored() bool { return cr.restored != nil }
+
+// artifact renders the cell's serializable outcome view — the single
+// source the JSON artifact, the CSV table, the summary table and the
+// checkpoint completion record all derive from, so a restored cell is
+// indistinguishable from a freshly explored one in every artifact.
+func (cr *CellResult) artifact() cellArtifact {
+	if cr.restored != nil {
+		return *cr.restored
+	}
+	a := cellArtifact{
+		SimChecked:       cr.SimChecked,
+		SimViolations:    cr.SimViolations,
+		SimBracketMisses: cr.SimBracketMisses,
+	}
+	if cr.Err != nil {
+		a.Error = cr.Err.Error()
+	}
+	if res := cr.Result; res != nil {
+		a.HasResult = true
+		a.Evaluations = res.Evaluations
+		a.ValidEvaluations = res.ValidEvaluations
+		a.DistinctEvaluated = res.DistinctEvaluated
+		a.DistinctValid = res.DistinctValid
+		if best := res.BestTimeKCC(); !math.IsInf(best, 1) {
+			a.BestTimeKCC = &best
+		}
+		if sol, ok := res.MinEnergySolution(); ok {
+			v := sol.BitEnergyFJ
+			a.MinEnergyFJ = &v
+		}
+		a.FrontTimeEnergy = solutionRecs(res.FrontTimeEnergy)
+		a.FrontTimeBER = solutionRecs(res.FrontTimeBER)
+	}
+	return a
+}
+
+// cellArtifact is the artifact-facing view of one cell's outcome:
+// plain values whose floats round-trip exactly through JSON (Go
+// encodes float64 at shortest-round-trip precision), which is what
+// makes restored-cell artifacts byte-identical to live ones.
+type cellArtifact struct {
+	Error             string        `json:"error,omitempty"`
+	HasResult         bool          `json:"has_result"`
+	Evaluations       int           `json:"evaluations"`
+	ValidEvaluations  int           `json:"valid_evaluations"`
+	DistinctEvaluated int           `json:"distinct_evaluated"`
+	DistinctValid     int           `json:"distinct_valid"`
+	SimChecked        int           `json:"sim_checked"`
+	SimViolations     int           `json:"sim_violations"`
+	SimBracketMisses  int           `json:"sim_bracket_misses"`
+	BestTimeKCC       *float64      `json:"best_time_kcc,omitempty"`
+	MinEnergyFJ       *float64      `json:"min_energy_fj,omitempty"`
+	FrontTimeEnergy   []solutionRec `json:"front_time_energy,omitempty"`
+	FrontTimeBER      []solutionRec `json:"front_time_ber,omitempty"`
+}
+
+// solutionRec is one front solution in artifact form. Unlike the JSON
+// artifact's point records it carries the genome, which the CSV table
+// needs and which makes completion records self-contained.
+type solutionRec struct {
+	TimeKCC     float64 `json:"time_kcc"`
+	BitEnergyFJ float64 `json:"bit_energy_fj"`
+	MeanBER     float64 `json:"mean_ber"`
+	Counts      []int   `json:"counts"`
+	Genome      string  `json:"genome"`
+}
+
+func solutionRecs(sols []core.Solution) []solutionRec {
+	out := make([]solutionRec, 0, len(sols))
+	for _, s := range sols {
+		out = append(out, solutionRec{
+			TimeKCC:     s.TimeKCC,
+			BitEnergyFJ: s.BitEnergyFJ,
+			MeanBER:     s.MeanBER,
+			Counts:      s.Counts,
+			Genome:      s.Genome.String(),
+		})
+	}
+	return out
 }
 
 // Campaign is the outcome of one campaign run.
@@ -314,8 +431,29 @@ func RunCampaign(cfg CampaignConfig) (*Campaign, error) {
 		}
 		seenObjs[objs] = true
 	}
+	if cfg.CheckpointDir == "" {
+		if cfg.Resume {
+			return nil, fmt.Errorf("expt: Resume needs CheckpointDir")
+		}
+		if cfg.StopAfterCheckpoints > 0 {
+			return nil, fmt.Errorf("expt: StopAfterCheckpoints needs CheckpointDir")
+		}
+		if cfg.CheckpointEvery > 0 {
+			// Silently ignoring the cadence would let a user believe
+			// snapshots are being written when nothing is durable.
+			return nil, fmt.Errorf("expt: CheckpointEvery needs CheckpointDir")
+		}
+	}
 	cells := cfg.Cells()
 	results := make([]CellResult, len(cells))
+
+	var mgr *checkpointManager
+	if cfg.CheckpointDir != "" {
+		var err error
+		if mgr, err = newCheckpointManager(cfg, cells); err != nil {
+			return nil, err
+		}
+	}
 
 	// Build one shared evaluation instance per (workload, NW) pair up
 	// front: instances are read-only during evaluation, so every
@@ -336,12 +474,12 @@ func RunCampaign(cfg CampaignConfig) (*Campaign, error) {
 	// delivery order.
 	var progressMu sync.Mutex
 	completed := 0
-	notifyStart := func(cell Cell) {
+	notifyStart := func(cell Cell, restored bool) {
 		if cfg.Progress == nil {
 			return
 		}
 		progressMu.Lock()
-		cfg.Progress(CellEvent{Cell: cell, Completed: completed, Total: len(cells)})
+		cfg.Progress(CellEvent{Cell: cell, Completed: completed, Total: len(cells), Restored: restored})
 		progressMu.Unlock()
 	}
 	notifyDone := func(cell Cell, r CellResult) {
@@ -349,7 +487,7 @@ func RunCampaign(cfg CampaignConfig) (*Campaign, error) {
 		completed++
 		if cfg.Progress != nil {
 			cfg.Progress(CellEvent{Cell: cell, Done: true, Err: r.Err,
-				Elapsed: r.Elapsed, Completed: completed, Total: len(cells)})
+				Elapsed: r.Elapsed, Completed: completed, Total: len(cells), Restored: r.Restored()})
 		}
 		progressMu.Unlock()
 	}
@@ -371,8 +509,28 @@ func RunCampaign(cfg CampaignConfig) (*Campaign, error) {
 					return
 				}
 				cell := cells[i]
-				notifyStart(cell)
-				results[i] = runCell(cfg, instances[instanceKey(cell.Workload, cell.NW)], cell)
+				if mgr.stopRequested() {
+					results[i] = CellResult{Cell: cell, Err: ErrCampaignStopped}
+					notifyDone(cell, results[i])
+					continue
+				}
+				if mgr != nil {
+					if art, ok, err := mgr.loadDone(cell); err != nil {
+						results[i] = CellResult{Cell: cell, Err: err}
+						notifyDone(cell, results[i])
+						continue
+					} else if ok {
+						results[i] = CellResult{Cell: cell, restored: art}
+						results[i].SimChecked = art.SimChecked
+						results[i].SimViolations = art.SimViolations
+						results[i].SimBracketMisses = art.SimBracketMisses
+						notifyStart(cell, true)
+						notifyDone(cell, results[i])
+						continue
+					}
+				}
+				notifyStart(cell, false)
+				results[i] = runCell(cfg, instances[instanceKey(cell.Workload, cell.NW)], cell, mgr)
 				notifyDone(cell, results[i])
 			}
 		}()
@@ -380,6 +538,9 @@ func RunCampaign(cfg CampaignConfig) (*Campaign, error) {
 	wg.Wait()
 
 	camp := &Campaign{Cfg: cfg, Cells: results, Elapsed: time.Since(start)}
+	if mgr.stopRequested() {
+		return camp, fmt.Errorf("expt: campaign interrupted mid-cell with durable checkpoints in %s: %w", cfg.CheckpointDir, ErrCampaignStopped)
+	}
 	if n := camp.Failed(); n > 0 {
 		return camp, fmt.Errorf("expt: %d of %d campaign cells failed (first: %v)", n, len(cells), firstErr(results))
 	}
@@ -408,11 +569,19 @@ func instanceKey(workload string, nw int) string {
 
 // runCell executes one exploration with the cell's derived seed on
 // the pair's shared read-only instance, then cross-checks the
-// projected fronts on the simulator.
-func runCell(cfg CampaignConfig, si sharedInstance, cell Cell) CellResult {
+// projected fronts on the simulator. With a checkpoint manager, the
+// GA runs Step by Step: an existing in-flight snapshot is resumed
+// mid-cell, a fresh snapshot is written every CheckpointEvery
+// generations, and completion is recorded durably — all without
+// perturbing the run (the stepped explorer is bit-identical to the
+// monolithic Optimize).
+func runCell(cfg CampaignConfig, si sharedInstance, cell Cell, mgr *checkpointManager) CellResult {
 	t0 := time.Now()
+	fail := func(err error) CellResult {
+		return CellResult{Cell: cell, Err: err, Elapsed: time.Since(t0)}
+	}
 	if si.err != nil {
-		return CellResult{Cell: cell, Err: si.err, Elapsed: time.Since(t0)}
+		return fail(si.err)
 	}
 	p, err := core.New(core.Config{
 		NW:         cell.NW,
@@ -427,14 +596,50 @@ func runCell(cfg CampaignConfig, si sharedInstance, cell Cell) CellResult {
 		},
 	})
 	if err != nil {
-		return CellResult{Cell: cell, Err: err, Elapsed: time.Since(t0)}
+		return fail(err)
 	}
-	res, err := p.Optimize()
+	var x *core.Explorer
+	if mgr != nil {
+		payload, ok, err := mgr.loadCellCheckpoint(cell)
+		if err != nil {
+			return fail(err)
+		}
+		if ok {
+			if x, err = p.ResumeExplorer(bytes.NewReader(payload)); err != nil {
+				return fail(fmt.Errorf("resume cell %d from %s: %w", cell.Index, mgr.ckptPath(cell), err))
+			}
+		}
+	}
+	if x == nil {
+		if x, err = p.NewExplorer(); err != nil {
+			return fail(err)
+		}
+	}
+	for !x.Done() {
+		x.Step()
+		if mgr != nil && !x.Done() && x.Generation()%mgr.every == 0 {
+			if err := mgr.writeCellCheckpoint(cell, x); err != nil {
+				return fail(err)
+			}
+			if mgr.stopRequested() {
+				return fail(ErrCampaignStopped)
+			}
+		}
+	}
+	res, err := x.Finish()
 	cr := CellResult{Cell: cell, Result: res, Err: err}
 	if err == nil && res != nil {
 		cr.SimChecked, cr.SimViolations, cr.SimBracketMisses, cr.Err = simCheck(p.Instance(), res)
 	}
 	cr.Elapsed = time.Since(t0)
+	if mgr != nil && cr.Err == nil {
+		// Failures are not recorded: they are deterministic, so a
+		// resume re-runs the cell and reports the same error, while a
+		// fixed environment gets a fresh chance.
+		if err := mgr.writeDone(cell, cr.artifact()); err != nil {
+			cr.Err = err
+		}
+	}
 	return cr
 }
 
@@ -525,14 +730,14 @@ type pointJSON struct {
 	Counts      []int   `json:"counts"`
 }
 
-func points(sols []core.Solution) []pointJSON {
-	out := make([]pointJSON, 0, len(sols))
-	for _, s := range sols {
+func points(recs []solutionRec) []pointJSON {
+	out := make([]pointJSON, 0, len(recs))
+	for _, r := range recs {
 		out = append(out, pointJSON{
-			TimeKCC:     s.TimeKCC,
-			BitEnergyFJ: s.BitEnergyFJ,
-			MeanBER:     s.MeanBER,
-			Counts:      s.Counts,
+			TimeKCC:     r.TimeKCC,
+			BitEnergyFJ: r.BitEnergyFJ,
+			MeanBER:     r.MeanBER,
+			Counts:      r.Counts,
 		})
 	}
 	return out
@@ -558,7 +763,9 @@ func WriteCampaignJSON(w io.Writer, c *Campaign) error {
 	for _, wl := range cfg.Workloads {
 		doc.Workloads = append(doc.Workloads, wl.Name)
 	}
-	for _, cr := range c.Cells {
+	for i := range c.Cells {
+		cr := &c.Cells[i]
+		a := cr.artifact()
 		cj := cellJSON{
 			Index:      cr.Cell.Index,
 			NW:         cr.Cell.NW,
@@ -566,26 +773,20 @@ func WriteCampaignJSON(w io.Writer, c *Campaign) error {
 			Workload:   cr.Cell.Workload,
 			Replicate:  cr.Cell.Replicate,
 			Seed:       cr.Cell.Seed,
+			Error:      a.Error,
 		}
-		if cr.Err != nil {
-			cj.Error = cr.Err.Error()
-		}
-		cj.SimChecked = cr.SimChecked
-		cj.SimViolations = cr.SimViolations
-		cj.SimBracketMisses = cr.SimBracketMisses
-		if res := cr.Result; res != nil {
-			cj.Evaluations = res.Evaluations
-			cj.ValidEvaluations = res.ValidEvaluations
-			cj.DistinctEvaluated = res.DistinctEvaluated
-			cj.DistinctValid = res.DistinctValid
-			if best := res.BestTimeKCC(); !math.IsInf(best, 1) {
-				cj.BestTimeKCC = &best
-			}
-			if sol, ok := res.MinEnergySolution(); ok {
-				cj.MinEnergyFJ = &sol.BitEnergyFJ
-			}
-			cj.FrontTimeEnergy = points(res.FrontTimeEnergy)
-			cj.FrontTimeBER = points(res.FrontTimeBER)
+		cj.SimChecked = a.SimChecked
+		cj.SimViolations = a.SimViolations
+		cj.SimBracketMisses = a.SimBracketMisses
+		if a.HasResult {
+			cj.Evaluations = a.Evaluations
+			cj.ValidEvaluations = a.ValidEvaluations
+			cj.DistinctEvaluated = a.DistinctEvaluated
+			cj.DistinctValid = a.DistinctValid
+			cj.BestTimeKCC = a.BestTimeKCC
+			cj.MinEnergyFJ = a.MinEnergyFJ
+			cj.FrontTimeEnergy = points(a.FrontTimeEnergy)
+			cj.FrontTimeBER = points(a.FrontTimeBER)
 		}
 		doc.Cells = append(doc.Cells, cj)
 	}
@@ -599,14 +800,16 @@ func WriteCampaignJSON(w io.Writer, c *Campaign) error {
 // Like the JSON artifact, the bytes are deterministic.
 func WriteCampaignCSV(w io.Writer, c *Campaign) error {
 	cw := newCampaignCSV(w)
-	for _, cr := range c.Cells {
-		if cr.Result == nil {
+	for i := range c.Cells {
+		cr := &c.Cells[i]
+		a := cr.artifact()
+		if !a.HasResult {
 			continue
 		}
-		if err := cw.writeFront(cr.Cell, "front_time_energy", cr.Result.FrontTimeEnergy); err != nil {
+		if err := cw.writeFront(cr.Cell, "front_time_energy", a.FrontTimeEnergy); err != nil {
 			return err
 		}
-		if err := cw.writeFront(cr.Cell, "front_time_ber", cr.Result.FrontTimeBER); err != nil {
+		if err := cw.writeFront(cr.Cell, "front_time_ber", a.FrontTimeBER); err != nil {
 			return err
 		}
 	}
@@ -618,7 +821,9 @@ func WriteCampaignCSV(w io.Writer, c *Campaign) error {
 func CampaignSummary(c *Campaign) string {
 	headers := []string{"cell", "workload", "objectives", "NW", "rep", "evals", "valid", "best t (k-cc)", "min E (fJ/bit)", "|front TE|", "|front TB|", "sim viol", "wall"}
 	var rows [][]string
-	for _, cr := range c.Cells {
+	for i := range c.Cells {
+		cr := &c.Cells[i]
+		a := cr.artifact()
 		row := []string{
 			strconv.Itoa(cr.Cell.Index),
 			cr.Cell.Workload,
@@ -626,26 +831,30 @@ func CampaignSummary(c *Campaign) string {
 			strconv.Itoa(cr.Cell.NW),
 			strconv.Itoa(cr.Cell.Replicate),
 		}
-		if cr.Err != nil {
-			row = append(row, "error: "+cr.Err.Error(), "", "", "", "", "", "", cr.Elapsed.Round(time.Millisecond).String())
-		} else if cr.Result != nil {
+		wall := cr.Elapsed.Round(time.Millisecond).String()
+		if cr.Restored() {
+			wall = "restored"
+		}
+		if a.Error != "" {
+			row = append(row, "error: "+a.Error, "", "", "", "", "", "", wall)
+		} else if a.HasResult {
 			best := "-"
-			if bt := cr.Result.BestTimeKCC(); !math.IsInf(bt, 1) {
-				best = fmt.Sprintf("%.2f", bt)
+			if a.BestTimeKCC != nil {
+				best = fmt.Sprintf("%.2f", *a.BestTimeKCC)
 			}
 			minE := "-"
-			if sol, ok := cr.Result.MinEnergySolution(); ok {
-				minE = fmt.Sprintf("%.2f", sol.BitEnergyFJ)
+			if a.MinEnergyFJ != nil {
+				minE = fmt.Sprintf("%.2f", *a.MinEnergyFJ)
 			}
 			row = append(row,
-				strconv.Itoa(cr.Result.Evaluations),
-				strconv.Itoa(cr.Result.ValidEvaluations),
+				strconv.Itoa(a.Evaluations),
+				strconv.Itoa(a.ValidEvaluations),
 				best,
 				minE,
-				strconv.Itoa(len(cr.Result.FrontTimeEnergy)),
-				strconv.Itoa(len(cr.Result.FrontTimeBER)),
-				fmt.Sprintf("%d/%d", cr.SimViolations, cr.SimChecked),
-				cr.Elapsed.Round(time.Millisecond).String(),
+				strconv.Itoa(len(a.FrontTimeEnergy)),
+				strconv.Itoa(len(a.FrontTimeBER)),
+				fmt.Sprintf("%d/%d", a.SimViolations, a.SimChecked),
+				wall,
 			)
 		}
 		rows = append(rows, row)

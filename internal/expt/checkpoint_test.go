@@ -1,0 +1,199 @@
+package expt
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func ckptCampaignConfig() CampaignConfig {
+	return CampaignConfig{
+		NWs:         []int{4, 8},
+		Pop:         24,
+		Generations: 10,
+		Seed:        5,
+	}
+}
+
+func campaignArtifacts(t *testing.T, c *Campaign) (jsonBytes, csvBytes []byte) {
+	t.Helper()
+	var jb, cb bytes.Buffer
+	if err := WriteCampaignJSON(&jb, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCampaignCSV(&cb, c); err != nil {
+		t.Fatal(err)
+	}
+	return jb.Bytes(), cb.Bytes()
+}
+
+// TestCampaignCheckpointResumeByteIdentical is the acceptance pin of
+// the tentpole: a campaign stopped mid-cell (after its 4th checkpoint
+// write — one cell completed, the next interrupted inside its GA) and
+// resumed in a fresh RunCampaign produces JSON and CSV artifacts
+// byte-identical to an uninterrupted run of the same configuration.
+func TestCampaignCheckpointResumeByteIdentical(t *testing.T) {
+	ref, err := RunCampaign(ckptCampaignConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON, refCSV := campaignArtifacts(t, ref)
+
+	dir := t.TempDir()
+	interrupted := ckptCampaignConfig()
+	interrupted.CheckpointDir = dir
+	interrupted.CheckpointEvery = 3
+	// Cell 0 snapshots at generations 3, 6 and 9 then completes; the
+	// 4th write is cell 1's generation-3 snapshot, so the stop lands
+	// mid-cell 1.
+	interrupted.StopAfterCheckpoints = 4
+	camp, err := RunCampaign(interrupted)
+	if !errors.Is(err, ErrCampaignStopped) {
+		t.Fatalf("interrupted campaign returned %v, want ErrCampaignStopped", err)
+	}
+	if camp == nil {
+		t.Fatal("interrupted campaign returned no partial state")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "cell-0.json")); err != nil {
+		t.Fatalf("cell 0 completion record missing after stop: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "cell-1.ckpt")); err != nil {
+		t.Fatalf("cell 1 in-flight snapshot missing after stop: %v", err)
+	}
+
+	resumeCfg := ckptCampaignConfig()
+	resumeCfg.CheckpointDir = dir
+	resumeCfg.CheckpointEvery = 3
+	resumeCfg.Resume = true
+	var mu sync.Mutex
+	restored := map[int]bool{}
+	resumeCfg.Progress = func(ev CellEvent) {
+		if ev.Restored {
+			mu.Lock()
+			restored[ev.Cell.Index] = true
+			mu.Unlock()
+		}
+	}
+	resumed, err := RunCampaign(resumeCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !restored[0] {
+		t.Error("cell 0 was re-explored instead of restored from its completion record")
+	}
+	if restored[1] {
+		t.Error("cell 1 reported restored; it should have resumed its GA mid-cell")
+	}
+	resJSON, resCSV := campaignArtifacts(t, resumed)
+	if !bytes.Equal(refJSON, resJSON) {
+		t.Errorf("resumed JSON artifact differs from uninterrupted run (%d vs %d bytes)", len(resJSON), len(refJSON))
+	}
+	if !bytes.Equal(refCSV, resCSV) {
+		t.Errorf("resumed CSV artifact differs from uninterrupted run (%d vs %d bytes)", len(resCSV), len(refCSV))
+	}
+	if _, err := os.Stat(filepath.Join(dir, "cell-1.ckpt")); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("cell 1 in-flight snapshot not cleaned up after completion: %v", err)
+	}
+
+	// A second resume of the fully completed campaign restores every
+	// cell and still renders the same bytes.
+	again, err := RunCampaign(resumeCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range again.Cells {
+		if !again.Cells[i].Restored() {
+			t.Errorf("fully completed campaign re-explored cell %d", i)
+		}
+	}
+	agJSON, agCSV := campaignArtifacts(t, again)
+	if !bytes.Equal(refJSON, agJSON) || !bytes.Equal(refCSV, agCSV) {
+		t.Error("fully restored campaign artifacts differ from uninterrupted run")
+	}
+}
+
+// TestCampaignCheckpointConfigGuards pins the fail-loud rules around
+// the checkpoint directory: no silent reuse, no mismatched resume, no
+// resume without a directory.
+func TestCampaignCheckpointConfigGuards(t *testing.T) {
+	t.Run("resume-needs-dir", func(t *testing.T) {
+		cfg := ckptCampaignConfig()
+		cfg.Resume = true
+		if _, err := RunCampaign(cfg); err == nil {
+			t.Fatal("Resume without CheckpointDir accepted")
+		}
+	})
+	t.Run("stop-needs-dir", func(t *testing.T) {
+		cfg := ckptCampaignConfig()
+		cfg.StopAfterCheckpoints = 1
+		if _, err := RunCampaign(cfg); err == nil {
+			t.Fatal("StopAfterCheckpoints without CheckpointDir accepted")
+		}
+	})
+
+	dir := t.TempDir()
+	cfg := ckptCampaignConfig()
+	cfg.Generations = 4
+	cfg.CheckpointDir = dir
+	if _, err := RunCampaign(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("no-silent-reuse", func(t *testing.T) {
+		if _, err := RunCampaign(cfg); err == nil {
+			t.Fatal("re-initializing an existing checkpoint dir without Resume accepted")
+		}
+	})
+	t.Run("mismatched-resume", func(t *testing.T) {
+		bad := cfg
+		bad.Seed = 6
+		bad.Resume = true
+		if _, err := RunCampaign(bad); err == nil {
+			t.Fatal("resume with a different campaign seed accepted")
+		}
+	})
+	t.Run("matching-resume", func(t *testing.T) {
+		ok := cfg
+		ok.Resume = true
+		if _, err := RunCampaign(ok); err != nil {
+			t.Fatalf("matching resume rejected: %v", err)
+		}
+	})
+}
+
+// TestCampaignResumeRejectsCorruptCellCheckpoint pins mid-cell
+// robustness: a damaged in-flight snapshot fails that cell loudly
+// instead of silently diverging or panicking.
+func TestCampaignResumeRejectsCorruptCellCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	cfg := ckptCampaignConfig()
+	cfg.NWs = []int{4}
+	cfg.CheckpointDir = dir
+	cfg.CheckpointEvery = 3
+	cfg.StopAfterCheckpoints = 1
+	if _, err := RunCampaign(cfg); !errors.Is(err, ErrCampaignStopped) {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "cell-0.ckpt")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res := cfg
+	res.StopAfterCheckpoints = 0
+	res.Resume = true
+	camp, err := RunCampaign(res)
+	if err == nil {
+		t.Fatal("campaign with a corrupt cell checkpoint reported success")
+	}
+	if camp == nil || camp.Cells[0].Err == nil {
+		t.Fatal("corrupt checkpoint did not surface as the cell's error")
+	}
+}

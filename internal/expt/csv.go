@@ -56,13 +56,13 @@ func newCampaignCSV(w io.Writer) *campaignCSVWriter {
 	return c
 }
 
-func (c *campaignCSVWriter) writeFront(cell Cell, kind string, sols []core.Solution) error {
+func (c *campaignCSVWriter) writeFront(cell Cell, kind string, recs []solutionRec) error {
 	if c.err != nil {
 		return c.err
 	}
-	for _, s := range sols {
-		counts := make([]string, len(s.Counts))
-		for i, n := range s.Counts {
+	for _, r := range recs {
+		counts := make([]string, len(r.Counts))
+		for i, n := range r.Counts {
 			counts[i] = strconv.Itoa(n)
 		}
 		if err := c.cw.Write([]string{
@@ -73,12 +73,12 @@ func (c *campaignCSVWriter) writeFront(cell Cell, kind string, sols []core.Solut
 			strconv.Itoa(cell.Replicate),
 			strconv.FormatInt(cell.Seed, 10),
 			kind,
-			fmt.Sprintf("%.6f", s.TimeKCC),
-			fmt.Sprintf("%.6f", s.BitEnergyFJ),
-			fmt.Sprintf("%.6e", s.MeanBER),
-			fmt.Sprintf("%.4f", s.Log10BER()),
+			fmt.Sprintf("%.6f", r.TimeKCC),
+			fmt.Sprintf("%.6f", r.BitEnergyFJ),
+			fmt.Sprintf("%.6e", r.MeanBER),
+			fmt.Sprintf("%.4f", core.Metrics{MeanBER: r.MeanBER}.Log10BER()),
 			strings.Join(counts, ";"),
-			s.Genome.String(),
+			r.Genome,
 		}); err != nil {
 			return err
 		}

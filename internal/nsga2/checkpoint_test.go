@@ -1,0 +1,258 @@
+package nsga2
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// ckptProblem is a deterministic problem with a feasibility
+// constraint, so checkpoints carry both finite and +Inf objective
+// vectors and nonzero violations.
+func ckptProblem(n int) funcProblem {
+	return funcProblem{n: n, m: 2, eval: func(g []byte) ([]float64, float64) {
+		ones := countOnes(g)
+		if ones == 0 {
+			return []float64{math.Inf(1), math.Inf(1)}, 1
+		}
+		h := n / 2
+		return []float64{float64(countOnes(g[:h])), float64(h - countOnes(g[h:]))}, 0
+	}}
+}
+
+func popsEqual(t *testing.T, a, b []Individual, label string) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: population sizes %d vs %d", label, len(a), len(b))
+	}
+	for i := range a {
+		if !bytes.Equal(a[i].Genome, b[i].Genome) {
+			t.Fatalf("%s: individual %d genomes differ", label, i)
+		}
+		if a[i].Rank != b[i].Rank || a[i].Violation != b[i].Violation {
+			t.Fatalf("%s: individual %d rank/violation differ: %+v vs %+v", label, i, a[i], b[i])
+		}
+		if a[i].Crowding != b[i].Crowding && !(math.IsInf(a[i].Crowding, 1) && math.IsInf(b[i].Crowding, 1)) {
+			t.Fatalf("%s: individual %d crowding %v vs %v", label, i, a[i].Crowding, b[i].Crowding)
+		}
+		for k := range a[i].Objs {
+			if a[i].Objs[k] != b[i].Objs[k] && !(math.IsInf(a[i].Objs[k], 1) && math.IsInf(b[i].Objs[k], 1)) {
+				t.Fatalf("%s: individual %d objective %d: %v vs %v", label, i, k, a[i].Objs[k], b[i].Objs[k])
+			}
+		}
+	}
+}
+
+// TestCheckpointResumeReplaysExactly is the tentpole contract: an
+// engine checkpointed mid-run and resumed into a FRESH engine (the
+// cross-process shape — nothing shared but the problem definition)
+// retraces the interrupted run bit for bit, population by population,
+// through to an identical Result.
+func TestCheckpointResumeReplaysExactly(t *testing.T) {
+	p := ckptProblem(16)
+	cfg := Config{PopSize: 24, Generations: 20, Seed: 99, ArchiveAll: true}
+
+	ref, err := NewEngine(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := NewEngine(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < 7; g++ {
+		ref.Step()
+		live.Step()
+	}
+	var buf bytes.Buffer
+	if err := live.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ckptBytes := append([]byte(nil), buf.Bytes()...)
+
+	resumed, err := ResumeEngine(p, cfg, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Generation() != 7 {
+		t.Fatalf("resumed at generation %d, want 7", resumed.Generation())
+	}
+	popsEqual(t, ref.Population(), resumed.Population(), "restored population")
+	for g := 7; g < 20; g++ {
+		ref.Step()
+		resumed.Step()
+		popsEqual(t, ref.Population(), resumed.Population(), "generation")
+	}
+	refRes, resRes := ref.Result(), resumed.Result()
+	if refRes.Evaluations != resRes.Evaluations ||
+		refRes.ValidEvaluations != resRes.ValidEvaluations ||
+		refRes.DistinctEvaluated != resRes.DistinctEvaluated ||
+		refRes.DistinctValid != resRes.DistinctValid {
+		t.Fatalf("counters diverge: %+v vs %+v", refRes, resRes)
+	}
+	if len(refRes.Archive) != len(resRes.Archive) {
+		t.Fatalf("archive sizes %d vs %d", len(refRes.Archive), len(resRes.Archive))
+	}
+	for i := range refRes.Archive {
+		if !bytes.Equal(refRes.Archive[i].Genome, resRes.Archive[i].Genome) {
+			t.Fatalf("archive order diverges at %d", i)
+		}
+	}
+
+	// Byte-stability: re-checkpointing the same state (a second fresh
+	// resume from the original bytes) encodes identically.
+	again, err := ResumeEngine(p, cfg, bytes.NewReader(ckptBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := again.WriteCheckpoint(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ckptBytes, buf2.Bytes()) {
+		t.Fatal("checkpoint encoding is not byte-stable across a resume round-trip")
+	}
+}
+
+// TestCheckpointRejectsMismatch pins the fail-loud contract: wrong
+// magic, unsupported version, mismatched geometry or seed, truncation
+// and bit damage are all errors (never a silently diverging engine).
+func TestCheckpointRejectsMismatch(t *testing.T) {
+	p := ckptProblem(16)
+	cfg := Config{PopSize: 12, Generations: 8, Seed: 3}
+	e, err := NewEngine(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Step()
+	var buf bytes.Buffer
+	if err := e.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	resume := func(raw []byte, p Problem, cfg Config) error {
+		_, err := ResumeEngine(p, cfg, bytes.NewReader(raw))
+		return err
+	}
+	if err := resume(good, p, cfg); err != nil {
+		t.Fatalf("pristine checkpoint rejected: %v", err)
+	}
+
+	t.Run("magic", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[0] ^= 0xff
+		if resume(bad, p, cfg) == nil {
+			t.Fatal("bad magic accepted")
+		}
+	})
+	t.Run("version", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[6] ^= 0xff // version little-endian low byte
+		if resume(bad, p, cfg) == nil {
+			t.Fatal("unknown version accepted")
+		}
+	})
+	t.Run("genome-length", func(t *testing.T) {
+		if resume(good, ckptProblem(18), cfg) == nil {
+			t.Fatal("genome-length mismatch accepted")
+		}
+	})
+	t.Run("popsize", func(t *testing.T) {
+		c := cfg
+		c.PopSize = 20
+		if resume(good, p, c) == nil {
+			t.Fatal("population-size mismatch accepted")
+		}
+	})
+	t.Run("seed", func(t *testing.T) {
+		c := cfg
+		c.Seed = 4
+		if resume(good, p, c) == nil {
+			t.Fatal("seed mismatch accepted")
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		for _, cut := range []int{0, 5, 20, len(good) / 2, len(good) - 1} {
+			if resume(good[:cut], p, cfg) == nil {
+				t.Fatalf("truncation at %d accepted", cut)
+			}
+		}
+	})
+	t.Run("bitflip", func(t *testing.T) {
+		// Flip one payload byte: the CRC (or a structural check) must
+		// catch it. Probe several offsets across the file.
+		for _, off := range []int{30, 60, len(good) / 2, len(good) - 5} {
+			bad := append([]byte(nil), good...)
+			bad[off] ^= 0x01
+			if resume(bad, p, cfg) == nil {
+				t.Fatalf("bit flip at %d accepted", off)
+			}
+		}
+	})
+}
+
+// TestVisitArchiveMatchesResult pins VisitArchive to the Result
+// archive: same genomes, same insertion order, same verdicts.
+func TestVisitArchiveMatchesResult(t *testing.T) {
+	e, err := NewEngine(ckptProblem(12), Config{PopSize: 16, Generations: 6, Seed: 5, ArchiveAll: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < 6; g++ {
+		e.Step()
+	}
+	res := e.Result()
+	i := 0
+	e.VisitArchive(func(genome []byte, objs []float64, violation float64) {
+		if i >= len(res.Archive) {
+			t.Fatalf("VisitArchive yields more than the %d archived entries", len(res.Archive))
+		}
+		want := res.Archive[i]
+		if !bytes.Equal(genome, want.Genome) || violation != want.Violation {
+			t.Fatalf("entry %d diverges from Result archive", i)
+		}
+		i++
+	})
+	if i != len(res.Archive) {
+		t.Fatalf("VisitArchive yielded %d entries, Result archived %d", i, len(res.Archive))
+	}
+}
+
+// FuzzSnapshotDecode fuzzes the checkpoint decoder: arbitrary bytes
+// must either resume cleanly or fail with an error — never panic and
+// never hang. Seeded with a valid checkpoint and structured
+// corruptions of it.
+func FuzzSnapshotDecode(f *testing.F) {
+	p := ckptProblem(8)
+	cfg := Config{PopSize: 8, Generations: 4, Seed: 11}
+	e, err := NewEngine(p, cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	e.Step()
+	var buf bytes.Buffer
+	if err := e.WriteCheckpoint(&buf); err != nil {
+		f.Fatal(err)
+	}
+	good := buf.Bytes()
+	f.Add(good)
+	f.Add(good[:len(good)/2])
+	f.Add([]byte{})
+	f.Add([]byte("WACKPT"))
+	huge := append([]byte(nil), good...)
+	// Claim an enormous cache length to probe allocation bombs.
+	for i := 0; i < 8 && len(good) > 60+i; i++ {
+		huge[52+i] = 0xff
+	}
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		eng, err := ResumeEngine(p, cfg, bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		// A decodable checkpoint must yield a steppable engine.
+		eng.Step()
+	})
+}

@@ -105,6 +105,33 @@ func newCountedRNG(seed int64) (*rand.Rand, *countingSource) {
 // evaluates and ranks the initial population (seeds first, then
 // random genomes).
 func NewEngine(p Problem, cfg Config) (*Engine, error) {
+	e, err := newEngineArena(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	P := e.size
+	e.rowRefs = e.rowRefs[:0]
+	for i := 0; i < P; i++ {
+		row := e.curRow(i)
+		if i < len(e.cfg.Seeds) {
+			copy(row, e.cfg.Seeds[i])
+		} else {
+			e.fillRandomGenome(row)
+		}
+		e.rowRefs = append(e.rowRefs, row)
+	}
+	e.evaluateBatch(e.rowRefs, e.popBuf)
+	e.pop = e.popBuf[:P]
+	e.rankAndCrowd(e.pop)
+	return e, nil
+}
+
+// newEngineArena validates the configuration and builds an engine
+// with its scratch arena sized, its PRNG seeded and its worker pool
+// ready — but with no population yet. NewEngine initializes the
+// population from seeds and random genomes; ResumeEngine loads it
+// from a checkpoint instead.
+func newEngineArena(p Problem, cfg Config) (*Engine, error) {
 	cfg = cfg.withDefaults()
 	if p.GenomeLen() <= 0 {
 		return nil, fmt.Errorf("nsga2: genome length must be positive")
@@ -167,20 +194,6 @@ func NewEngine(p Problem, cfg Config) (*Engine, error) {
 			}
 		}
 	}
-
-	e.rowRefs = e.rowRefs[:0]
-	for i := 0; i < P; i++ {
-		row := e.curRow(i)
-		if i < len(cfg.Seeds) {
-			copy(row, cfg.Seeds[i])
-		} else {
-			e.fillRandomGenome(row)
-		}
-		e.rowRefs = append(e.rowRefs, row)
-	}
-	e.evaluateBatch(e.rowRefs, e.popBuf)
-	e.pop = e.popBuf[:P]
-	e.rankAndCrowd(e.pop)
 	return e, nil
 }
 
@@ -194,6 +207,11 @@ func (e *Engine) offRow(i int) []byte {
 
 // Generation returns the number of completed Steps.
 func (e *Engine) Generation() int { return e.gen }
+
+// Config returns the engine's effective configuration (defaults
+// applied), e.g. to read the target generation count of a run driven
+// Step by Step.
+func (e *Engine) Config() Config { return e.cfg }
 
 // Population returns the current ranked population. The slice and its
 // genomes alias engine scratch: they are valid until the next Step or

@@ -114,7 +114,7 @@ func (q *eventQueue) Pop() interface{} {
 func Run(in *alloc.Instance, g alloc.Genome, opt Options) (*Result, error) {
 	ev := in.Evaluate(g)
 	if !ev.Valid && !opt.Unchecked {
-		return nil, fmt.Errorf("sim: allocation invalid: %s", ev.Reason)
+		return nil, fmt.Errorf("sim: allocation invalid: %s", ev.Reason())
 	}
 	if opt.LatencyPerHopCycles < 0 {
 		return nil, fmt.Errorf("sim: negative hop latency")

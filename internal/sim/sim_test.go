@@ -96,7 +96,7 @@ func TestSimRandomValidAllocationsAgree(t *testing.T) {
 		trials++
 		ev := in.Evaluate(g)
 		if !ev.Valid {
-			t.Fatalf("heuristic allocation invalid: %s", ev.Reason)
+			t.Fatalf("heuristic allocation invalid: %s", ev.Reason())
 		}
 		res, err := Run(in, g, Options{})
 		if err != nil {
@@ -266,7 +266,7 @@ func TestSimSharedCoreMatchesAnalyticOnIntegerSchedule(t *testing.T) {
 	}
 	ev := in.Evaluate(g)
 	if !ev.Valid {
-		t.Fatalf("allocation invalid: %s", ev.Reason)
+		t.Fatalf("allocation invalid: %s", ev.Reason())
 	}
 	res, err := Run(in, g, Options{})
 	if err != nil {
@@ -305,7 +305,7 @@ func TestSimSharedCoreBracketsAnalytic(t *testing.T) {
 		}
 		ev := in.Evaluate(g)
 		if !ev.Valid {
-			t.Fatalf("seed %d: heuristic allocation invalid: %s", seed, ev.Reason)
+			t.Fatalf("seed %d: heuristic allocation invalid: %s", seed, ev.Reason())
 		}
 		res, err := Run(in, g, Options{})
 		if err != nil {
