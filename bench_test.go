@@ -440,6 +440,56 @@ func BenchmarkEvaluateInvalidKernel(b *testing.B) {
 	}
 }
 
+// BenchmarkEvaluateDeltaKernel measures the delta kernel: re-
+// evaluating a valid single-gene mutant of a retained parent
+// (handle lookup + mask edit + schedule + affected-edge optics +
+// replay of the rest), the path the GA routes recorded single-gene
+// offspring through. Compare ns/op against BenchmarkEvaluateKernel —
+// the full kernel on the same family of genomes — and note the gate:
+// 0 allocs/op in steady state (CI-enforced).
+func BenchmarkEvaluateDeltaKernel(b *testing.B) {
+	in, err := alloc.DefaultInstance(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev, err := alloc.NewEvaluator(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev.EnableDeltaCache(0)
+	parent, err := alloc.Assign(in, []int{1, 4, 2, 3, 2, 3}, alloc.LeastUsed, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var out alloc.Eval
+	ev.EvaluateInto(&out, parent)
+	if !out.Valid {
+		b.Fatal(out.Reason())
+	}
+	// Drop one of edge 1's four channels: the child stays valid, its
+	// schedule shifts, and the delta path exercises the affected-edge
+	// recomputation plus the replay of the untouched edges.
+	edge := 1
+	ch := parent.ChannelSet(edge)[0]
+	h, ok := ev.DeltaHandle(parent)
+	if !ok {
+		b.Fatal("parent not retained in the delta cache")
+	}
+	ev.EvaluateDeltaInto(&out, h, edge, ch, -1) // warm: child capture
+	if !out.Valid {
+		b.Fatal("single-channel drop must stay valid: ", out.Reason())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, _ := ev.DeltaHandle(parent)
+		ev.EvaluateDeltaInto(&out, h, edge, ch, -1)
+		if !out.Valid {
+			b.Fatal(out.Reason())
+		}
+	}
+}
+
 // BenchmarkEvaluateInvalid measures the fast-reject path.
 func BenchmarkEvaluateInvalid(b *testing.B) {
 	in, err := alloc.DefaultInstance(8)

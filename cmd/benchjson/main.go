@@ -26,6 +26,12 @@
 //	                             itself a failure
 //	-max-regress fraction        allowed ns/op growth over the baseline
 //	                             before the gate fails (default 0.15)
+//	-require-faster pairs        comma-separated FAST<SLOW benchmark
+//	                             base-name pairs: FAST's minimum ns/op
+//	                             must be strictly below SLOW's in this
+//	                             run. A machine-independent ratio gate —
+//	                             e.g. the delta kernel must beat the
+//	                             full kernel wherever the suite runs
 //
 // Each benchmark line becomes one record with the iteration count and
 // a metrics map keyed by unit ("ns/op", "B/op", "allocs/op", plus any
@@ -61,11 +67,12 @@ type document struct {
 
 func main() {
 	var (
-		sha         = flag.String("sha", "", "git commit SHA to record (default: $GITHUB_SHA, then git rev-parse HEAD)")
-		requireZero = flag.String("require-zero-allocs", "", "regexp of benchmark base names that must report 0 allocs/op")
-		compareFile = flag.String("compare", "", "baseline BENCH_*.json to gate ns/op regressions against")
-		regressGate = flag.String("regress-gate", "", "regexp of benchmark base names held to the regression budget (required with -compare)")
-		maxRegress  = flag.Float64("max-regress", 0.15, "allowed fractional ns/op growth over the -compare baseline")
+		sha           = flag.String("sha", "", "git commit SHA to record (default: $GITHUB_SHA, then git rev-parse HEAD)")
+		requireZero   = flag.String("require-zero-allocs", "", "regexp of benchmark base names that must report 0 allocs/op")
+		compareFile   = flag.String("compare", "", "baseline BENCH_*.json to gate ns/op regressions against")
+		regressGate   = flag.String("regress-gate", "", "regexp of benchmark base names held to the regression budget (required with -compare)")
+		maxRegress    = flag.Float64("max-regress", 0.15, "allowed fractional ns/op growth over the -compare baseline")
+		requireFaster = flag.String("require-faster", "", "comma-separated FAST<SLOW benchmark base-name pairs; FAST's min ns/op must be strictly below SLOW's")
 	)
 	flag.Parse()
 
@@ -98,6 +105,44 @@ func main() {
 	} else if *regressGate != "" {
 		fatal(fmt.Errorf("-regress-gate needs -compare"))
 	}
+	if *requireFaster != "" {
+		if err := checkFaster(doc, *requireFaster); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// checkFaster enforces the relative-speed gate: for every FAST<SLOW
+// pair, FAST's minimum ns/op in this run must be strictly below
+// SLOW's. Both benchmarks compare within one run on one machine, so
+// the gate holds wherever the suite executes — unlike an absolute
+// baseline comparison, machine speed cancels out.
+func checkFaster(doc *document, spec string) error {
+	ns := minNSByName(doc)
+	var violations []string
+	for _, pair := range strings.Split(spec, ",") {
+		fast, slow, ok := strings.Cut(pair, "<")
+		if !ok {
+			return fmt.Errorf("bad -require-faster pair %q (want FAST<SLOW)", pair)
+		}
+		fast, slow = strings.TrimSpace(fast), strings.TrimSpace(slow)
+		fv, okF := ns[fast]
+		sv, okS := ns[slow]
+		switch {
+		case !okF:
+			violations = append(violations, fmt.Sprintf("%s: no ns/op in this run — renamed or not run?", fast))
+		case !okS:
+			violations = append(violations, fmt.Sprintf("%s: no ns/op in this run — renamed or not run?", slow))
+		case fv >= sv:
+			violations = append(violations, fmt.Sprintf("%s: %.1f ns/op is not below %s's %.1f", fast, fv, slow, sv))
+		default:
+			fmt.Fprintf(os.Stderr, "benchjson: %s %.1f ns/op < %s %.1f (%.2fx) as required\n", fast, fv, slow, sv, sv/fv)
+		}
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("relative-speed gate violated:\n  %s", strings.Join(violations, "\n  "))
+	}
+	return nil
 }
 
 // loadBaseline reads a previously emitted benchjson document.

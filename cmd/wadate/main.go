@@ -55,6 +55,10 @@
 //	-checkpoint-dir dir    maintain durable campaign checkpoints in dir
 //	-checkpoint-every int  generations between in-flight snapshots
 //	                       (default 25)
+//	-warmcache             retain completed cells' checkpoints and warm
+//	                       later replicate cells from a completed
+//	                       sibling's evaluated infeasible genotypes
+//	                       (results stay byte-identical)
 //	-resume                continue the campaign recorded in
 //	                       -checkpoint-dir (its manifest must match the
 //	                       flags exactly; mismatches fail loudly)
@@ -110,6 +114,7 @@ func main() {
 		checkpointDir   = flag.String("checkpoint-dir", "", "maintain durable campaign checkpoints in this directory")
 		checkpointEvery = flag.Int("checkpoint-every", 0, "generations between in-flight cell snapshots (default 25 with -checkpoint-dir)")
 		resume          = flag.Bool("resume", false, "resume the campaign recorded in -checkpoint-dir")
+		warmcache       = flag.Bool("warmcache", false, "retain completed cells' checkpoints and warm later replicate cells from a completed sibling's evaluated infeasible genotypes (needs -checkpoint-dir; results byte-identical)")
 		haltAfter       = flag.Int("halt-after-checkpoints", 0, "crash-test aid: exit(3) after the Nth checkpoint write (simulated preemption)")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -141,7 +146,7 @@ func main() {
 	conflicting := []string{"exp", "seeds"}
 	if !*campaign {
 		conflicting = []string{"json", "cellworkers", "reps", "objsets", "workloads", "warmstart",
-			"checkpoint-dir", "checkpoint-every", "resume", "halt-after-checkpoints"}
+			"checkpoint-dir", "checkpoint-every", "resume", "halt-after-checkpoints", "warmcache"}
 	}
 	for _, name := range conflicting {
 		if explicitly[name] {
@@ -165,7 +170,7 @@ func main() {
 				objsets: *objsets, workloads: *workloads,
 				jsonPath: *jsonPath, csvPath: *csv, warmStart: *warmstart,
 				checkpointDir: *checkpointDir, checkpointEvery: *checkpointEvery,
-				resume: *resume, haltAfter: *haltAfter,
+				resume: *resume, haltAfter: *haltAfter, warmCache: *warmcache,
 			})
 		} else {
 			err = run(*exp, *nws, *pop, *gens, *seed, *csv, *seeds, *workers)
@@ -230,6 +235,7 @@ type campaignOpts struct {
 	checkpointEvery          int
 	resume                   bool
 	haltAfter                int
+	warmCache                bool
 }
 
 // runCampaign drives the multi-cell sweep: deterministic cells,
@@ -248,6 +254,7 @@ func runCampaign(o campaignOpts) error {
 		CheckpointEvery:      o.checkpointEvery,
 		Resume:               o.resume,
 		StopAfterCheckpoints: o.haltAfter,
+		WarmCacheSiblings:    o.warmCache,
 	}
 	var err error
 	cfg.NWs, err = parseNWs(o.nws)

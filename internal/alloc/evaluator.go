@@ -20,6 +20,13 @@ import (
 // goroutine its own (they are cheap — a few KiB of slices). The
 // shared *Instance is read-only during evaluation, so any number of
 // evaluators may wrap the same instance.
+//
+// With EnableDeltaCache, the evaluator additionally retains the
+// decoded state and per-edge optics results of recently evaluated
+// valid genomes, which the delta kernel (EvaluateDeltaInto,
+// EvaluateNearInto — see delta.go) uses to re-evaluate single-gene
+// and few-row mutants at a fraction of the full kernel's cost while
+// staying bit-identical to it.
 type Evaluator struct {
 	in      *Instance
 	planner *sched.Planner
@@ -29,15 +36,29 @@ type Evaluator struct {
 	eff     []int
 	sets    [][]int
 	setsBuf []int
+	// setOff holds the per-edge CSR offsets of sets/berBuf: edge e's
+	// channel set is setsBuf[setOff[e]:setOff[e+1]], and its
+	// per-channel BERs land at the same offsets in berBuf.
+	setOff []int32
 	// masks holds the decoded per-edge wavelength bitmasks, one
 	// in.MaskWords()-word row per edge: the native representation of
 	// the conflict kernel (disjointness = word-wise AND) and of the
 	// receiver-bank fill (Bank.OrRow).
-	masks   []uint64
-	bank    *ring.Bank
+	masks []uint64
+	bank  *ring.Bank
+	// berBuf records the per-(edge, reserved channel) BER values of
+	// the optics walk, parallel to setsBuf. The delta kernel replays
+	// them in stream order for edges whose optics inputs did not
+	// change, reproducing the full kernel's float accumulation
+	// bit-for-bit.
+	berBuf  []float64
 	powers  []phys.MilliWatt
 	commBER []float64
 	commFJ  []float64
+
+	// delta is the opt-in retained-parent store plus the delta-path
+	// scratch (see delta.go); nil until EnableDeltaCache.
+	delta *deltaState
 }
 
 // NewEvaluator builds an evaluator with scratch sized for the
@@ -59,8 +80,10 @@ func NewEvaluator(in *Instance) (*Evaluator, error) {
 		eff:     make([]int, nl),
 		sets:    make([][]int, nl),
 		setsBuf: make([]int, 0, nl*nw),
+		setOff:  make([]int32, nl+1),
 		masks:   make([]uint64, nl*in.maskWords),
 		bank:    ring.NewBank(in.Ring.Size(), nw),
+		berBuf:  make([]float64, nl*nw),
 		powers:  make([]phys.MilliWatt, 0, nw),
 		commBER: make([]float64, nl),
 		commFJ:  make([]float64, nl),
@@ -84,7 +107,7 @@ func (e *Evaluator) Evaluate(g Genome) Eval {
 // EvaluateInto computes the objective vector of one chromosome into
 // out, reusing the evaluator's scratch. The slices and the Schedule
 // reachable from out (Counts, CommBER, CommEnergyFJ, Schedule) alias
-// that scratch: they are valid only until the next EvaluateInto call
+// that scratch: they are valid only until the next Evaluate*Into call
 // on this evaluator. Callers that retain them must copy (see
 // Instance.Evaluate and Eval.Detach).
 //
@@ -107,19 +130,41 @@ func (e *Evaluator) EvaluateInto(out *Eval, g Genome) {
 			g.Edges(), g.Channels(), in.Edges(), in.Channels()), 1)
 		return
 	}
-	nl, W := in.Edges(), in.maskWords
+	// Decode the chromosome into per-edge wavelength bitmasks; the
+	// rest of the kernel consumes the mask rows natively.
+	g.MaskInto(e.masks, in.maskWords)
+	e.evaluateDecoded(out, g.bits)
+}
 
-	// Decode the chromosome into per-edge wavelength bitmasks, then
-	// derive the channel index sets (the optics walk iterates those)
-	// and the effective counts from the mask rows: counts are
-	// popcounts, set members come off TrailingZeros. Missing
-	// reservations are graded as we go; effective counts let the
-	// scheduler produce windows even for a broken chromosome, so the
-	// conflict grading below stays meaningful while the genome is
-	// repaired by evolution.
-	g.MaskInto(e.masks, W)
-	var violation float64
-	var reason failureReason
+// evaluateDecoded runs the kernel on the already decoded mask rows in
+// e.masks. key is the genome's gene slice, used only to register the
+// evaluation with the delta cache (nil skips registration).
+func (e *Evaluator) evaluateDecoded(out *Eval, key []byte) {
+	violation, reason := e.decodeMasks()
+	if err := e.planner.ComputeInto(&e.sched, e.eff, e.in.BitsPerCycle); err != nil {
+		*out = invalid(err.Error(), violation+1)
+		return
+	}
+	s := &e.sched
+	violation, reason = e.gradeConflicts(s, violation, reason)
+	if violation > 0 {
+		*out = invalidEval(reason, violation)
+		return
+	}
+	e.opticsInto(out, s)
+	e.capture(key)
+}
+
+// decodeMasks derives the channel index sets (the optics walk
+// iterates those) and the effective counts from the mask rows in
+// e.masks: counts are popcounts, set members come off TrailingZeros.
+// Missing reservations are graded as we go; effective counts let the
+// scheduler produce windows even for a broken chromosome, so the
+// conflict grading stays meaningful while the genome is repaired by
+// evolution.
+func (e *Evaluator) decodeMasks() (violation float64, reason failureReason) {
+	in := e.in
+	nl, W := in.Edges(), in.maskWords
 	e.setsBuf = e.setsBuf[:0]
 	off := 0
 	for ei := 0; ei < nl; ei++ {
@@ -133,6 +178,7 @@ func (e *Evaluator) EvaluateInto(out *Eval, g Genome) {
 				word &= word - 1
 			}
 		}
+		e.setOff[ei] = int32(off)
 		e.sets[ei] = e.setsBuf[off : off+n : off+n]
 		off += n
 		e.counts[ei] = n
@@ -150,20 +196,21 @@ func (e *Evaluator) EvaluateInto(out *Eval, g Genome) {
 			e.eff[ei] = 1
 		}
 	}
+	e.setOff[nl] = int32(off)
+	return violation, reason
+}
 
-	if err := e.planner.ComputeInto(&e.sched, e.eff, in.BitsPerCycle); err != nil {
-		*out = invalid(err.Error(), violation+1)
-		return
-	}
-	s := &e.sched
-
-	// Validity: time-overlapping communications sharing waveguide
-	// segments must not share wavelengths (the paper's "same
-	// wavelength assigned to the same link"). Every shared channel
-	// adds to the violation grade. Only the precomputed
-	// conflict-neighbor pairs (paths sharing a segment, ascending
-	// i < j exactly like the full matrix scan) can trip the rule, and
-	// set intersection is a word-wise AND over the mask rows.
+// gradeConflicts applies the wavelength-disjointness rule over every
+// conflict-neighbor pair: time-overlapping communications sharing
+// waveguide segments must not share wavelengths (the paper's "same
+// wavelength assigned to the same link"). Every shared channel adds
+// to the violation grade. Only the precomputed conflict-neighbor
+// pairs (paths sharing a segment, ascending i < j exactly like the
+// full matrix scan) can trip the rule, and set intersection is a
+// word-wise AND over the mask rows.
+func (e *Evaluator) gradeConflicts(s *sched.Schedule, violation float64, reason failureReason) (float64, failureReason) {
+	in := e.in
+	nl, W := in.Edges(), in.maskWords
 	for i := 0; i < nl; i++ {
 		wi := e.masks[i*W : (i+1)*W]
 		for k := in.confStart[i]; k < in.confStart[i+1]; k++ {
@@ -191,15 +238,23 @@ func (e *Evaluator) EvaluateInto(out *Eval, g Genome) {
 			}
 		}
 	}
-	if violation > 0 {
-		*out = invalidEval(reason, violation)
-		return
-	}
+	return violation, reason
+}
 
-	par := in.Ring.Config().Params
-	pv := par.LaserOnDBm
-	p0 := par.LaserOffDBm.MilliWatt()
+// opticsAccum carries the cross-edge aggregation state of the optics
+// walk. The delta path shares it with the full kernel so replayed and
+// recomputed edges contribute to the same float accumulation sequence.
+type opticsAccum struct {
+	berSum             float64
+	berN               int
+	totalFJ, totalBits float64
+}
 
+// opticsInto walks the optics of every transmitting edge and
+// assembles the valid evaluation.
+func (e *Evaluator) opticsInto(out *Eval, s *sched.Schedule) {
+	in := e.in
+	nl := in.Edges()
 	*out = Eval{
 		Valid:          true,
 		Counts:         e.counts,
@@ -208,89 +263,102 @@ func (e *Evaluator) EvaluateInto(out *Eval, g Genome) {
 		Schedule:       s,
 		MakespanCycles: s.MakespanCycles,
 	}
-
-	var berSum float64
-	var berN int
-	var totalFJ, totalBits float64
+	var acc opticsAccum
 	for ei := 0; ei < nl; ei++ {
 		// Self edges never reach the optics: no BER, no laser energy,
 		// and their bits do not count as optically transmitted.
 		if in.App.Edges[ei].VolumeBits <= 0 || e.counts[ei] == 0 || in.selfEdge[ei] {
 			continue
 		}
-		e.fillBank(ei, s)
-		dst := in.dstCore[ei]
-		powers := e.powers[:0]
-		var commBERSum float64
-		for _, ch := range e.sets[ei] {
-			sigLoss := in.Ring.SignalArrivalDB(in.paths[ei], ch, e.bank)
-			psig := pv.Add(sigLoss).MilliWatt()
+		e.opticsEdge(out, ei, s, &acc)
+	}
+	if acc.berN > 0 {
+		out.MeanBER = acc.berSum / float64(acc.berN)
+	}
+	if acc.totalBits > 0 {
+		out.BitEnergyFJ = acc.totalFJ / acc.totalBits
+	}
+}
 
-			var noise phys.MilliWatt
-			// Intra-communication crosstalk: the same transfer's
-			// other wavelengths leak into this detector.
-			for _, other := range e.sets[ei] {
-				if other == ch || !in.Xtalk.intra() {
+// opticsEdge computes one transmitting edge's optics: the receiver
+// bank it sees, the signal and crosstalk walks of every reserved
+// wavelength, the per-channel BERs (recorded in berBuf for the delta
+// kernel's replay) and the edge's laser energy.
+func (e *Evaluator) opticsEdge(out *Eval, ei int, s *sched.Schedule, acc *opticsAccum) {
+	in := e.in
+	nl := in.Edges()
+	par := in.Ring.Config().Params
+	pv := par.LaserOnDBm
+	p0 := par.LaserOffDBm.MilliWatt()
+
+	e.fillBank(ei, s)
+	dst := in.dstCore[ei]
+	powers := e.powers[:0]
+	bers := e.berBuf[e.setOff[ei]:e.setOff[ei+1]]
+	var commBERSum float64
+	for si, ch := range e.sets[ei] {
+		sigLoss := in.Ring.SignalArrivalDB(in.paths[ei], ch, e.bank)
+		psig := pv.Add(sigLoss).MilliWatt()
+
+		var noise phys.MilliWatt
+		// Intra-communication crosstalk: the same transfer's
+		// other wavelengths leak into this detector.
+		for _, other := range e.sets[ei] {
+			if other == ch || !in.Xtalk.intra() {
+				continue
+			}
+			arr, err := in.Ring.ArrivalAlongDB(in.paths[ei], dst, other, ch, e.bank)
+			if err == nil {
+				noise += pv.Add(arr).MilliWatt()
+			}
+		}
+		// Inter-communication crosstalk: wavelengths of other
+		// transfers whose light crosses this receiver while this
+		// transfer is active, walked along the interferer's own
+		// route.
+		for o := 0; in.Xtalk.inter() && o < nl; o++ {
+			if o == ei || e.counts[o] == 0 || in.App.Edges[o].VolumeBits <= 0 || in.selfEdge[o] {
+				continue
+			}
+			// Counter-propagating transfers live on the twin
+			// waveguide and pass a different receiver bank: no
+			// coupling.
+			if in.paths[o].Dir != in.paths[ei].Dir {
+				continue
+			}
+			if !s.Comm[ei].Overlaps(s.Comm[o]) || !in.paths[o].Through(dst) {
+				continue
+			}
+			for _, other := range e.sets[o] {
+				if other == ch {
+					// Impossible in valid genomes (the shared
+					// incoming segment would have tripped the
+					// validity rule); skip defensively.
 					continue
 				}
-				arr, err := in.Ring.ArrivalAlongDB(in.paths[ei], dst, other, ch, e.bank)
+				arr, err := in.Ring.ArrivalAlongDB(in.paths[o], dst, other, ch, e.bank)
 				if err == nil {
 					noise += pv.Add(arr).MilliWatt()
 				}
 			}
-			// Inter-communication crosstalk: wavelengths of other
-			// transfers whose light crosses this receiver while this
-			// transfer is active, walked along the interferer's own
-			// route.
-			for o := 0; in.Xtalk.inter() && o < nl; o++ {
-				if o == ei || e.counts[o] == 0 || in.App.Edges[o].VolumeBits <= 0 || in.selfEdge[o] {
-					continue
-				}
-				// Counter-propagating transfers live on the twin
-				// waveguide and pass a different receiver bank: no
-				// coupling.
-				if in.paths[o].Dir != in.paths[ei].Dir {
-					continue
-				}
-				if !s.Comm[ei].Overlaps(s.Comm[o]) || !in.paths[o].Through(dst) {
-					continue
-				}
-				for _, other := range e.sets[o] {
-					if other == ch {
-						// Impossible in valid genomes (the shared
-						// incoming segment would have tripped the
-						// validity rule); skip defensively.
-						continue
-					}
-					arr, err := in.Ring.ArrivalAlongDB(in.paths[o], dst, other, ch, e.bank)
-					if err == nil {
-						noise += pv.Add(arr).MilliWatt()
-					}
-				}
-			}
-			ber := phys.BEROOK(phys.SNR(psig, noise, p0))
-			commBERSum += ber
-			berSum += ber
-			berN++
-			if ber > out.WorstBER {
-				out.WorstBER = ber
-			}
-			// Laser sizing: fixed receive-power target by default,
-			// or the BER-target mode where crosstalk directly drives
-			// the emitted power (the paper's introduction).
-			powers = append(powers, in.Energy.WavelengthLaserMW(sigLoss, noise, p0))
 		}
-		e.commBER[ei] = commBERSum / float64(len(e.sets[ei]))
-		e.commFJ[ei] = in.Energy.EnergyFJ(powers, s.Comm[ei].Duration())
-		totalFJ += e.commFJ[ei]
-		totalBits += in.App.Edges[ei].VolumeBits
+		ber := phys.BEROOK(phys.SNR(psig, noise, p0))
+		bers[si] = ber
+		commBERSum += ber
+		acc.berSum += ber
+		acc.berN++
+		if ber > out.WorstBER {
+			out.WorstBER = ber
+		}
+		// Laser sizing: fixed receive-power target by default,
+		// or the BER-target mode where crosstalk directly drives
+		// the emitted power (the paper's introduction).
+		powers = append(powers, in.Energy.WavelengthLaserMW(sigLoss, noise, p0))
 	}
-	if berN > 0 {
-		out.MeanBER = berSum / float64(berN)
-	}
-	if totalBits > 0 {
-		out.BitEnergyFJ = totalFJ / totalBits
-	}
+	e.commBER[ei] = commBERSum / float64(len(e.sets[ei]))
+	e.commFJ[ei] = in.Energy.EnergyFJ(powers, s.Comm[ei].Duration())
+	acc.totalFJ += e.commFJ[ei]
+	acc.totalBits += in.App.Edges[ei].VolumeBits
 }
 
 // fillBank rebuilds the evaluator's receiver-bank scratch with the

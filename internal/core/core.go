@@ -117,10 +117,24 @@ type Config struct {
 // so parallel runs scale without contending on a shared lock while
 // staying bit-for-bit identical to serial ones. The compatibility
 // Evaluate method remains safe for concurrent calls.
+//
+// It also implements nsga2.DeltaProblem: every evaluator the problem
+// hands out carries a delta cache (alloc.EnableDeltaCache), so
+// offspring that differ from a retained parent in a single gene or a
+// few edge rows are re-evaluated incrementally — bit-identically to
+// the full kernel, the engine's variation records merely select the
+// cheaper path.
 type Problem struct {
 	cfg  Config
 	in   *alloc.Instance
 	objs []alloc.Objective
+
+	// evalPool recycles the problem's delta-enabled evaluators behind
+	// Evaluate/EvaluateDelta, so concurrent callers run genuinely in
+	// parallel and the serial engine keeps reusing one warm delta
+	// cache. Distinct from the instance's compatibility pool, whose
+	// evaluators stay delta-free for sim/CLI/tooling callers.
+	evalPool sync.Pool
 
 	mu      sync.Mutex
 	metrics map[string]Metrics // full metric triple per evaluated genotype
@@ -225,11 +239,25 @@ func (p *Problem) GenomeLen() int { return p.in.Edges() * p.in.Channels() }
 // NumObjectives implements nsga2.Problem.
 func (p *Problem) NumObjectives() int { return len(p.objs) }
 
+// getEvaluator draws a delta-enabled evaluator from the problem pool.
+func (p *Problem) getEvaluator() (*alloc.Evaluator, error) {
+	ev, _ := p.evalPool.Get().(*alloc.Evaluator)
+	if ev == nil {
+		var err error
+		ev, err = alloc.NewEvaluator(p.in)
+		if err != nil {
+			return nil, err
+		}
+		ev.EnableDeltaCache(0)
+	}
+	return ev, nil
+}
+
 // Evaluate implements nsga2.Problem: full evaluation, metric capture,
 // then projection onto the configured objectives. The returned
 // violation is 0 for valid chromosomes and the graded constraint
-// violation otherwise. This compatibility path evaluates through the
-// instance's evaluator pool — concurrent callers run in parallel,
+// violation otherwise. This path evaluates through the problem's
+// delta-enabled evaluator pool — concurrent callers run in parallel,
 // only the metrics insert takes the lock; the engine's workers go
 // through NewWorker and skip even that.
 func (p *Problem) Evaluate(genome []byte) ([]float64, float64) {
@@ -237,17 +265,78 @@ func (p *Problem) Evaluate(genome []byte) ([]float64, float64) {
 	if err != nil {
 		return infObjectives(len(p.objs)), math.Inf(1)
 	}
-	ev := p.in.Evaluate(g)
-	if ev.Valid {
-		p.mu.Lock()
-		p.metrics[g.Key()] = Metrics{
-			TimeKCC:     ev.TimeKCC(),
-			BitEnergyFJ: ev.BitEnergyFJ,
-			MeanBER:     ev.MeanBER,
-		}
-		p.mu.Unlock()
+	ev, err := p.getEvaluator()
+	if err != nil {
+		return infObjectives(len(p.objs)), 1
 	}
-	return ev.Objectives(p.objs), ev.Violation
+	var out alloc.Eval
+	ev.EvaluateInto(&out, g)
+	p.recordMetrics(g, &out)
+	objs, viol := out.Objectives(p.objs), out.Violation
+	p.evalPool.Put(ev)
+	return objs, viol
+}
+
+// EvaluateDelta implements nsga2.DeltaProblem: a recorded pure
+// single-gene mutant whose parent is still retained in the
+// evaluator's delta cache goes through the handle-based
+// EvaluateDeltaInto; any other offspring tries the general few-row
+// path against both mating parents and falls back to the full kernel
+// inside EvaluateNearInto. Results are bit-identical to Evaluate.
+func (p *Problem) EvaluateDelta(genome, parent1, parent2 []byte, gene int) ([]float64, float64) {
+	g, err := alloc.FromBits(genome, p.in.Edges(), p.in.Channels())
+	if err != nil {
+		return infObjectives(len(p.objs)), math.Inf(1)
+	}
+	ev, err := p.getEvaluator()
+	if err != nil {
+		return infObjectives(len(p.objs)), 1
+	}
+	var out alloc.Eval
+	deltaEvalInto(ev, &out, g, parent1, parent2, gene)
+	p.recordMetrics(g, &out)
+	objs, viol := out.Objectives(p.objs), out.Violation
+	p.evalPool.Put(ev)
+	return objs, viol
+}
+
+// recordMetrics captures a valid evaluation's full metric triple
+// under the problem lock.
+func (p *Problem) recordMetrics(g alloc.Genome, out *alloc.Eval) {
+	if !out.Valid {
+		return
+	}
+	p.mu.Lock()
+	p.metrics[g.Key()] = Metrics{
+		TimeKCC:     out.TimeKCC(),
+		BitEnergyFJ: out.BitEnergyFJ,
+		MeanBER:     out.MeanBER,
+	}
+	p.mu.Unlock()
+}
+
+// deltaEvalInto dispatches one delta-hinted evaluation on ev: the
+// recorded single-gene flip uses the parent handle directly (the
+// child's mask rows are the parent's with one bit edited — no genome
+// decode at all); everything else goes through EvaluateNearInto,
+// which row-diffs against the retained parents and falls back to the
+// full kernel when no retained parent is close enough.
+func deltaEvalInto(ev *alloc.Evaluator, out *alloc.Eval, g alloc.Genome, parent1, parent2 []byte, gene int) {
+	if gene >= 0 && gene < g.Len() && len(parent1) == g.Len() {
+		if pg, err := alloc.FromBits(parent1, g.Edges(), g.Channels()); err == nil {
+			if h, ok := ev.DeltaHandle(pg); ok {
+				nw := g.Channels()
+				edge, ch := gene/nw, gene%nw
+				oldCh, newCh := -1, ch
+				if parent1[gene] != 0 {
+					oldCh, newCh = ch, -1
+				}
+				ev.EvaluateDeltaInto(out, h, edge, oldCh, newCh)
+				return
+			}
+		}
+	}
+	ev.EvaluateNearInto(out, g, parent1, parent2)
 }
 
 func infObjectives(n int) []float64 {
@@ -278,6 +367,7 @@ func (p *Problem) NewWorker() nsga2.Problem {
 		// locked compatibility path rather than failing the run.
 		return p
 	}
+	ev.EnableDeltaCache(0)
 	w := &workerProblem{parent: p, eval: ev, metrics: make(map[string]Metrics)}
 	p.mu.Lock()
 	p.workers = append(p.workers, w)
@@ -316,14 +406,35 @@ func (w *workerProblem) Evaluate(genome []byte) ([]float64, float64) {
 	}
 	var ev alloc.Eval
 	w.eval.EvaluateInto(&ev, g)
-	if ev.Valid {
-		w.metrics[g.Key()] = Metrics{
-			TimeKCC:     ev.TimeKCC(),
-			BitEnergyFJ: ev.BitEnergyFJ,
-			MeanBER:     ev.MeanBER,
-		}
-	}
+	w.record(g, &ev)
 	return ev.Objectives(p.objs), ev.Violation
+}
+
+// EvaluateDelta implements nsga2.DeltaProblem on the worker's private
+// delta-enabled evaluator — the lock-free analogue of the parent's.
+func (w *workerProblem) EvaluateDelta(genome, parent1, parent2 []byte, gene int) ([]float64, float64) {
+	p := w.parent
+	g, err := alloc.FromBits(genome, p.in.Edges(), p.in.Channels())
+	if err != nil {
+		return infObjectives(len(p.objs)), math.Inf(1)
+	}
+	var ev alloc.Eval
+	deltaEvalInto(w.eval, &ev, g, parent1, parent2, gene)
+	w.record(g, &ev)
+	return ev.Objectives(p.objs), ev.Violation
+}
+
+// record captures a valid evaluation's metric triple in the worker's
+// lock-free shard.
+func (w *workerProblem) record(g alloc.Genome, ev *alloc.Eval) {
+	if !ev.Valid {
+		return
+	}
+	w.metrics[g.Key()] = Metrics{
+		TimeKCC:     ev.TimeKCC(),
+		BitEnergyFJ: ev.BitEnergyFJ,
+		MeanBER:     ev.MeanBER,
+	}
 }
 
 // Solution is one valid wavelength allocation with its metrics.

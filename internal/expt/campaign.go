@@ -160,6 +160,18 @@ type CampaignConfig struct {
 	// ErrCampaignStopped): the deterministic preemption simulator
 	// behind the CI resume-equivalence job. Requires CheckpointDir.
 	StopAfterCheckpoints int
+	// WarmCacheSiblings (requires CheckpointDir) retains each
+	// completed cell's final .ckpt and seeds later cells of the same
+	// (workload, NW, objective-set) identity — the replicate siblings
+	// — with the sibling's evaluated infeasible genotypes, decoded
+	// from the checkpoint's cache section. Evaluation is
+	// deterministic, so a warm hit returns exactly what re-evaluating
+	// would; feasible genotypes are still evaluated (result assembly
+	// derives their full metric triples from the evaluation), so every
+	// artifact stays byte-identical — only infeasible re-evaluation
+	// work is skipped. The flag is not part of the campaign identity:
+	// a checkpoint directory can be resumed with it on or off.
+	WarmCacheSiblings bool
 }
 
 func (c CampaignConfig) withDefaults() CampaignConfig {
@@ -443,6 +455,9 @@ func RunCampaign(cfg CampaignConfig) (*Campaign, error) {
 			// snapshots are being written when nothing is durable.
 			return nil, fmt.Errorf("expt: CheckpointEvery needs CheckpointDir")
 		}
+		if cfg.WarmCacheSiblings {
+			return nil, fmt.Errorf("expt: WarmCacheSiblings needs CheckpointDir (the warm cache is read from sibling checkpoints)")
+		}
 	}
 	cells := cfg.Cells()
 	results := make([]CellResult, len(cells))
@@ -492,6 +507,20 @@ func RunCampaign(cfg CampaignConfig) (*Campaign, error) {
 		progressMu.Unlock()
 	}
 
+	// Scheduling order: normally the deterministic enumeration. On
+	// resume, cells with an in-flight snapshot are scheduled first —
+	// they carry the most sunk cost, so finishing them converts
+	// partial work into durable completion records soonest. Results
+	// are indexed by cell, so the order only affects wall-clock shape.
+	order := make([]int, 0, len(cells))
+	if mgr != nil && cfg.Resume {
+		order = mgr.scheduleOrder(cells)
+	} else {
+		for i := range cells {
+			order = append(order, i)
+		}
+	}
+
 	start := time.Now()
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -504,10 +533,11 @@ func RunCampaign(cfg CampaignConfig) (*Campaign, error) {
 		go func() {
 			defer wg.Done()
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(cells) {
+				oi := int(next.Add(1)) - 1
+				if oi >= len(cells) {
 					return
 				}
+				i := order[oi]
 				cell := cells[i]
 				if mgr.stopRequested() {
 					results[i] = CellResult{Cell: cell, Err: ErrCampaignStopped}
@@ -583,17 +613,25 @@ func runCell(cfg CampaignConfig, si sharedInstance, cell Cell, mgr *checkpointMa
 	if si.err != nil {
 		return fail(si.err)
 	}
+	ga := nsga2.Config{
+		PopSize:     cfg.Pop,
+		Generations: cfg.Generations,
+		Seed:        cell.Seed,
+		Workers:     cfg.EvalWorkers,
+	}
+	if cfg.WarmCacheSiblings && mgr != nil {
+		// Best effort and lazy: the lookup starts serving once any
+		// replicate sibling completes (possibly mid-run, when siblings
+		// started concurrently); a missing or damaged sibling
+		// checkpoint only costs the warm start, never the cell.
+		ga.WarmLookup = mgr.siblingWarmSource(cell)
+	}
 	p, err := core.New(core.Config{
 		NW:         cell.NW,
 		Instance:   si.in,
 		Objectives: cell.Objectives,
 		WarmStart:  cfg.WarmStart,
-		GA: nsga2.Config{
-			PopSize:     cfg.Pop,
-			Generations: cfg.Generations,
-			Seed:        cell.Seed,
-			Workers:     cfg.EvalWorkers,
-		},
+		GA:         ga,
 	})
 	if err != nil {
 		return fail(err)
@@ -633,6 +671,16 @@ func runCell(cfg CampaignConfig, si sharedInstance, cell Cell, mgr *checkpointMa
 	}
 	cr.Elapsed = time.Since(t0)
 	if mgr != nil && cr.Err == nil {
+		// With sibling warm caching, the retained .ckpt is the medium
+		// later replicates read the cell's full evaluation cache from:
+		// write a final snapshot so it covers the whole run, not just
+		// the last CheckpointEvery boundary.
+		if cfg.WarmCacheSiblings {
+			if err := mgr.writeCellCheckpoint(cell, x); err != nil {
+				cr.Err = err
+				return cr
+			}
+		}
 		// Failures are not recorded: they are deterministic, so a
 		// resume re-runs the cell and reports the same error, while a
 		// fixed environment gets a fresh chance.

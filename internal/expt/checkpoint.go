@@ -11,8 +11,10 @@ import (
 	"path/filepath"
 	"reflect"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/nsga2"
 )
 
 // This file implements the campaign checkpoint manager: the durable
@@ -108,6 +110,11 @@ type cellDoneJSON struct {
 type checkpointManager struct {
 	dir   string
 	every int
+	// cells is the campaign's deterministic enumeration; keepCkpt
+	// retains completed cells' snapshots (the sibling warm-cache
+	// medium) instead of dropping them at completion.
+	cells    []Cell
+	keepCkpt bool
 
 	// crashAfter > 0 stops the campaign after that many checkpoint
 	// writes; mu guards the write counter across cell workers.
@@ -115,7 +122,19 @@ type checkpointManager struct {
 	mu         sync.Mutex
 	written    int
 	stopped    bool
+
+	// warmMu guards warmMaps: the per-identity warm maps decoded from
+	// completed siblings' checkpoints, shared read-only by every cell
+	// of one (workload, NW, objective-set) group.
+	warmMu   sync.Mutex
+	warmMaps map[string]map[string]warmRec
 }
+
+// warmHitsTotal counts warm-cache lookups that short-circuited an
+// evaluation, across all campaigns in this process (test
+// observability: the warm cache must not be able to silently never
+// engage).
+var warmHitsTotal atomic.Int64
 
 func buildManifest(cfg CampaignConfig, cells []Cell) manifestJSON {
 	m := manifestJSON{
@@ -157,6 +176,8 @@ func newCheckpointManager(cfg CampaignConfig, cells []Cell) (*checkpointManager,
 	m := &checkpointManager{
 		dir:        cfg.CheckpointDir,
 		every:      cfg.CheckpointEvery,
+		cells:      cells,
+		keepCkpt:   cfg.WarmCacheSiblings,
 		crashAfter: cfg.StopAfterCheckpoints,
 	}
 	if err := os.MkdirAll(m.dir, 0o755); err != nil {
@@ -238,7 +259,136 @@ func (m *checkpointManager) writeDone(c Cell, art cellArtifact) error {
 	}); err != nil {
 		return fmt.Errorf("expt: record cell %d completion: %w", c.Index, err)
 	}
-	os.Remove(m.ckptPath(c)) // best effort; superseded either way
+	if !m.keepCkpt {
+		os.Remove(m.ckptPath(c)) // best effort; superseded either way
+	}
+	return nil
+}
+
+// scheduleOrder returns the cell indices in resume-scheduling order:
+// in-flight cells (an engine snapshot exists but no completion
+// record) first, then everything else, each group in enumeration
+// order. In-flight cells carry the most sunk cost — finishing them
+// first converts partial GA work into durable completion records
+// before any fresh cell starts.
+func (m *checkpointManager) scheduleOrder(cells []Cell) []int {
+	order := make([]int, 0, len(cells))
+	var rest []int
+	for i, c := range cells {
+		_, ckptErr := os.Stat(m.ckptPath(c))
+		_, doneErr := os.Stat(m.donePath(c))
+		if ckptErr == nil && doneErr != nil {
+			order = append(order, i)
+		} else {
+			rest = append(rest, i)
+		}
+	}
+	return append(order, rest...)
+}
+
+// warmRec is one warm-cache entry: the objective vector and graded
+// violation of an infeasible genotype evaluated by a sibling cell.
+type warmRec struct {
+	objs      []float64
+	violation float64
+}
+
+// warmIdentity keys the warm-map cache: replicate siblings share
+// (workload, NW, objective set) and nothing else.
+func warmIdentity(c Cell) string {
+	return c.Workload + "|" + fmt.Sprint(c.NW) + "|" + c.Objectives.String()
+}
+
+// siblingWarmSource returns a cell's warm-cache lookup. The sibling
+// discovery is LAZY: replicate siblings of one identity are often
+// claimed by cell workers simultaneously (replicates are the
+// innermost enumeration dimension), so no sibling is completed when
+// the cell starts — the lookup keeps re-scanning (throttled) until
+// one completes mid-run, then serves its archive for the rest of the
+// run. Only infeasible genotypes are served: feasible ones must still
+// be evaluated so result assembly sees their full metric triples,
+// which is what keeps every artifact byte-identical. Any read or
+// decode problem just skips that sibling — the warm cache is an
+// optimization, never a correctness dependency.
+func (m *checkpointManager) siblingWarmSource(cell Cell) func([]byte) ([]float64, float64, bool) {
+	var warm map[string]warmRec
+	misses := 0
+	return func(genome []byte) ([]float64, float64, bool) {
+		if warm == nil {
+			// Rescan every 256th miss: a handful of os.Stat calls,
+			// amortized to nothing, until a sibling completes (after
+			// which the scan never runs again).
+			if misses%256 == 0 {
+				warm = m.warmMapFor(cell)
+			}
+			misses++
+			if warm == nil {
+				return nil, 0, false
+			}
+		}
+		rec, ok := warm[string(genome)]
+		if !ok {
+			return nil, 0, false
+		}
+		warmHitsTotal.Add(1)
+		// The engine retains the objs slice; hand out a copy so
+		// several cells warming from one sibling stay independent.
+		return append([]float64(nil), rec.objs...), rec.violation, true
+	}
+}
+
+// warmMapFor returns the warm map of cell's identity group, decoding
+// the first completed sibling's retained checkpoint at most once per
+// identity across the whole campaign (cells of one group share the
+// decoded map read-only). Returns nil when no usable sibling exists
+// yet.
+func (m *checkpointManager) warmMapFor(cell Cell) map[string]warmRec {
+	key := warmIdentity(cell)
+	m.warmMu.Lock()
+	if w, ok := m.warmMaps[key]; ok {
+		m.warmMu.Unlock()
+		return w
+	}
+	m.warmMu.Unlock()
+	for _, sib := range m.cells {
+		if sib.Index == cell.Index || warmIdentity(sib) != key {
+			continue
+		}
+		if _, err := os.Stat(m.donePath(sib)); err != nil {
+			continue
+		}
+		payload, ok, err := m.loadCellCheckpoint(sib)
+		if err != nil || !ok {
+			continue
+		}
+		arch, err := nsga2.ReadCheckpointArchive(bytes.NewReader(payload))
+		if err != nil {
+			continue
+		}
+		warm := make(map[string]warmRec, len(arch.Entries))
+		for _, ent := range arch.Entries {
+			if ent.Violation > 0 {
+				warm[string(ent.Genome)] = warmRec{objs: ent.Objs, violation: ent.Violation}
+			}
+		}
+		if len(warm) == 0 {
+			continue
+		}
+		// First decode stored wins; a racing worker that decoded a
+		// different sibling adopts the stored one (results are
+		// identical either way — the warm cache only changes speed).
+		m.warmMu.Lock()
+		if m.warmMaps == nil {
+			m.warmMaps = make(map[string]map[string]warmRec)
+		}
+		if w, ok := m.warmMaps[key]; ok {
+			warm = w
+		} else {
+			m.warmMaps[key] = warm
+		}
+		m.warmMu.Unlock()
+		return warm
+	}
 	return nil
 }
 

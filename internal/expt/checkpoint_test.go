@@ -5,6 +5,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"testing"
 )
@@ -195,5 +196,178 @@ func TestCampaignResumeRejectsCorruptCellCheckpoint(t *testing.T) {
 	}
 	if camp == nil || camp.Cells[0].Err == nil {
 		t.Fatal("corrupt checkpoint did not surface as the cell's error")
+	}
+}
+
+// TestScheduleOrderInflightFirst pins the resume scheduling rule: a
+// cell with an in-flight snapshot (and no completion record) is
+// scheduled before untouched cells; completed cells keep their
+// enumeration position among the rest.
+func TestScheduleOrderInflightFirst(t *testing.T) {
+	cfg := ckptCampaignConfig().withDefaults()
+	cfg.CheckpointDir = t.TempDir()
+	cfg.NWs = []int{4, 8, 12}
+	cells := cfg.Cells()
+	mgr, err := newCheckpointManager(cfg, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cell 2 is in-flight (snapshot, no completion record); cell 0 is
+	// completed (record present — its stale snapshot must not promote
+	// it, mirroring a kill between writeDone and the ckpt removal).
+	for _, p := range []string{mgr.ckptPath(cells[2]), mgr.ckptPath(cells[0]), mgr.donePath(cells[0])} {
+		if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := mgr.scheduleOrder(cells)
+	want := []int{2, 0, 1}
+	for i, w := range want {
+		if got[i] != w {
+			t.Fatalf("scheduleOrder = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestCampaignResumeRunsInflightCellFirst drives the rule end to end:
+// after a mid-cell kill (cell 0 completed, cell 1 interrupted), the
+// resumed campaign's first event concerns the interrupted cell — its
+// sunk generations complete before any untouched cell starts — and
+// the artifacts stay byte-identical to an uninterrupted run.
+func TestCampaignResumeRunsInflightCellFirst(t *testing.T) {
+	ref, err := RunCampaign(ckptCampaignConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON, _ := campaignArtifacts(t, ref)
+
+	dir := t.TempDir()
+	interrupted := ckptCampaignConfig()
+	interrupted.CheckpointDir = dir
+	interrupted.CheckpointEvery = 3
+	interrupted.StopAfterCheckpoints = 4 // cell 0 completes, cell 1 dies mid-GA
+	if _, err := RunCampaign(interrupted); !errors.Is(err, ErrCampaignStopped) {
+		t.Fatalf("interrupted campaign returned %v, want ErrCampaignStopped", err)
+	}
+
+	resumed := ckptCampaignConfig()
+	resumed.CheckpointDir = dir
+	resumed.CheckpointEvery = 3
+	resumed.Resume = true
+	var first *CellEvent
+	resumed.Progress = func(ev CellEvent) {
+		if first == nil {
+			e := ev
+			first = &e
+		}
+	}
+	camp, err := RunCampaign(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first == nil {
+		t.Fatal("no progress events delivered")
+	}
+	if first.Cell.Index != 1 || first.Restored {
+		t.Fatalf("first resumed event is cell %d (restored=%v), want the in-flight cell 1 scheduled first",
+			first.Cell.Index, first.Restored)
+	}
+	gotJSON, _ := campaignArtifacts(t, camp)
+	if !bytes.Equal(refJSON, gotJSON) {
+		t.Fatal("reordered resume changed the JSON artifact")
+	}
+}
+
+// TestCampaignWarmCacheSiblingsByteIdentical pins the opt-in
+// cross-replicate warm cache: replicate cells seeded from a completed
+// sibling's checkpointed evaluation cache produce artifacts
+// byte-identical to a cold campaign, the warm path demonstrably
+// engages, and completed cells retain their snapshots as the warm
+// medium.
+func TestCampaignWarmCacheSiblingsByteIdentical(t *testing.T) {
+	// Large enough (and heuristic-seeded, so both replicates start
+	// from identical warm-start genomes) that the replicates' search
+	// trajectories overlap on rediscovered infeasible genotypes.
+	cfg := CampaignConfig{
+		NWs:         []int{8},
+		Replicates:  2,
+		Pop:         48,
+		Generations: 25,
+		Seed:        5,
+		WarmStart:   true,
+	}
+	ref, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON, refCSV := campaignArtifacts(t, ref)
+
+	warm := cfg
+	warm.CheckpointDir = t.TempDir()
+	warm.WarmCacheSiblings = true
+	before := warmHitsTotal.Load()
+	camp, err := RunCampaign(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits := warmHitsTotal.Load() - before; hits == 0 {
+		t.Fatal("warm cache never engaged: no evaluation was short-circuited")
+	}
+	gotJSON, gotCSV := campaignArtifacts(t, camp)
+	if !bytes.Equal(refJSON, gotJSON) {
+		t.Fatal("warm-cached campaign changed the JSON artifact")
+	}
+	if !bytes.Equal(refCSV, gotCSV) {
+		t.Fatal("warm-cached campaign changed the CSV artifact")
+	}
+	// Completed cells keep their checkpoints (the warm medium).
+	for _, cell := range warm.withDefaults().Cells() {
+		if _, err := os.Stat(filepath.Join(warm.CheckpointDir, "cell-"+itoa(cell.Index)+".ckpt")); err != nil {
+			t.Fatalf("completed cell %d checkpoint not retained: %v", cell.Index, err)
+		}
+	}
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }
+
+// TestWarmCacheNeedsCheckpointDir pins the flag guard.
+func TestWarmCacheNeedsCheckpointDir(t *testing.T) {
+	cfg := ckptCampaignConfig()
+	cfg.WarmCacheSiblings = true
+	if _, err := RunCampaign(cfg); err == nil {
+		t.Fatal("WarmCacheSiblings without CheckpointDir must fail")
+	}
+}
+
+// TestCampaignWarmCacheParallelReplicates pins the lazy warm binding:
+// replicate siblings claimed concurrently (no sibling completed at
+// cell start) still produce byte-identical artifacts, with the warm
+// source engaging mid-run if and when a sibling finishes first.
+func TestCampaignWarmCacheParallelReplicates(t *testing.T) {
+	cfg := CampaignConfig{
+		NWs:         []int{8},
+		Replicates:  2,
+		Pop:         48,
+		Generations: 25,
+		Seed:        5,
+		WarmStart:   true,
+	}
+	ref, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON, refCSV := campaignArtifacts(t, ref)
+
+	warm := cfg
+	warm.CheckpointDir = t.TempDir()
+	warm.WarmCacheSiblings = true
+	warm.CellWorkers = 2 // both replicates start together
+	camp, err := RunCampaign(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, gotCSV := campaignArtifacts(t, camp)
+	if !bytes.Equal(refJSON, gotJSON) || !bytes.Equal(refCSV, gotCSV) {
+		t.Fatal("parallel warm-cached campaign changed the artifacts")
 	}
 }

@@ -216,6 +216,98 @@ func (e *Engine) readCheckpoint(r io.Reader) error {
 	return nil
 }
 
+// CheckpointArchive is the standalone decode of a checkpoint's
+// identity header and evaluation-cache section — what a warm-start
+// consumer needs, without a Problem to resurrect the engine around.
+type CheckpointArchive struct {
+	GenomeLen     int
+	NumObjectives int
+	PopSize       int
+	Seed          int64
+	// Entries lists every distinct evaluated genotype in insertion
+	// order, exactly like Result.Archive.
+	Entries []ArchiveEntry
+}
+
+// ReadCheckpointArchive decodes the cache section of a checkpoint
+// written by WriteCheckpoint without rebuilding an engine: the
+// population is skipped, the archive entries are returned, and the
+// trailing CRC is still verified (the whole stream is consumed). A
+// campaign uses this to seed one cell's evaluation cache from a
+// completed sibling's checkpoint. Like ResumeEngine, it fails loudly
+// on damage and reads entry-wise, so a forged length cannot balloon
+// one allocation.
+func ReadCheckpointArchive(r io.Reader) (*CheckpointArchive, error) {
+	cr := &crcReader{r: bufio.NewReader(r)}
+	var magic [6]byte
+	cr.bytes(magic[:])
+	if cr.err == nil && magic != checkpointMagic {
+		return nil, fmt.Errorf("nsga2: checkpoint: bad magic %q (not a checkpoint file?)", magic[:])
+	}
+	if v := cr.u16(); cr.err == nil && v != checkpointVersion {
+		return nil, fmt.Errorf("nsga2: checkpoint: format version %d, this build reads %d", v, checkpointVersion)
+	}
+	gl, nObj, popSize := cr.u32(), cr.u32(), cr.u32()
+	seed := int64(cr.u64())
+	_, _ = cr.u64(), cr.u64() // gen, draws
+	_, _ = cr.u64(), cr.u64() // evals, validEvals
+	popLen := cr.u32()
+	if cr.err != nil {
+		return nil, fmt.Errorf("nsga2: checkpoint: truncated header: %w", cr.err)
+	}
+	// Standalone sanity bounds (no engine geometry to validate
+	// against): reject implausible shapes before sizing any reads.
+	switch {
+	case gl == 0 || gl > 1<<20:
+		return nil, fmt.Errorf("nsga2: checkpoint: implausible genome length %d", gl)
+	case nObj == 0 || nObj > 1<<10:
+		return nil, fmt.Errorf("nsga2: checkpoint: implausible objective count %d", nObj)
+	case popLen == 0 || popLen > popSize || popSize > 1<<24:
+		return nil, fmt.Errorf("nsga2: checkpoint: implausible population %d of %d", popLen, popSize)
+	}
+	skip := make([]byte, gl)
+	for i := 0; i < int(popLen); i++ {
+		cr.bytes(skip)
+		_ = cr.u32()
+		_ = cr.f64()
+		if cr.err != nil {
+			return nil, fmt.Errorf("nsga2: checkpoint: truncated population at individual %d: %w", i, cr.err)
+		}
+	}
+	cacheLen := cr.u64()
+	if cr.err != nil {
+		return nil, fmt.Errorf("nsga2: checkpoint: truncated cache header: %w", cr.err)
+	}
+	arch := &CheckpointArchive{
+		GenomeLen:     int(gl),
+		NumObjectives: int(nObj),
+		PopSize:       int(popSize),
+		Seed:          seed,
+	}
+	for i := uint64(0); i < cacheLen; i++ {
+		key := make([]byte, gl)
+		cr.bytes(key)
+		objs := make([]float64, nObj)
+		for k := range objs {
+			objs[k] = cr.f64()
+		}
+		violation := cr.f64()
+		if cr.err != nil {
+			return nil, fmt.Errorf("nsga2: checkpoint: truncated cache at entry %d of %d: %w", i, cacheLen, cr.err)
+		}
+		arch.Entries = append(arch.Entries, ArchiveEntry{Genome: key, Objs: objs, Violation: violation})
+	}
+	want := cr.crc
+	stored := cr.u32()
+	if cr.err != nil {
+		return nil, fmt.Errorf("nsga2: checkpoint: truncated checksum: %w", cr.err)
+	}
+	if stored != want {
+		return nil, fmt.Errorf("nsga2: checkpoint: CRC mismatch (stored %08x, computed %08x): file damaged", stored, want)
+	}
+	return arch, nil
+}
+
 // VisitArchive calls fn for every distinct evaluated genotype in
 // insertion order — the same sequence Result's Archive reports, but
 // without detaching copies. The slices alias engine-owned state:

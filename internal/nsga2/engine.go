@@ -54,23 +54,59 @@ type Engine struct {
 	nextSlab []byte
 	offSlab  []byte
 
-	// Batch-evaluation scratch.
+	// Batch-evaluation scratch. offMeta records, per offspring, the
+	// variation-pipeline provenance (mating parents and, for pure
+	// single-gene mutants, the flipped gene); jobP1/jobP2/jobGene carry
+	// it per distinct new genome so the evaluation fan-out can route
+	// through the problem's delta kernel.
 	rowRefs  [][]byte
 	jobs     []int
 	entryIdx []int
+	offMeta  []offMeta
+	jobP1    [][]byte
+	jobP2    [][]byte
+	jobGene  []int32
+	deltaP   DeltaProblem   // e.p's delta view, when implemented
+	deltaW   []DeltaProblem // per-worker delta views, aligned with workers
 
 	// Rank/crowd scratch (sized for the merged 2*size population).
-	objsFlat  []float64
-	viol      []float64
-	feas      []bool
-	domCount  []int32
-	dominated [][]int32
-	fronts    [][]int
-	frontBuf  []int
-	crowdIdx  []int
-	rest      []int
-	oSort     objSorter
-	cSort     crowdSorter
+	// The pair-relation pass runs over duplicate groups — individuals
+	// with bit-identical (violation, objectives) vectors — instead of
+	// individuals: groupOf/gRep/gSize/gHash/gTable find the groups,
+	// gDom holds each group's dominated groups, gmStart/gMembers list
+	// each group's members, and zbuf batches individuals whose
+	// domination count hits zero so fronts keep the reference order.
+	objsFlat []float64
+	viol     []float64
+	feas     []bool
+	domCount []int32
+	groupOf  []int32
+	gRep     []int32
+	gSize    []int32
+	gCur     []int32
+	gHash    []uint64
+	gTable   []int32
+	gMask    uint64
+	gDom     [][]int32
+	gmStart  []int32
+	gMembers []int32
+	zbuf     []int
+	fronts   [][]int
+	frontBuf []int
+	crowdIdx []int
+	rest     []int
+	oSort    objSorter
+	cSort    crowdSorter
+}
+
+// offMeta is one offspring's variation-pipeline record: the genomes
+// of its mating parents (aliasing the current population slab, valid
+// through the generation's evaluation) and the flipped gene index
+// when the offspring is a pure single-gene mutant of p1 — crossover
+// skipped or a no-op swap, and exactly one mutation flip — or -1.
+type offMeta struct {
+	p1, p2 []byte
+	gene   int32
 }
 
 // countingSource wraps the standard math/rand source, counting state
@@ -120,7 +156,7 @@ func NewEngine(p Problem, cfg Config) (*Engine, error) {
 		}
 		e.rowRefs = append(e.rowRefs, row)
 	}
-	e.evaluateBatch(e.rowRefs, e.popBuf)
+	e.evaluateBatch(e.rowRefs, nil, e.popBuf)
 	e.pop = e.popBuf[:P]
 	e.rankAndCrowd(e.pop)
 	return e, nil
@@ -173,24 +209,50 @@ func newEngineArena(p Problem, cfg Config) (*Engine, error) {
 		rowRefs:  make([][]byte, 0, P),
 		jobs:     make([]int, 0, P),
 		entryIdx: make([]int, 0, P),
+		offMeta:  make([]offMeta, 0, P),
+		jobP1:    make([][]byte, 0, P),
+		jobP2:    make([][]byte, 0, P),
+		jobGene:  make([]int32, 0, P),
 
-		objsFlat:  make([]float64, 2*P*m),
-		viol:      make([]float64, 2*P),
-		feas:      make([]bool, 2*P),
-		domCount:  make([]int32, 2*P),
-		dominated: make([][]int32, 2*P),
-		frontBuf:  make([]int, 0, 2*P),
-		crowdIdx:  make([]int, 2*P),
-		rest:      make([]int, 0, 2*P),
+		objsFlat: make([]float64, 2*P*m),
+		viol:     make([]float64, 2*P),
+		feas:     make([]bool, 2*P),
+		domCount: make([]int32, 2*P),
+		groupOf:  make([]int32, 2*P),
+		gRep:     make([]int32, 2*P),
+		gSize:    make([]int32, 2*P),
+		gCur:     make([]int32, 2*P),
+		gHash:    make([]uint64, 2*P),
+		gDom:     make([][]int32, 2*P),
+		gmStart:  make([]int32, 2*P+1),
+		gMembers: make([]int32, 2*P),
+		zbuf:     make([]int, 0, 2*P),
+		frontBuf: make([]int, 0, 2*P),
+		crowdIdx: make([]int, 2*P),
+		rest:     make([]int, 0, 2*P),
 	}
+	// The group hash table stays at most half full at 4*P slots.
+	gt := 1
+	for gt < 4*P {
+		gt *= 2
+	}
+	e.gTable = make([]int32, gt)
+	e.gMask = uint64(gt - 1)
 	e.rng, e.src = newCountedRNG(cfg.Seed)
+	if dp, ok := p.(DeltaProblem); ok {
+		e.deltaP = dp
+	}
 	if cfg.Workers > 1 {
 		e.workers = make([]Problem, cfg.Workers)
+		e.deltaW = make([]DeltaProblem, cfg.Workers)
 		for w := range e.workers {
 			if pw, ok := p.(PerWorkerProblem); ok {
 				e.workers[w] = pw.NewWorker()
 			} else {
 				e.workers[w] = p
+			}
+			if dw, ok := e.workers[w].(DeltaProblem); ok {
+				e.deltaW[w] = dw
 			}
 		}
 	}
@@ -274,16 +336,43 @@ func (e *Engine) fillRandomGenome(g []byte) {
 // evaluateBatch resolves a generation's genomes through the dedup
 // cache, evaluating the distinct new ones — in parallel when Workers
 // is set — and writes the individuals into out (one per genome, same
-// order). Cache insertion order, counters and results are identical
-// to a serial run.
-func (e *Engine) evaluateBatch(genomes [][]byte, out []Individual) {
+// order). meta, when non-nil, is the per-offspring variation record
+// (same order as genomes): misses whose problem implements
+// DeltaProblem are routed through the delta kernel with their mating
+// parents, and Config.WarmLookup can short-circuit a miss entirely.
+// Cache insertion order, counters and results are identical to a
+// serial run without either hook.
+func (e *Engine) evaluateBatch(genomes [][]byte, meta []offMeta, out []Individual) {
 	e.jobs = e.jobs[:0]
 	e.entryIdx = e.entryIdx[:0]
-	for _, g := range genomes {
+	e.jobP1 = e.jobP1[:0]
+	e.jobP2 = e.jobP2[:0]
+	e.jobGene = e.jobGene[:0]
+	for gi, g := range genomes {
 		idx, ok := e.cache.lookup(g)
 		if !ok {
 			idx = e.cache.insert(g)
+			if e.cfg.WarmLookup != nil {
+				if objs, viol, warm := e.cfg.WarmLookup(g); warm {
+					// Warm hit: the entry is resolved without any
+					// evaluation work; counters and archive order are
+					// untouched.
+					ent := &e.cache.entries[idx]
+					ent.objs, ent.violation = objs, viol
+					e.entryIdx = append(e.entryIdx, idx)
+					continue
+				}
+			}
 			e.jobs = append(e.jobs, idx)
+			if meta != nil {
+				e.jobP1 = append(e.jobP1, meta[gi].p1)
+				e.jobP2 = append(e.jobP2, meta[gi].p2)
+				e.jobGene = append(e.jobGene, meta[gi].gene)
+			} else {
+				e.jobP1 = append(e.jobP1, nil)
+				e.jobP2 = append(e.jobP2, nil)
+				e.jobGene = append(e.jobGene, -1)
+			}
 		}
 		e.entryIdx = append(e.entryIdx, idx)
 	}
@@ -298,7 +387,7 @@ func (e *Engine) evaluateBatch(genomes [][]byte, out []Individual) {
 		var wg sync.WaitGroup
 		for w := 0; w < len(e.workers) && w < len(e.jobs); w++ {
 			wg.Add(1)
-			go func(p Problem) {
+			go func(p Problem, dp DeltaProblem) {
 				defer wg.Done()
 				for {
 					i := int(next.Add(1)) - 1
@@ -306,15 +395,23 @@ func (e *Engine) evaluateBatch(genomes [][]byte, out []Individual) {
 						return
 					}
 					ent := &e.cache.entries[e.jobs[i]]
-					ent.objs, ent.violation = p.Evaluate(ent.key)
+					if dp != nil && e.jobP1[i] != nil {
+						ent.objs, ent.violation = dp.EvaluateDelta(ent.key, e.jobP1[i], e.jobP2[i], int(e.jobGene[i]))
+					} else {
+						ent.objs, ent.violation = p.Evaluate(ent.key)
+					}
 				}
-			}(e.workers[w])
+			}(e.workers[w], e.deltaW[w])
 		}
 		wg.Wait()
 	} else {
-		for _, ji := range e.jobs {
+		for i, ji := range e.jobs {
 			ent := &e.cache.entries[ji]
-			ent.objs, ent.violation = e.p.Evaluate(ent.key)
+			if e.deltaP != nil && e.jobP1[i] != nil {
+				ent.objs, ent.violation = e.deltaP.EvaluateDelta(ent.key, e.jobP1[i], e.jobP2[i], int(e.jobGene[i]))
+			} else {
+				ent.objs, ent.violation = e.p.Evaluate(ent.key)
+			}
 		}
 	}
 	for i, g := range genomes {
@@ -328,25 +425,37 @@ func (e *Engine) evaluateBatch(genomes [][]byte, out []Individual) {
 }
 
 // makeOffspring builds PopSize children by binary tournament,
-// two-point crossover and mutation into the offspring slab. The
+// two-point crossover and mutation into the offspring slab, recording
+// each offspring's provenance (mating parents; flipped gene for pure
+// single-gene mutants) for the delta-aware evaluation fan-out. The
 // genetic operators run serially (they consume the engine's PRNG);
 // evaluation is batched.
 func (e *Engine) makeOffspring() []Individual {
 	e.rowRefs = e.rowRefs[:0]
+	e.offMeta = e.offMeta[:0]
 	for n := 0; n < e.size; n += 2 {
 		p1 := e.tournament()
 		p2 := e.tournament()
 		c1, c2 := e.offRow(n), e.offRow(n+1)
 		copy(c1, p1.Genome)
 		copy(c2, p2.Genome)
+		crossed := false
 		if e.rng.Float64() < e.cfg.CrossoverProb {
-			e.twoPointCrossover(c1, c2)
+			crossed = e.twoPointCrossover(c1, c2)
 		}
-		e.mutate(c1)
-		e.mutate(c2)
+		g1 := e.mutate(c1)
+		g2 := e.mutate(c2)
+		if crossed {
+			// A real (non-no-op) crossover mixes rows from both
+			// parents: the children are not single-gene mutants.
+			g1, g2 = -1, -1
+		}
+		e.offMeta = append(e.offMeta,
+			offMeta{p1: p1.Genome, p2: p2.Genome, gene: g1},
+			offMeta{p1: p2.Genome, p2: p1.Genome, gene: g2})
 		e.rowRefs = append(e.rowRefs, c1, c2)
 	}
-	e.evaluateBatch(e.rowRefs, e.offBuf)
+	e.evaluateBatch(e.rowRefs, e.offMeta, e.offBuf)
 	return e.offBuf[:e.size]
 }
 
@@ -375,32 +484,50 @@ func (e *Engine) tournament() Individual {
 }
 
 // twoPointCrossover exchanges the gene range [x,y] of the two
-// chromosomes (the paper's operator).
-func (e *Engine) twoPointCrossover(a, b []byte) {
+// chromosomes (the paper's operator) and reports whether any gene
+// actually changed — a swap of identical ranges (common once the
+// population converges) is a no-op, and its children remain pure
+// mutants of their copy parents.
+func (e *Engine) twoPointCrossover(a, b []byte) bool {
 	n := len(a)
 	x, y := e.rng.Intn(n), e.rng.Intn(n)
 	if x > y {
 		x, y = y, x
 	}
+	changed := false
 	for i := x; i <= y; i++ {
+		if a[i] != b[i] {
+			changed = true
+		}
 		a[i], b[i] = b[i], a[i]
 	}
+	return changed
 }
 
-// mutate applies the configured mutation operator in place.
-func (e *Engine) mutate(g []byte) {
+// mutate applies the configured mutation operator in place and
+// returns the flipped gene index when exactly one gene changed (the
+// paper's single-gene inversion always qualifies), or -1.
+func (e *Engine) mutate(g []byte) int32 {
 	if e.cfg.PerBitMutation > 0 {
+		flipped, count := -1, 0
 		for i := range g {
 			if e.rng.Float64() < e.cfg.PerBitMutation {
 				g[i] ^= 1
+				flipped = i
+				count++
 			}
 		}
-		return
+		if count == 1 {
+			return int32(flipped)
+		}
+		return -1
 	}
 	if e.rng.Float64() < e.cfg.MutationProb {
 		i := e.rng.Intn(len(g))
 		g[i] ^= 1
+		return int32(i)
 	}
+	return -1
 }
 
 // surviveInto performs the elitist (mu + lambda) selection over the
@@ -442,9 +569,19 @@ func (e *Engine) surviveInto(m []Individual) []Individual {
 // rankAndCrowd assigns ranks and crowding distances in place and
 // returns the fronts (aliasing engine scratch, valid until the next
 // call). It produces bit-identical results to the reference
-// fastNonDominatedSort + assignCrowding pair, but runs on flat
-// scratch arrays and decides each unordered pair with a single
-// early-exiting objective pass instead of two full dominance tests.
+// fastNonDominatedSort + assignCrowding pair, but runs the pairwise
+// dominance pass over DUPLICATE GROUPS: individuals whose (violation,
+// objectives) vectors are bit-identical relate identically to
+// everyone else, so one representative relation per group pair
+// replaces up to |a|*|b| individual relations. GA populations carry
+// heavy duplication (every infeasible individual of one violation
+// grade is one group), which shrinks the O(n^2) term by the square of
+// the duplication factor. Fronts, their member order, ranks and
+// crowding are unchanged: group members share one domination count
+// and one dominated set, so they enter the same front, and
+// individuals whose count hits zero under one dominator are appended
+// in ascending index order exactly like the reference's ascending
+// dominated lists produce.
 func (e *Engine) rankAndCrowd(m []Individual) [][]int {
 	n, mo := len(m), e.nObj
 	for i := 0; i < n; i++ {
@@ -457,23 +594,55 @@ func (e *Engine) rankAndCrowd(m []Individual) [][]int {
 			row[k] = 0
 		}
 		e.domCount[i] = 0
-		e.dominated[i] = e.dominated[i][:0]
 	}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			switch e.relation(i, j) {
+	G := e.groupIndividuals(n)
+
+	// Group-representative relation pass: one early-exiting objective
+	// comparison per unordered group pair.
+	for g := 0; g < G; g++ {
+		e.gDom[g] = e.gDom[g][:0]
+	}
+	for a := 0; a < G; a++ {
+		ra := int(e.gRep[a])
+		for b := a + 1; b < G; b++ {
+			switch e.relation(ra, int(e.gRep[b])) {
 			case 1:
-				e.dominated[i] = append(e.dominated[i], int32(j))
-				e.domCount[j]++
+				e.gDom[a] = append(e.gDom[a], int32(b))
 			case -1:
-				e.dominated[j] = append(e.dominated[j], int32(i))
-				e.domCount[i]++
+				e.gDom[b] = append(e.gDom[b], int32(a))
 			}
 		}
 	}
+
+	// Per-group member lists (counting sort; members ascend within a
+	// group because individuals are scanned in index order) and the
+	// expanded per-individual domination counts.
+	e.gmStart[0] = 0
+	for g := 0; g < G; g++ {
+		e.gmStart[g+1] = e.gmStart[g] + e.gSize[g]
+		e.gCur[g] = e.gmStart[g]
+	}
+	for i := 0; i < n; i++ {
+		g := e.groupOf[i]
+		e.gMembers[e.gCur[g]] = int32(i)
+		e.gCur[g]++
+	}
+	for a := 0; a < G; a++ {
+		sz := e.gSize[a]
+		for _, b := range e.gDom[a] {
+			for _, j := range e.gMembers[e.gmStart[b]:e.gmStart[b+1]] {
+				e.domCount[j] += sz
+			}
+		}
+	}
+
 	// Build the fronts as consecutive runs of one flat index buffer:
 	// every individual lands in exactly one front, so frontBuf never
 	// outgrows its n-capacity and the per-front slices stay valid.
+	// Processing a front member decrements every individual its group
+	// dominates; the batch whose count reaches zero under this member
+	// is appended in ascending index order, which is exactly the order
+	// the reference's ascending dominated[i] list yields.
 	fb := e.frontBuf[:0]
 	for i := 0; i < n; i++ {
 		if e.domCount[i] == 0 {
@@ -484,12 +653,21 @@ func (e *Engine) rankAndCrowd(m []Individual) [][]int {
 	for start := 0; start < len(fb); {
 		end := len(fb)
 		for _, i := range fb[start:end] {
-			for _, j := range e.dominated[i] {
-				e.domCount[j]--
-				if e.domCount[j] == 0 {
-					fb = append(fb, int(j))
+			gd := e.gDom[e.groupOf[i]]
+			if len(gd) == 0 {
+				continue
+			}
+			z := e.zbuf[:0]
+			for _, b := range gd {
+				for _, j := range e.gMembers[e.gmStart[b]:e.gmStart[b+1]] {
+					e.domCount[j]--
+					if e.domCount[j] == 0 {
+						z = append(z, int(j))
+					}
 				}
 			}
+			sort.Ints(z)
+			fb = append(fb, z...)
 		}
 		e.fronts = append(e.fronts, fb[start:end:end])
 		start = end
@@ -501,6 +679,66 @@ func (e *Engine) rankAndCrowd(m []Individual) [][]int {
 		e.assignCrowdingScratch(m, front)
 	}
 	return e.fronts
+}
+
+// groupIndividuals partitions the first n scratch rows into duplicate
+// groups — maximal sets with bit-identical (violation, objectives)
+// vectors — numbered in first-seen order. It fills groupOf, gRep,
+// gSize and gHash, and returns the group count. Bit-level equality is
+// the grouping key: it implies identical comparison behavior in
+// relation (the reverse direction, e.g. 0.0 vs -0.0, merely yields
+// separate groups whose pair relation is 0 — correct either way).
+func (e *Engine) groupIndividuals(n int) int {
+	for i := range e.gTable {
+		e.gTable[i] = 0
+	}
+	mo := e.nObj
+	G := 0
+	for i := 0; i < n; i++ {
+		const offset64, prime64 = 14695981039346656037, 1099511628211
+		h := uint64(offset64)
+		h = (h ^ math.Float64bits(e.viol[i])) * prime64
+		for _, v := range e.objsFlat[i*mo : (i+1)*mo] {
+			h = (h ^ math.Float64bits(v)) * prime64
+		}
+		h ^= h >> 29 // finalize: spread the low bits the probe uses
+		for slot := h & e.gMask; ; slot = (slot + 1) & e.gMask {
+			t := e.gTable[slot]
+			if t == 0 {
+				e.gRep[G] = int32(i)
+				e.gSize[G] = 1
+				e.gHash[G] = h
+				e.groupOf[i] = int32(G)
+				e.gTable[slot] = int32(G + 1)
+				G++
+				break
+			}
+			g := int(t - 1)
+			if e.gHash[g] == h && e.sameVector(int(e.gRep[g]), i) {
+				e.gSize[g]++
+				e.groupOf[i] = int32(g)
+				break
+			}
+		}
+	}
+	return G
+}
+
+// sameVector reports bit-identity of two scratch rows' (violation,
+// objectives) vectors.
+func (e *Engine) sameVector(a, b int) bool {
+	if math.Float64bits(e.viol[a]) != math.Float64bits(e.viol[b]) {
+		return false
+	}
+	mo := e.nObj
+	ra := e.objsFlat[a*mo : (a+1)*mo]
+	rb := e.objsFlat[b*mo : (b+1)*mo]
+	for k := range ra {
+		if math.Float64bits(ra[k]) != math.Float64bits(rb[k]) {
+			return false
+		}
+	}
+	return true
 }
 
 // relation decides one unordered pair under Deb's constraint

@@ -39,22 +39,36 @@ func randomPopulation(rng *rand.Rand, n, m int) []Individual {
 // without running a problem, for driving the scratch machinery
 // directly against the reference implementations.
 func scratchEngine(half, m int) *Engine {
+	gt := 1
+	for gt < 4*half {
+		gt *= 2
+	}
 	return &Engine{
-		nObj:      m,
-		size:      half,
-		objsFlat:  make([]float64, 2*half*m),
-		viol:      make([]float64, 2*half),
-		feas:      make([]bool, 2*half),
-		domCount:  make([]int32, 2*half),
-		dominated: make([][]int32, 2*half),
-		frontBuf:  make([]int, 0, 2*half),
-		crowdIdx:  make([]int, 2*half),
-		rest:      make([]int, 0, 2*half),
-		nextBuf:   make([]Individual, half),
-		nextSlab:  make([]byte, half),
-		popBuf:    make([]Individual, half),
-		curSlab:   make([]byte, half),
-		gl:        1,
+		nObj:     m,
+		size:     half,
+		objsFlat: make([]float64, 2*half*m),
+		viol:     make([]float64, 2*half),
+		feas:     make([]bool, 2*half),
+		domCount: make([]int32, 2*half),
+		groupOf:  make([]int32, 2*half),
+		gRep:     make([]int32, 2*half),
+		gSize:    make([]int32, 2*half),
+		gCur:     make([]int32, 2*half),
+		gHash:    make([]uint64, 2*half),
+		gDom:     make([][]int32, 2*half),
+		gTable:   make([]int32, gt),
+		gMask:    uint64(gt - 1),
+		gmStart:  make([]int32, 2*half+1),
+		gMembers: make([]int32, 2*half),
+		zbuf:     make([]int, 0, 2*half),
+		frontBuf: make([]int, 0, 2*half),
+		crowdIdx: make([]int, 2*half),
+		rest:     make([]int, 0, 2*half),
+		nextBuf:  make([]Individual, half),
+		nextSlab: make([]byte, half),
+		popBuf:   make([]Individual, half),
+		curSlab:  make([]byte, half),
+		gl:       1,
 	}
 }
 
@@ -106,6 +120,78 @@ func TestRankAndCrowdMatchesReference(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGroupedDominanceDuplicateHeavy pins the grouped-dominance pass
+// on populations dominated by duplicates — the shape real GA merges
+// have (every infeasible individual of one violation grade shares one
+// objective vector): fronts, member order, ranks and crowding must be
+// bit-identical to the ungrouped reference sorter.
+func TestGroupedDominanceDuplicateHeavy(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(70)
+		m := 1 + rng.Intn(3)
+		// A handful of distinct vectors, heavily repeated: ~85% of
+		// individuals duplicate one of ~n/8 archetypes.
+		archetypes := randomPopulation(rng, 2+n/8, m)
+		pop := make([]Individual, n)
+		for i := range pop {
+			if rng.Intn(8) == 0 {
+				one := randomPopulation(rng, 1, m)
+				pop[i] = one[0]
+				continue
+			}
+			src := archetypes[rng.Intn(len(archetypes))]
+			pop[i] = Individual{
+				Objs:      append([]float64(nil), src.Objs...),
+				Violation: src.Violation,
+			}
+		}
+		ref := make([]Individual, n)
+		copy(ref, pop)
+		refFronts := fastNonDominatedSort(ref)
+		for rank, front := range refFronts {
+			for _, i := range front {
+				ref[i].Rank = rank
+			}
+			assignCrowding(ref, front)
+		}
+
+		e := scratchEngine((n+1)/2+1, m)
+		gotFronts := e.rankAndCrowd(pop)
+
+		if len(gotFronts) != len(refFronts) {
+			return false
+		}
+		for fi := range refFronts {
+			if len(gotFronts[fi]) != len(refFronts[fi]) {
+				return false
+			}
+			for k := range refFronts[fi] {
+				if gotFronts[fi][k] != refFronts[fi][k] {
+					return false
+				}
+			}
+		}
+		for i := range ref {
+			if pop[i].Rank != ref[i].Rank {
+				return false
+			}
+			if math.Float64bits(pop[i].Crowding) != math.Float64bits(ref[i].Crowding) {
+				return false
+			}
+		}
+		// Duplication must actually have been exploited: far fewer
+		// groups than individuals.
+		if g := e.groupIndividuals(n); g >= n {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
 	}
 }

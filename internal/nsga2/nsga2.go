@@ -41,6 +41,29 @@ type Problem interface {
 	Evaluate(genome []byte) (objs []float64, violation float64)
 }
 
+// DeltaProblem is the incremental-evaluation hook: problems that can
+// evaluate an offspring faster by exploiting its similarity to a
+// mating parent implement it, and the engine routes every distinct
+// new offspring through EvaluateDelta with the variation pipeline's
+// provenance record. Implementations MUST return results bit-for-bit
+// identical to Evaluate(genome) — the delta path is a pure
+// optimization, never a semantic switch — and fall back to a full
+// evaluation internally when they cannot exploit the hint.
+//
+// When the problem also implements PerWorkerProblem, each worker view
+// returned by NewWorker may itself implement DeltaProblem; workers
+// whose views do not are routed through plain Evaluate.
+type DeltaProblem interface {
+	Problem
+	// EvaluateDelta evaluates genome knowing it was produced by the
+	// variation pipeline from parent1 (its copy source) and parent2
+	// (its mate; may equal parent1's genome). gene >= 0 records a pure
+	// single-gene mutant: genome equals parent1 with exactly that gene
+	// flipped (crossover skipped or a no-op swap). Either parent may
+	// be nil. The same retention rules as Evaluate apply.
+	EvaluateDelta(genome, parent1, parent2 []byte, gene int) (objs []float64, violation float64)
+}
+
 // PerWorkerProblem is the scaling hook for problems whose evaluation
 // benefits from per-goroutine state (scratch buffers, metric shards).
 // When Workers > 1 and the problem implements it, the engine calls
@@ -107,6 +130,18 @@ type Config struct {
 	// Table II / Fig. 7 analyses need. The archive doubles as an
 	// evaluation cache either way.
 	ArchiveAll bool
+	// WarmLookup, when non-nil, is consulted once per evaluation-cache
+	// miss, before the problem is asked: ok = true resolves the new
+	// genotype with the returned vector and skips its evaluation
+	// entirely. The returned values MUST equal what Evaluate(genome)
+	// would return bit-for-bit (a campaign seeds this from a completed
+	// sibling run's checkpointed cache — evaluation is deterministic,
+	// so the equality holds by construction); anything else silently
+	// diverges the run. Counters, cache insertion order, the archive
+	// and all results are identical with or without the hook — only
+	// evaluation work is skipped. The engine retains the returned objs
+	// slice; the callback must not reuse it.
+	WarmLookup func(genome []byte) (objs []float64, violation float64, ok bool)
 	// OnGeneration, when non-nil, observes each generation's
 	// population after survival selection. The Individual slice and
 	// the genome bytes it references alias engine-owned scratch that
