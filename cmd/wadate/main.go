@@ -44,6 +44,12 @@
 //	                  shared-core mappings, serialized per core.
 //	-json string      write the campaign JSON artifact to this file
 //	-csv string       write the campaign CSV table to this file
+//	-stats            record per-cell engine instrumentation (kernel
+//	                  path split, cache/warm hits, dominance
+//	                  comparisons) in the JSON artifact and print an
+//	                  aggregate line; the counters depend on worker
+//	                  scheduling, so artifacts are no longer
+//	                  byte-identical across runs with -stats
 //
 // Long campaigns survive preemption with durable checkpoints: the
 // campaign manifest, per-cell completion records and in-flight GA
@@ -67,6 +73,11 @@
 //	                       no artifacts) after the Nth checkpoint write,
 //	                       simulating preemption deterministically
 //
+// Flag combinations that cannot work — a checkpoint-dependent flag
+// without -checkpoint-dir, or -resume against a directory holding no
+// campaign manifest — are rejected up front with exit status 2,
+// before any cell runs.
+//
 // Profiling flags apply to both modes, so hot-path regressions can be
 // diagnosed straight from a campaign run without editing code:
 //
@@ -80,6 +91,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -110,6 +122,7 @@ func main() {
 		warmstart   = flag.Bool("warmstart", false, "seed every campaign cell's GA with the heuristic allocations")
 		workloads   = flag.String("workloads", "paper", "comma-separated campaign workloads: paper, chain<N>, forkjoin<W>, fft<N>, gauss<N>, diamond<N> (>16-task specs share cores)")
 		jsonPath    = flag.String("json", "", "write the campaign JSON artifact to this file")
+		stats       = flag.Bool("stats", false, "record per-cell engine instrumentation in the campaign artifact and print an aggregate line (artifacts stop being byte-identical across runs)")
 
 		checkpointDir   = flag.String("checkpoint-dir", "", "maintain durable campaign checkpoints in this directory")
 		checkpointEvery = flag.Int("checkpoint-every", 0, "generations between in-flight cell snapshots (default 25 with -checkpoint-dir)")
@@ -146,7 +159,7 @@ func main() {
 	conflicting := []string{"exp", "seeds"}
 	if !*campaign {
 		conflicting = []string{"json", "cellworkers", "reps", "objsets", "workloads", "warmstart",
-			"checkpoint-dir", "checkpoint-every", "resume", "halt-after-checkpoints", "warmcache"}
+			"checkpoint-dir", "checkpoint-every", "resume", "halt-after-checkpoints", "warmcache", "stats"}
 	}
 	for _, name := range conflicting {
 		if explicitly[name] {
@@ -154,9 +167,12 @@ func main() {
 			if *campaign {
 				mode = "in"
 			}
-			err = fmt.Errorf("-%s does not apply %s -campaign mode", name, mode)
+			err = usageError{fmt.Errorf("-%s does not apply %s -campaign mode", name, mode)}
 			break
 		}
+	}
+	if err == nil && *campaign {
+		err = validateCampaignFlags(*checkpointDir, *resume, *warmcache, *haltAfter, explicitly["checkpoint-every"])
 	}
 	var stopCPU func()
 	if err == nil && *cpuprofile != "" {
@@ -171,6 +187,7 @@ func main() {
 				jsonPath: *jsonPath, csvPath: *csv, warmStart: *warmstart,
 				checkpointDir: *checkpointDir, checkpointEvery: *checkpointEvery,
 				resume: *resume, haltAfter: *haltAfter, warmCache: *warmcache,
+				stats: *stats,
 			})
 		} else {
 			err = run(*exp, *nws, *pop, *gens, *seed, *csv, *seeds, *workers)
@@ -184,8 +201,47 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "wadate: %v\n", err)
+		if errors.As(err, &usageError{}) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
+}
+
+// usageError marks a flag combination that can never work, detected
+// before any cell runs. Reported like a flag-parse failure: exit
+// status 2 instead of the runtime-failure status 1.
+type usageError struct{ error }
+
+func (u usageError) Unwrap() error { return u.error }
+
+// validateCampaignFlags rejects checkpoint flag combinations up
+// front: every checkpoint-dependent flag needs -checkpoint-dir, and
+// -resume needs a directory that actually holds a campaign manifest —
+// discovering either hours into a paper-scale sweep (or worse,
+// silently starting a fresh campaign) is exactly what the early check
+// prevents.
+func validateCampaignFlags(dir string, resume, warmcache bool, haltAfter int, everySet bool) error {
+	if dir == "" {
+		switch {
+		case warmcache:
+			return usageError{fmt.Errorf("-warmcache needs -checkpoint-dir (the warm cache is read from sibling checkpoints)")}
+		case resume:
+			return usageError{fmt.Errorf("-resume needs -checkpoint-dir (there is nothing to resume from)")}
+		case haltAfter > 0:
+			return usageError{fmt.Errorf("-halt-after-checkpoints needs -checkpoint-dir")}
+		case everySet:
+			return usageError{fmt.Errorf("-checkpoint-every needs -checkpoint-dir")}
+		}
+		return nil
+	}
+	if resume {
+		manifest := filepath.Join(dir, "manifest.json")
+		if _, err := os.Stat(manifest); err != nil {
+			return usageError{fmt.Errorf("-resume: no campaign manifest at %s (run once without -resume to start the campaign): %v", manifest, err)}
+		}
+	}
+	return nil
 }
 
 // startCPUProfile begins CPU profiling into path; the returned stop
@@ -236,6 +292,7 @@ type campaignOpts struct {
 	resume                   bool
 	haltAfter                int
 	warmCache                bool
+	stats                    bool
 }
 
 // runCampaign drives the multi-cell sweep: deterministic cells,
@@ -255,6 +312,7 @@ func runCampaign(o campaignOpts) error {
 		Resume:               o.resume,
 		StopAfterCheckpoints: o.haltAfter,
 		WarmCacheSiblings:    o.warmCache,
+		Stats:                o.stats,
 	}
 	var err error
 	cfg.NWs, err = parseNWs(o.nws)
@@ -302,6 +360,9 @@ func runCampaign(o campaignOpts) error {
 		return err
 	}
 	fmt.Print(expt.CampaignSummary(camp))
+	if o.stats {
+		printCampaignStats(camp)
+	}
 	if o.jsonPath != "" {
 		if werr := writeArtifact(o.jsonPath, func(f *os.File) error { return expt.WriteCampaignJSON(f, camp) }); werr != nil {
 			return werr
@@ -315,6 +376,31 @@ func runCampaign(o campaignOpts) error {
 		fmt.Printf("CSV table written to %s\n", o.csvPath)
 	}
 	return err
+}
+
+// printCampaignStats sums the per-cell instrumentation into one
+// campaign-level line: how the engine actually served its
+// evaluations, and how much dominance work ranking did.
+func printCampaignStats(camp *expt.Campaign) {
+	var total expt.CellStats
+	for i := range camp.Cells {
+		s := camp.Cells[i].Stats()
+		if s == nil {
+			continue
+		}
+		total.Evaluations += s.Evaluations
+		total.CacheHits += s.CacheHits
+		total.WarmHits += s.WarmHits
+		total.FullEvals += s.FullEvals
+		total.GeneDeltaEvals += s.GeneDeltaEvals
+		total.NearDeltaEvals += s.NearDeltaEvals
+		total.CrossDeltaEvals += s.CrossDeltaEvals
+		total.RelationsCompared += s.RelationsCompared
+	}
+	fmt.Printf("\nEngine stats: %d evaluations (%d cache hits, %d warm hits); kernel paths: %d full, %d gene-delta, %d near-delta, %d crossover-delta; %d dominance relations compared\n",
+		total.Evaluations, total.CacheHits, total.WarmHits,
+		total.FullEvals, total.GeneDeltaEvals, total.NearDeltaEvals, total.CrossDeltaEvals,
+		total.RelationsCompared)
 }
 
 func writeArtifact(path string, write func(*os.File) error) error {

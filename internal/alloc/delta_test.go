@@ -193,6 +193,123 @@ func TestEvaluateNearMatchesFull(t *testing.T) {
 	}
 }
 
+// rowDiff counts the edge rows on which two same-shape genomes differ.
+func rowDiff(a, b Genome) int {
+	nw, d := a.Channels(), 0
+	ab, bb := a.Bits(), b.Bits()
+	for r := 0; r < a.Edges(); r++ {
+		if string(ab[r*nw:(r+1)*nw]) != string(bb[r*nw:(r+1)*nw]) {
+			d++
+		}
+	}
+	return d
+}
+
+// TestEvaluateCrossMatchesFull exercises the two-parent crossover
+// delta: children spliced from two retained parents by gene-level
+// two-point crossover (the GA's operator shape), occasionally plus
+// mutations, all bit-identical to the full kernel. It additionally
+// asserts that the crossover path engages (LastEvalPath reports
+// EvalPathCrossDelta) and that children too distant from EITHER
+// parent alone — which the single-parent rule would send to the full
+// kernel — are still evaluated incrementally when the two parents
+// jointly cover all but a few rows.
+func TestEvaluateCrossMatchesFull(t *testing.T) {
+	for _, nw := range []int{4, 8, 16} {
+		in, err := DefaultInstance(nw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := NewEvaluator(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev.EnableDeltaCache(0)
+		ref, err := NewEvaluator(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(300 + nw)))
+
+		parentA, err := Assign(in, UniformCounts(in.Edges(), 1), FirstFit, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out Eval
+		ev.EvaluateInto(&out, parentA)
+		if !out.Valid {
+			t.Fatalf("NW=%d: parent A invalid: %s", nw, out.Reason())
+		}
+		// Parent B: swap every row's channel so the parents differ on
+		// every edge (retry until the swap combination is feasible).
+		var parentB Genome
+		for attempt := 0; ; attempt++ {
+			if attempt >= 1000 {
+				t.Fatalf("NW=%d: no feasible all-rows-distinct mate found", nw)
+			}
+			cand := parentA.Clone()
+			for r := 0; r < in.Edges(); r++ {
+				old := cand.ChannelSet(r)[0]
+				cand.Set(r, old, false)
+				cand.Set(r, (old+1+rng.Intn(nw-1))%nw, true)
+			}
+			ref.EvaluateInto(&out, cand)
+			if out.Valid {
+				parentB = cand
+				break
+			}
+		}
+		ev.EvaluateInto(&out, parentB)
+		if rowDiff(parentA, parentB) != in.Edges() {
+			t.Fatalf("NW=%d: mate construction broken", nw)
+		}
+
+		maxRows := in.Edges() / 2
+		if maxRows < 2 {
+			maxRows = 2
+		}
+		crossDelta, distantDelta, usedFull := 0, 0, 0
+		for trial := 0; trial < 500; trial++ {
+			c1, c2 := rng.Intn(parentA.Len()+1), rng.Intn(parentA.Len()+1)
+			if c1 > c2 {
+				c1, c2 = c2, c1
+			}
+			child := parentA.Clone()
+			copy(child.Bits()[c1:c2], parentB.Bits()[c1:c2])
+			if rng.Intn(4) == 0 {
+				for r := rng.Intn(in.Edges()); r >= 0; r-- {
+					mutateOneGene(rng, child)
+				}
+			}
+			var want Eval
+			ref.EvaluateInto(&want, child)
+			var got Eval
+			took := ev.EvaluateNearInto(&got, child, parentA.Bits(), parentB.Bits())
+			requireSameEval(t, "cross", &got, &want)
+			if !took {
+				usedFull++
+				continue
+			}
+			if ev.LastEvalPath() == EvalPathCrossDelta {
+				crossDelta++
+			}
+			dA, dB := rowDiff(child, parentA), rowDiff(child, parentB)
+			if dA > maxRows && dB > maxRows {
+				distantDelta++
+			}
+		}
+		if crossDelta == 0 {
+			t.Fatalf("NW=%d: crossover-delta path never engaged", nw)
+		}
+		if distantDelta == 0 {
+			t.Fatalf("NW=%d: no distant-from-both-parents child took the delta path", nw)
+		}
+		if usedFull == 0 {
+			t.Fatalf("NW=%d: full-kernel fallback never exercised", nw)
+		}
+	}
+}
+
 // TestDeltaHandleMissesInvalid pins the store policy: only valid
 // evaluations are retained as parents.
 func TestDeltaHandleMissesInvalid(t *testing.T) {

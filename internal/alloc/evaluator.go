@@ -59,7 +59,33 @@ type Evaluator struct {
 	// delta is the opt-in retained-parent store plus the delta-path
 	// scratch (see delta.go); nil until EnableDeltaCache.
 	delta *deltaState
+
+	// lastPath records which kernel served the most recent
+	// Evaluate*Into call (see LastEvalPath).
+	lastPath EvalPath
 }
+
+// EvalPath identifies which kernel served an evaluation.
+type EvalPath uint8
+
+const (
+	// EvalPathFull is the full evaluation kernel.
+	EvalPathFull EvalPath = iota
+	// EvalPathGeneDelta is the single-gene delta kernel
+	// (EvaluateDeltaInto).
+	EvalPathGeneDelta
+	// EvalPathNearDelta is the few-row delta replay off a single
+	// retained parent (EvaluateNearInto with one usable parent).
+	EvalPathNearDelta
+	// EvalPathCrossDelta is the two-parent crossover delta replay
+	// (EvaluateNearInto with both mating parents retained).
+	EvalPathCrossDelta
+)
+
+// LastEvalPath reports which kernel served the most recent
+// Evaluate*Into call on this evaluator — observability for the
+// engine-level instrumentation counters, not part of any result.
+func (e *Evaluator) LastEvalPath() EvalPath { return e.lastPath }
 
 // NewEvaluator builds an evaluator with scratch sized for the
 // instance. The only possible error is a task graph that lost its
@@ -126,6 +152,7 @@ func (e *Evaluator) Evaluate(g Genome) Eval {
 func (e *Evaluator) EvaluateInto(out *Eval, g Genome) {
 	in := e.in
 	if g.Edges() != in.Edges() || g.Channels() != in.Channels() {
+		e.lastPath = EvalPathFull
 		*out = invalid(fmt.Sprintf("genome shape %dx%d does not match instance %dx%d",
 			g.Edges(), g.Channels(), in.Edges(), in.Channels()), 1)
 		return
@@ -140,6 +167,7 @@ func (e *Evaluator) EvaluateInto(out *Eval, g Genome) {
 // e.masks. key is the genome's gene slice, used only to register the
 // evaluation with the delta cache (nil skips registration).
 func (e *Evaluator) evaluateDecoded(out *Eval, key []byte) {
+	e.lastPath = EvalPathFull
 	violation, reason := e.decodeMasks()
 	if err := e.planner.ComputeInto(&e.sched, e.eff, e.in.BitsPerCycle); err != nil {
 		*out = invalid(err.Error(), violation+1)

@@ -20,6 +20,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/alloc"
 	"repro/internal/energy"
@@ -105,6 +106,16 @@ type Config struct {
 	// optimum is then present from generation zero instead of having
 	// to be discovered.
 	WarmStart bool
+	// WarmSource optionally supplies already-known evaluations (e.g.
+	// a completed replicate sibling's checkpoint archive): when it
+	// reports ok, the engine records the objective vector and
+	// violation without evaluating. For feasible genotypes
+	// (violation == 0) aux must carry the metric triple [TimeKCC,
+	// BitEnergyFJ, MeanBER] so result assembly still resolves them;
+	// a feasible answer without a complete triple is treated as a
+	// miss and evaluated normally. Wired to nsga2.Config.WarmLookup
+	// under the hood — takes precedence over GA.WarmLookup.
+	WarmSource func(genome []byte) (objs []float64, violation float64, aux []float64, ok bool)
 	// GA tunes the engine; GA.ArchiveAll is forced on because the
 	// result assembly needs the archive.
 	GA nsga2.Config
@@ -139,6 +150,106 @@ type Problem struct {
 	mu      sync.Mutex
 	metrics map[string]Metrics // full metric triple per evaluated genotype
 	workers []*workerProblem   // outstanding shards, folded in by mergeWorkers
+
+	// stats counts which kernel served each evaluation (atomic:
+	// worker shards update the shared counters lock-free).
+	stats evalStats
+}
+
+// evalStats is the problem-level half of the engine instrumentation.
+type evalStats struct {
+	full, gene, near, cross atomic.Int64
+}
+
+// countPath attributes one evaluation to the kernel that served it.
+func (p *Problem) countPath(path alloc.EvalPath) {
+	switch path {
+	case alloc.EvalPathGeneDelta:
+		p.stats.gene.Add(1)
+	case alloc.EvalPathNearDelta:
+		p.stats.near.Add(1)
+	case alloc.EvalPathCrossDelta:
+		p.stats.cross.Add(1)
+	default:
+		p.stats.full.Add(1)
+	}
+}
+
+// EvalStats implements nsga2.StatsProblem.
+func (p *Problem) EvalStats() nsga2.EvalStats {
+	return nsga2.EvalStats{
+		Full:       p.stats.full.Load(),
+		GeneDelta:  p.stats.gene.Load(),
+		NearDelta:  p.stats.near.Load(),
+		CrossDelta: p.stats.cross.Load(),
+	}
+}
+
+// metricsAuxLen is the checkpoint aux payload dimension: the metric
+// triple [TimeKCC, BitEnergyFJ, MeanBER] of feasible genotypes.
+const metricsAuxLen = 3
+
+// auxFill implements nsga2.Config.AuxFill: persist the metric triple
+// of every genotype the problem knows next to its checkpoint cache
+// entry. Unknown genotypes keep the pre-filled payload (a resumed
+// entry's retained triple, or NaN).
+func (p *Problem) auxFill(genome []byte, aux []float64) {
+	if m, ok := p.lookupMetrics(genome); ok {
+		aux[0], aux[1], aux[2] = m.TimeKCC, m.BitEnergyFJ, m.MeanBER
+	}
+}
+
+// lookupMetrics reads the metric triple for a genotype from the
+// parent map or any outstanding worker shard, without folding the
+// shards. Safe between engine Steps (no evaluation goroutines run).
+func (p *Problem) lookupMetrics(genome []byte) (Metrics, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if m, ok := p.metrics[string(genome)]; ok {
+		return m, true
+	}
+	for _, w := range p.workers {
+		if m, ok := w.metrics[string(genome)]; ok {
+			return m, true
+		}
+	}
+	return Metrics{}, false
+}
+
+// injectMetrics registers an externally supplied metric triple (a
+// checkpoint aux payload or a warm-source hit) as if the genotype had
+// been evaluated.
+func (p *Problem) injectMetrics(genome []byte, m Metrics) {
+	p.mu.Lock()
+	p.metrics[string(genome)] = m
+	p.mu.Unlock()
+}
+
+// warmLookup adapts Config.WarmSource to nsga2.Config.WarmLookup:
+// feasible hits must carry the complete metric triple, which is
+// injected into the metric cache so result assembly and later
+// checkpoints see it; incomplete feasible answers degrade to a miss.
+func (p *Problem) warmLookup(genome []byte) ([]float64, float64, bool) {
+	objs, viol, aux, ok := p.cfg.WarmSource(genome)
+	if !ok {
+		return nil, 0, false
+	}
+	if viol == 0 {
+		if len(aux) != metricsAuxLen || anyNaN(aux) {
+			return nil, 0, false
+		}
+		p.injectMetrics(genome, Metrics{TimeKCC: aux[0], BitEnergyFJ: aux[1], MeanBER: aux[2]})
+	}
+	return objs, viol, true
+}
+
+func anyNaN(xs []float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			return true
+		}
+	}
+	return false
 }
 
 // Metrics is the full figure-of-merit triple of a valid genome.
@@ -271,6 +382,7 @@ func (p *Problem) Evaluate(genome []byte) ([]float64, float64) {
 	}
 	var out alloc.Eval
 	ev.EvaluateInto(&out, g)
+	p.countPath(ev.LastEvalPath())
 	p.recordMetrics(g, &out)
 	objs, viol := out.Objectives(p.objs), out.Violation
 	p.evalPool.Put(ev)
@@ -294,6 +406,7 @@ func (p *Problem) EvaluateDelta(genome, parent1, parent2 []byte, gene int) ([]fl
 	}
 	var out alloc.Eval
 	deltaEvalInto(ev, &out, g, parent1, parent2, gene)
+	p.countPath(ev.LastEvalPath())
 	p.recordMetrics(g, &out)
 	objs, viol := out.Objectives(p.objs), out.Violation
 	p.evalPool.Put(ev)
@@ -406,6 +519,7 @@ func (w *workerProblem) Evaluate(genome []byte) ([]float64, float64) {
 	}
 	var ev alloc.Eval
 	w.eval.EvaluateInto(&ev, g)
+	p.countPath(w.eval.LastEvalPath())
 	w.record(g, &ev)
 	return ev.Objectives(p.objs), ev.Violation
 }
@@ -420,6 +534,7 @@ func (w *workerProblem) EvaluateDelta(genome, parent1, parent2 []byte, gene int)
 	}
 	var ev alloc.Eval
 	deltaEvalInto(w.eval, &ev, g, parent1, parent2, gene)
+	p.countPath(w.eval.LastEvalPath())
 	w.record(g, &ev)
 	return ev.Objectives(p.objs), ev.Violation
 }

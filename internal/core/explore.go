@@ -20,13 +20,26 @@ type Explorer struct {
 	gens int
 }
 
-// gaConfig assembles the effective engine configuration of this
-// problem: the archive is forced on (result assembly needs it) and
-// WarmStart injects the heuristic seeds, exactly like Optimize always
-// did.
-func (p *Problem) gaConfig() nsga2.Config {
+// baseGAConfig assembles the part of the engine configuration every
+// run — fresh or resumed — needs: the archive is forced on (result
+// assembly needs it), checkpoints carry the metric triple as the aux
+// payload, and a configured WarmSource is adapted onto the engine's
+// WarmLookup hook.
+func (p *Problem) baseGAConfig() nsga2.Config {
 	ga := p.cfg.GA
 	ga.ArchiveAll = true
+	ga.AuxLen = metricsAuxLen
+	ga.AuxFill = p.auxFill
+	if p.cfg.WarmSource != nil {
+		ga.WarmLookup = p.warmLookup
+	}
+	return ga
+}
+
+// gaConfig is baseGAConfig plus the fresh-run concerns: WarmStart
+// injects the heuristic seeds, exactly like Optimize always did.
+func (p *Problem) gaConfig() nsga2.Config {
+	ga := p.baseGAConfig()
 	if p.cfg.WarmStart && len(ga.Seeds) == 0 {
 		ga.Seeds = p.HeuristicSeeds()
 	}
@@ -49,26 +62,31 @@ func (p *Problem) NewExplorer() (*Explorer, error) {
 // and fails loudly on mismatch).
 //
 // Beyond the engine state, the problem's metric cache is rehydrated:
-// every distinct valid genotype in the restored archive is
-// re-evaluated once, so result assembly resolves the same metric
-// triples as an uninterrupted run. Evaluation is deterministic, which
-// makes the rehydrated metrics — and therefore the final Result —
-// bit-identical. The cost is one evaluation per distinct valid
-// genotype, a small slice of the work the checkpoint saved.
+// checkpoints persist the metric triple of every known genotype as
+// the cache entries' aux payload, so a resume decodes the triples
+// straight back instead of re-running the evaluation kernel. The
+// triples were recorded from deterministic evaluations and round-trip
+// as IEEE-754 bit patterns, which keeps the rehydrated metrics — and
+// therefore the final Result — bit-identical to an uninterrupted
+// run's. A feasible entry without a complete triple (possible only in
+// a hand-built stream) falls back to one evaluation.
 func (p *Problem) ResumeExplorer(r io.Reader) (*Explorer, error) {
 	// Warm-start seeds are an initial-population concern; the
 	// population comes from the checkpoint here, so skip the heuristic
 	// recomputation gaConfig would do per resumed cell.
-	ga := p.cfg.GA
-	ga.ArchiveAll = true
-	eng, err := nsga2.ResumeEngine(p, ga, r)
+	eng, err := nsga2.ResumeEngine(p, p.baseGAConfig(), r)
 	if err != nil {
 		return nil, err
 	}
-	eng.VisitArchive(func(genome []byte, objs []float64, violation float64) {
-		if violation == 0 {
-			p.Evaluate(genome)
+	eng.VisitArchive(func(genome []byte, objs []float64, violation float64, aux []float64) {
+		if violation != 0 {
+			return
 		}
+		if len(aux) == metricsAuxLen && !anyNaN(aux) {
+			p.injectMetrics(genome, Metrics{TimeKCC: aux[0], BitEnergyFJ: aux[1], MeanBER: aux[2]})
+			return
+		}
+		p.Evaluate(genome)
 	})
 	return &Explorer{p: p, eng: eng, gens: eng.Config().Generations}, nil
 }
@@ -85,6 +103,11 @@ func (x *Explorer) Done() bool { return x.eng.Generation() >= x.gens }
 
 // Step advances one generation.
 func (x *Explorer) Step() { x.eng.Step() }
+
+// Stats exposes the engine's instrumentation counters: how many
+// evaluations each kernel served, cache and warm-lookup hits, and
+// dominance relations compared (see nsga2.Stats).
+func (x *Explorer) Stats() nsga2.Stats { return x.eng.Stats() }
 
 // WriteCheckpoint serializes the exploration state (see
 // nsga2.Engine.WriteCheckpoint). Call it between Steps.

@@ -163,15 +163,23 @@ type CampaignConfig struct {
 	// WarmCacheSiblings (requires CheckpointDir) retains each
 	// completed cell's final .ckpt and seeds later cells of the same
 	// (workload, NW, objective-set) identity — the replicate siblings
-	// — with the sibling's evaluated infeasible genotypes, decoded
-	// from the checkpoint's cache section. Evaluation is
-	// deterministic, so a warm hit returns exactly what re-evaluating
-	// would; feasible genotypes are still evaluated (result assembly
-	// derives their full metric triples from the evaluation), so every
-	// artifact stays byte-identical — only infeasible re-evaluation
-	// work is skipped. The flag is not part of the campaign identity:
-	// a checkpoint directory can be resumed with it on or off.
+	// — with the sibling's evaluated genotypes, decoded from the
+	// checkpoint's cache section. Evaluation is deterministic, so a
+	// warm hit returns exactly what re-evaluating would; feasible
+	// genotypes carry their metric triple in the checkpoint's aux
+	// section, so result assembly resolves them without re-running the
+	// kernel either, and every artifact stays byte-identical. The flag
+	// is not part of the campaign identity: a checkpoint directory can
+	// be resumed with it on or off.
 	WarmCacheSiblings bool
+	// Stats records each cell's engine instrumentation (evaluation-
+	// path split, cache/warm hits, dominance comparisons) in the JSON
+	// artifact and completion records. Opt-in because the counters
+	// depend on worker scheduling and warm-cache timing: with Stats
+	// on, artifacts are no longer byte-identical across runs — only
+	// the result data still is. Part of the campaign identity when
+	// checkpointing (restored cells must carry the same fields).
+	Stats bool
 }
 
 func (c CampaignConfig) withDefaults() CampaignConfig {
@@ -304,6 +312,56 @@ type CellResult struct {
 	// checkpoint directory; the artifact writers consume it in place
 	// of a live Result.
 	restored *cellArtifact
+	// stats holds the cell's instrumentation record when the campaign
+	// ran with CampaignConfig.Stats.
+	stats *CellStats
+}
+
+// CellStats is one cell's engine instrumentation record (see
+// CampaignConfig.Stats): how each evaluation was served and how much
+// dominance work ranking did.
+type CellStats struct {
+	// Evaluations counts genome evaluations the engine requested;
+	// CacheHits the subset served by the dedup cache, WarmHits the
+	// subset served by the sibling warm cache.
+	Evaluations int64 `json:"evaluations"`
+	CacheHits   int64 `json:"cache_hits"`
+	WarmHits    int64 `json:"warm_hits"`
+	// FullEvals, GeneDeltaEvals, NearDeltaEvals and CrossDeltaEvals
+	// split the kernel invocations by path: full decode, single-gene
+	// delta, single-parent near-delta replay, two-parent crossover
+	// replay.
+	FullEvals       int64 `json:"full_evals"`
+	GeneDeltaEvals  int64 `json:"gene_delta_evals"`
+	NearDeltaEvals  int64 `json:"near_delta_evals"`
+	CrossDeltaEvals int64 `json:"cross_delta_evals"`
+	// RelationsCompared counts Deb-dominance pair comparisons across
+	// the run's ranking passes.
+	RelationsCompared int64 `json:"relations_compared"`
+}
+
+// cellStatsOf flattens the engine's counter view into the artifact
+// record.
+func cellStatsOf(s nsga2.Stats) *CellStats {
+	return &CellStats{
+		Evaluations:       s.Evaluations,
+		CacheHits:         s.CacheHits,
+		WarmHits:          s.WarmHits,
+		FullEvals:         s.Eval.Full,
+		GeneDeltaEvals:    s.Eval.GeneDelta,
+		NearDeltaEvals:    s.Eval.NearDelta,
+		CrossDeltaEvals:   s.Eval.CrossDelta,
+		RelationsCompared: s.RelationsCompared,
+	}
+}
+
+// Stats returns the cell's instrumentation record, nil unless the
+// campaign ran with CampaignConfig.Stats.
+func (cr *CellResult) Stats() *CellStats {
+	if cr.restored != nil {
+		return cr.restored.Stats
+	}
+	return cr.stats
 }
 
 // Restored reports whether the cell was replayed from a checkpoint
@@ -323,6 +381,7 @@ func (cr *CellResult) artifact() cellArtifact {
 		SimViolations:    cr.SimViolations,
 		SimBracketMisses: cr.SimBracketMisses,
 	}
+	a.Stats = cr.stats
 	if cr.Err != nil {
 		a.Error = cr.Err.Error()
 	}
@@ -363,6 +422,7 @@ type cellArtifact struct {
 	MinEnergyFJ       *float64      `json:"min_energy_fj,omitempty"`
 	FrontTimeEnergy   []solutionRec `json:"front_time_energy,omitempty"`
 	FrontTimeBER      []solutionRec `json:"front_time_ber,omitempty"`
+	Stats             *CellStats    `json:"stats,omitempty"`
 }
 
 // solutionRec is one front solution in artifact form. Unlike the JSON
@@ -613,25 +673,26 @@ func runCell(cfg CampaignConfig, si sharedInstance, cell Cell, mgr *checkpointMa
 	if si.err != nil {
 		return fail(si.err)
 	}
-	ga := nsga2.Config{
-		PopSize:     cfg.Pop,
-		Generations: cfg.Generations,
-		Seed:        cell.Seed,
-		Workers:     cfg.EvalWorkers,
-	}
+	var warmSrc func([]byte) ([]float64, float64, []float64, bool)
 	if cfg.WarmCacheSiblings && mgr != nil {
 		// Best effort and lazy: the lookup starts serving once any
 		// replicate sibling completes (possibly mid-run, when siblings
 		// started concurrently); a missing or damaged sibling
 		// checkpoint only costs the warm start, never the cell.
-		ga.WarmLookup = mgr.siblingWarmSource(cell)
+		warmSrc = mgr.siblingWarmSource(cell)
 	}
 	p, err := core.New(core.Config{
 		NW:         cell.NW,
 		Instance:   si.in,
 		Objectives: cell.Objectives,
 		WarmStart:  cfg.WarmStart,
-		GA:         ga,
+		WarmSource: warmSrc,
+		GA: nsga2.Config{
+			PopSize:     cfg.Pop,
+			Generations: cfg.Generations,
+			Seed:        cell.Seed,
+			Workers:     cfg.EvalWorkers,
+		},
 	})
 	if err != nil {
 		return fail(err)
@@ -666,6 +727,9 @@ func runCell(cfg CampaignConfig, si sharedInstance, cell Cell, mgr *checkpointMa
 	}
 	res, err := x.Finish()
 	cr := CellResult{Cell: cell, Result: res, Err: err}
+	if cfg.Stats && err == nil {
+		cr.stats = cellStatsOf(x.Stats())
+	}
 	if err == nil && res != nil {
 		cr.SimChecked, cr.SimViolations, cr.SimBracketMisses, cr.Err = simCheck(p.Instance(), res)
 	}
@@ -769,6 +833,7 @@ type cellJSON struct {
 	MinEnergyFJ       *float64    `json:"min_energy_fj,omitempty"`
 	FrontTimeEnergy   []pointJSON `json:"front_time_energy,omitempty"`
 	FrontTimeBER      []pointJSON `json:"front_time_ber,omitempty"`
+	Stats             *CellStats  `json:"stats,omitempty"`
 }
 
 type pointJSON struct {
@@ -836,6 +901,7 @@ func WriteCampaignJSON(w io.Writer, c *Campaign) error {
 			cj.FrontTimeEnergy = points(a.FrontTimeEnergy)
 			cj.FrontTimeBER = points(a.FrontTimeBER)
 		}
+		cj.Stats = a.Stats
 		doc.Cells = append(doc.Cells, cj)
 	}
 	enc := json.NewEncoder(w)

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -76,16 +77,20 @@ const cellCkptVersion = 1
 // of them would silently compute different numbers, so the manager
 // refuses it instead.
 type manifestJSON struct {
-	Schema        string         `json:"schema"`
-	NWs           []int          `json:"nws"`
-	ObjectiveSets []string       `json:"objective_sets"`
-	Workloads     []string       `json:"workloads"`
-	Replicates    int            `json:"replicates"`
-	Pop           int            `json:"pop"`
-	Generations   int            `json:"generations"`
-	Seed          int64          `json:"seed"`
-	WarmStart     bool           `json:"warm_start"`
-	Cells         []manifestCell `json:"cells"`
+	Schema        string   `json:"schema"`
+	NWs           []int    `json:"nws"`
+	ObjectiveSets []string `json:"objective_sets"`
+	Workloads     []string `json:"workloads"`
+	Replicates    int      `json:"replicates"`
+	Pop           int      `json:"pop"`
+	Generations   int      `json:"generations"`
+	Seed          int64    `json:"seed"`
+	WarmStart     bool     `json:"warm_start"`
+	// Stats is part of the identity because it changes the artifact
+	// bytes: a campaign completed without instrumentation cannot be
+	// resumed into one that expects stats on every restored cell.
+	Stats bool           `json:"stats,omitempty"`
+	Cells []manifestCell `json:"cells"`
 }
 
 type manifestCell struct {
@@ -133,8 +138,13 @@ type checkpointManager struct {
 // warmHitsTotal counts warm-cache lookups that short-circuited an
 // evaluation, across all campaigns in this process (test
 // observability: the warm cache must not be able to silently never
-// engage).
-var warmHitsTotal atomic.Int64
+// engage). warmFeasibleHitsTotal counts the subset that served a
+// feasible genotype with its persisted metric triple — the hits that
+// only became possible once checkpoints carried the triple.
+var (
+	warmHitsTotal         atomic.Int64
+	warmFeasibleHitsTotal atomic.Int64
+)
 
 func buildManifest(cfg CampaignConfig, cells []Cell) manifestJSON {
 	m := manifestJSON{
@@ -145,6 +155,7 @@ func buildManifest(cfg CampaignConfig, cells []Cell) manifestJSON {
 		Generations: cfg.Generations,
 		Seed:        cfg.Seed,
 		WarmStart:   cfg.WarmStart,
+		Stats:       cfg.Stats,
 	}
 	for _, os := range cfg.ObjectiveSets {
 		m.ObjectiveSets = append(m.ObjectiveSets, os.String())
@@ -287,10 +298,14 @@ func (m *checkpointManager) scheduleOrder(cells []Cell) []int {
 }
 
 // warmRec is one warm-cache entry: the objective vector and graded
-// violation of an infeasible genotype evaluated by a sibling cell.
+// violation of a genotype evaluated by a sibling cell, plus — for
+// feasible genotypes — the metric triple persisted as the sibling
+// checkpoint's aux payload (nil for infeasible entries, which have no
+// metrics to carry).
 type warmRec struct {
 	objs      []float64
 	violation float64
+	aux       []float64
 }
 
 // warmIdentity keys the warm-map cache: replicate siblings share
@@ -299,21 +314,25 @@ func warmIdentity(c Cell) string {
 	return c.Workload + "|" + fmt.Sprint(c.NW) + "|" + c.Objectives.String()
 }
 
-// siblingWarmSource returns a cell's warm-cache lookup. The sibling
-// discovery is LAZY: replicate siblings of one identity are often
-// claimed by cell workers simultaneously (replicates are the
-// innermost enumeration dimension), so no sibling is completed when
-// the cell starts — the lookup keeps re-scanning (throttled) until
-// one completes mid-run, then serves its archive for the rest of the
-// run. Only infeasible genotypes are served: feasible ones must still
-// be evaluated so result assembly sees their full metric triples,
-// which is what keeps every artifact byte-identical. Any read or
-// decode problem just skips that sibling — the warm cache is an
-// optimization, never a correctness dependency.
-func (m *checkpointManager) siblingWarmSource(cell Cell) func([]byte) ([]float64, float64, bool) {
+// siblingWarmSource returns a cell's warm-cache lookup (the
+// core.Config.WarmSource shape). The sibling discovery is LAZY:
+// replicate siblings of one identity are often claimed by cell
+// workers simultaneously (replicates are the innermost enumeration
+// dimension), so no sibling is completed when the cell starts — the
+// lookup keeps re-scanning (throttled) until one completes mid-run,
+// then serves its archive for the rest of the run. Infeasible
+// genotypes are served as (objs, violation); feasible ones
+// additionally carry the metric triple decoded from the sibling
+// checkpoint's aux section, so result assembly resolves them without
+// re-evaluating. Evaluation is deterministic and the triples
+// round-trip as IEEE-754 bit patterns, which is what keeps every
+// artifact byte-identical. Any read or decode problem just skips that
+// sibling — the warm cache is an optimization, never a correctness
+// dependency.
+func (m *checkpointManager) siblingWarmSource(cell Cell) func([]byte) ([]float64, float64, []float64, bool) {
 	var warm map[string]warmRec
 	misses := 0
-	return func(genome []byte) ([]float64, float64, bool) {
+	return func(genome []byte) ([]float64, float64, []float64, bool) {
 		if warm == nil {
 			// Rescan every 256th miss: a handful of os.Stat calls,
 			// amortized to nothing, until a sibling completes (after
@@ -323,17 +342,21 @@ func (m *checkpointManager) siblingWarmSource(cell Cell) func([]byte) ([]float64
 			}
 			misses++
 			if warm == nil {
-				return nil, 0, false
+				return nil, 0, nil, false
 			}
 		}
 		rec, ok := warm[string(genome)]
 		if !ok {
-			return nil, 0, false
+			return nil, 0, nil, false
 		}
 		warmHitsTotal.Add(1)
-		// The engine retains the objs slice; hand out a copy so
-		// several cells warming from one sibling stay independent.
-		return append([]float64(nil), rec.objs...), rec.violation, true
+		if rec.violation == 0 {
+			warmFeasibleHitsTotal.Add(1)
+		}
+		// The engine retains the slices it is handed; hand out copies
+		// so several cells warming from one sibling stay independent.
+		return append([]float64(nil), rec.objs...), rec.violation,
+			append([]float64(nil), rec.aux...), true
 	}
 }
 
@@ -367,8 +390,16 @@ func (m *checkpointManager) warmMapFor(cell Cell) map[string]warmRec {
 		}
 		warm := make(map[string]warmRec, len(arch.Entries))
 		for _, ent := range arch.Entries {
-			if ent.Violation > 0 {
+			switch {
+			case ent.Violation > 0:
 				warm[string(ent.Genome)] = warmRec{objs: ent.Objs, violation: ent.Violation}
+			case len(ent.Aux) == arch.AuxDim && arch.AuxDim > 0 && !anyNaNAux(ent.Aux):
+				// Feasible entries are only useful with their complete
+				// metric triple: the problem layer rejects a feasible
+				// warm answer without one, so an incomplete entry
+				// (possible only in a hand-built stream) is dropped
+				// here and evaluated normally.
+				warm[string(ent.Genome)] = warmRec{objs: ent.Objs, violation: ent.Violation, aux: ent.Aux}
 			}
 		}
 		if len(warm) == 0 {
@@ -390,6 +421,17 @@ func (m *checkpointManager) warmMapFor(cell Cell) map[string]warmRec {
 		return warm
 	}
 	return nil
+}
+
+// anyNaNAux reports whether an aux payload is incomplete (NaN marks a
+// value the writing run never filled in).
+func anyNaNAux(xs []float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			return true
+		}
+	}
+	return false
 }
 
 // loadCellCheckpoint returns the embedded engine checkpoint of c's

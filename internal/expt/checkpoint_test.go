@@ -306,12 +306,19 @@ func TestCampaignWarmCacheSiblingsByteIdentical(t *testing.T) {
 	warm.CheckpointDir = t.TempDir()
 	warm.WarmCacheSiblings = true
 	before := warmHitsTotal.Load()
+	beforeFeasible := warmFeasibleHitsTotal.Load()
 	camp, err := RunCampaign(warm)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if hits := warmHitsTotal.Load() - before; hits == 0 {
 		t.Fatal("warm cache never engaged: no evaluation was short-circuited")
+	}
+	// Both replicates warm-start from the same heuristic seeds, which
+	// are feasible — the second replicate MUST resolve them from the
+	// first's persisted metric triples rather than re-evaluating.
+	if hits := warmFeasibleHitsTotal.Load() - beforeFeasible; hits == 0 {
+		t.Fatal("no feasible genotype was served from the sibling warm cache")
 	}
 	gotJSON, gotCSV := campaignArtifacts(t, camp)
 	if !bytes.Equal(refJSON, gotJSON) {
@@ -329,6 +336,63 @@ func TestCampaignWarmCacheSiblingsByteIdentical(t *testing.T) {
 }
 
 func itoa(n int) string { return strconv.Itoa(n) }
+
+// TestCampaignStatsRecorded pins the opt-in instrumentation: with
+// Stats on, every successful cell carries a consistent counter block
+// that lands in the JSON artifact, restored cells replay the block
+// from their completion records, and a resume that disagrees on the
+// Stats setting is refused (restored and fresh cells would otherwise
+// disagree on artifact fields).
+func TestCampaignStatsRecorded(t *testing.T) {
+	cfg := ckptCampaignConfig()
+	cfg.Stats = true
+	cfg.CheckpointDir = t.TempDir()
+	camp, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range camp.Cells {
+		s := camp.Cells[i].Stats()
+		if s == nil {
+			t.Fatalf("cell %d: no stats recorded", i)
+		}
+		if s.Evaluations <= 0 || s.FullEvals <= 0 || s.RelationsCompared <= 0 {
+			t.Fatalf("cell %d: implausible stats %+v", i, *s)
+		}
+		kernel := s.FullEvals + s.GeneDeltaEvals + s.NearDeltaEvals + s.CrossDeltaEvals
+		if kernel != s.Evaluations-s.CacheHits-s.WarmHits {
+			t.Fatalf("cell %d: kernel paths sum to %d, engine served %d evaluations (%d cache, %d warm)",
+				i, kernel, s.Evaluations, s.CacheHits, s.WarmHits)
+		}
+	}
+	gotJSON, _ := campaignArtifacts(t, camp)
+	if !bytes.Contains(gotJSON, []byte(`"gene_delta_evals"`)) {
+		t.Fatal("stats block missing from JSON artifact")
+	}
+
+	resumeCfg := cfg
+	resumeCfg.Resume = true
+	resumed, err := RunCampaign(resumeCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range resumed.Cells {
+		if !resumed.Cells[i].Restored() {
+			t.Fatalf("cell %d: expected restore from completion record", i)
+		}
+		got, want := resumed.Cells[i].Stats(), camp.Cells[i].Stats()
+		if got == nil || *got != *want {
+			t.Fatalf("cell %d: restored stats %+v, want %+v", i, got, want)
+		}
+	}
+
+	off := cfg
+	off.Stats = false
+	off.Resume = true
+	if _, err := RunCampaign(off); err == nil {
+		t.Fatal("resume with a different Stats setting must be refused")
+	}
+}
 
 // TestWarmCacheNeedsCheckpointDir pins the flag guard.
 func TestWarmCacheNeedsCheckpointDir(t *testing.T) {

@@ -1,0 +1,79 @@
+package nsga2
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// rankBenchPopulation builds a deterministic population for the
+// ranking benches. Duplicate-heavy mirrors a real GA merge (a few
+// archetype vectors, heavily repeated, so the duplicate-group layer
+// collapses most of the population); all-distinct is the worst case
+// for grouping and the best case for the sort-based builder's
+// front-skip search.
+func rankBenchPopulation(n, m int, dupHeavy bool) []Individual {
+	rng := rand.New(rand.NewSource(11))
+	pop := make([]Individual, n)
+	if dupHeavy {
+		archetypes := make([][]float64, 2+n/16)
+		for a := range archetypes {
+			objs := make([]float64, m)
+			for k := range objs {
+				objs[k] = float64(rng.Intn(8))
+			}
+			archetypes[a] = objs
+		}
+		for i := range pop {
+			src := archetypes[rng.Intn(len(archetypes))]
+			pop[i] = Individual{Objs: append([]float64(nil), src...)}
+			if rng.Intn(4) == 0 {
+				pop[i].Violation = float64(1 + rng.Intn(3))
+			}
+		}
+		return pop
+	}
+	for i := range pop {
+		objs := make([]float64, m)
+		for k := range objs {
+			objs[k] = rng.Float64()
+		}
+		pop[i] = Individual{Objs: objs}
+		if rng.Intn(4) == 0 {
+			pop[i].Violation = rng.Float64()
+		}
+	}
+	return pop
+}
+
+// BenchmarkRankAndCrowd measures the non-dominated ranking plus
+// crowding pass at the paper-scale merged-population size (2x400) for
+// both front builders: the default ENS-style sort-based builder and
+// the retained pair-relation oracle (forcePairwise). CI gates the
+// sorted variants at 0 allocs/op and requires sorted < pairwise
+// within the same run for both population shapes.
+func BenchmarkRankAndCrowd(b *testing.B) {
+	const n, m = 800, 3
+	for _, shape := range []struct {
+		name     string
+		dupHeavy bool
+	}{{"dup", true}, {"distinct", false}} {
+		pop := rankBenchPopulation(n, m, shape.dupHeavy)
+		for _, builder := range []struct {
+			name     string
+			pairwise bool
+		}{{"sorted", false}, {"pairwise", true}} {
+			b.Run(builder.name+"-"+shape.name, func(b *testing.B) {
+				e := scratchEngine(n/2, m)
+				e.forcePairwise = builder.pairwise
+				work := make([]Individual, n)
+				copy(work, pop)
+				e.rankAndCrowd(work) // warm-up: lazy scratch growth
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					e.rankAndCrowd(work)
+				}
+			})
+		}
+	}
+}

@@ -31,6 +31,11 @@ type cacheEntry struct {
 	key       []byte
 	objs      []float64
 	violation float64
+	// aux is the checkpoint-carried auxiliary payload (Config.AuxLen
+	// values) restored on resume; nil for entries evaluated live. The
+	// engine never interprets it — it exists so problems can persist
+	// evaluation-derived side state across checkpoint round-trips.
+	aux []float64
 }
 
 func newGenomeCache() genomeCache {

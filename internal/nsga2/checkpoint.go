@@ -20,6 +20,7 @@ import (
 //	version    uint16   (checkpointVersion)
 //	genomeLen  uint32   genes per chromosome (edges x channels)
 //	numObjs    uint32   objective vector dimension
+//	auxDim     uint32   auxiliary payload dimension (Config.AuxLen)
 //	popSize    uint32   configured population size
 //	seed       int64    engine PRNG seed
 //	gen        uint64   completed generations
@@ -29,8 +30,15 @@ import (
 //	popLen     uint32   individuals that follow
 //	popLen x { genome [genomeLen]byte, rank uint32, crowding f64 }
 //	cacheLen   uint64   distinct evaluated genotypes that follow
-//	cacheLen x { key [genomeLen]byte, objs [numObjs]f64, violation f64 }
+//	cacheLen x { key [genomeLen]byte, objs [numObjs]f64, violation f64, aux [auxDim]f64 }
 //	crc        uint32   IEEE CRC-32 of every preceding byte
+//
+// Version history: v1 (through PR 5) had no auxDim field and no
+// per-entry aux payload; v2 added both so problems can persist
+// evaluation-derived side state (core's metric triple) next to each
+// genotype and warm-start feasible siblings from it. The decoder
+// rejects any version it does not read — there is no silent
+// cross-version parse.
 //
 // Individuals carry no objective vectors of their own: every
 // population genome is by construction present in the cache, so the
@@ -39,10 +47,10 @@ import (
 // IEEE-754 bit patterns (math.Float64bits), so +Inf objectives of
 // infeasible genotypes and crowding boundary values round-trip
 // bit-exactly. The decoder fails loudly — wrong magic, unsupported
-// version, geometry or seed mismatch, truncation, duplicate or
-// unknown genomes, CRC damage — and never panics on corrupt input
-// (fuzzed by FuzzSnapshotDecode).
-const checkpointVersion = 1
+// version, geometry, aux-dimension or seed mismatch, truncation,
+// duplicate or unknown genomes, CRC damage — and never panics on
+// corrupt input (fuzzed by FuzzSnapshotDecode).
+const checkpointVersion = 2
 
 var checkpointMagic = [6]byte{'W', 'A', 'C', 'K', 'P', 'T'}
 
@@ -59,6 +67,7 @@ func (e *Engine) WriteCheckpoint(w io.Writer) error {
 	cw.u16(checkpointVersion)
 	cw.u32(uint32(e.gl))
 	cw.u32(uint32(e.nObj))
+	cw.u32(uint32(e.cfg.AuxLen))
 	cw.u32(uint32(e.size))
 	cw.u64(uint64(e.cfg.Seed))
 	cw.u64(uint64(e.gen))
@@ -73,6 +82,7 @@ func (e *Engine) WriteCheckpoint(w io.Writer) error {
 		cw.f64(ind.Crowding)
 	}
 	cw.u64(uint64(len(e.cache.entries)))
+	aux := make([]float64, e.cfg.AuxLen)
 	for i := range e.cache.entries {
 		ent := &e.cache.entries[i]
 		if len(ent.objs) != e.nObj {
@@ -84,6 +94,24 @@ func (e *Engine) WriteCheckpoint(w io.Writer) error {
 			cw.f64(o)
 		}
 		cw.f64(ent.violation)
+		if len(aux) > 0 {
+			// Pre-fill with what a resume retained (NaN where nothing
+			// is known) and let the problem's hook overwrite from its
+			// own side state.
+			for k := range aux {
+				if k < len(ent.aux) {
+					aux[k] = ent.aux[k]
+				} else {
+					aux[k] = math.NaN()
+				}
+			}
+			if e.cfg.AuxFill != nil {
+				e.cfg.AuxFill(ent.key, aux)
+			}
+			for _, v := range aux {
+				cw.f64(v)
+			}
+		}
 	}
 	// The CRC itself is written outside the checksummed stream.
 	sum := cw.crc
@@ -125,7 +153,7 @@ func (e *Engine) readCheckpoint(r io.Reader) error {
 	if v := cr.u16(); cr.err == nil && v != checkpointVersion {
 		return fmt.Errorf("nsga2: checkpoint: format version %d, this build reads %d", v, checkpointVersion)
 	}
-	gl, nObj, popSize := cr.u32(), cr.u32(), cr.u32()
+	gl, nObj, auxDim, popSize := cr.u32(), cr.u32(), cr.u32(), cr.u32()
 	seed := int64(cr.u64())
 	gen, draws := cr.u64(), cr.u64()
 	evals, validEvals := cr.u64(), cr.u64()
@@ -138,6 +166,8 @@ func (e *Engine) readCheckpoint(r io.Reader) error {
 		return fmt.Errorf("nsga2: checkpoint: genome length %d, problem wants %d", gl, e.gl)
 	case int(nObj) != e.nObj:
 		return fmt.Errorf("nsga2: checkpoint: %d objectives, problem wants %d", nObj, e.nObj)
+	case int(auxDim) != e.cfg.AuxLen:
+		return fmt.Errorf("nsga2: checkpoint: aux dimension %d, config wants %d", auxDim, e.cfg.AuxLen)
 	case int(popSize) != e.size:
 		return fmt.Errorf("nsga2: checkpoint: population size %d, config wants %d", popSize, e.size)
 	case seed != e.cfg.Seed:
@@ -176,6 +206,13 @@ func (e *Engine) readCheckpoint(r io.Reader) error {
 			objs[k] = cr.f64()
 		}
 		violation := cr.f64()
+		var aux []float64
+		if auxDim > 0 {
+			aux = make([]float64, auxDim)
+			for k := range aux {
+				aux[k] = cr.f64()
+			}
+		}
 		if cr.err != nil {
 			return fmt.Errorf("nsga2: checkpoint: truncated cache at entry %d of %d: %w", i, cacheLen, cr.err)
 		}
@@ -186,6 +223,7 @@ func (e *Engine) readCheckpoint(r io.Reader) error {
 		ent := &e.cache.entries[idx]
 		ent.objs = objs
 		ent.violation = violation
+		ent.aux = aux
 	}
 	want := cr.crc
 	stored := cr.u32()
@@ -222,6 +260,7 @@ func (e *Engine) readCheckpoint(r io.Reader) error {
 type CheckpointArchive struct {
 	GenomeLen     int
 	NumObjectives int
+	AuxDim        int
 	PopSize       int
 	Seed          int64
 	// Entries lists every distinct evaluated genotype in insertion
@@ -247,7 +286,7 @@ func ReadCheckpointArchive(r io.Reader) (*CheckpointArchive, error) {
 	if v := cr.u16(); cr.err == nil && v != checkpointVersion {
 		return nil, fmt.Errorf("nsga2: checkpoint: format version %d, this build reads %d", v, checkpointVersion)
 	}
-	gl, nObj, popSize := cr.u32(), cr.u32(), cr.u32()
+	gl, nObj, auxDim, popSize := cr.u32(), cr.u32(), cr.u32(), cr.u32()
 	seed := int64(cr.u64())
 	_, _ = cr.u64(), cr.u64() // gen, draws
 	_, _ = cr.u64(), cr.u64() // evals, validEvals
@@ -262,6 +301,8 @@ func ReadCheckpointArchive(r io.Reader) (*CheckpointArchive, error) {
 		return nil, fmt.Errorf("nsga2: checkpoint: implausible genome length %d", gl)
 	case nObj == 0 || nObj > 1<<10:
 		return nil, fmt.Errorf("nsga2: checkpoint: implausible objective count %d", nObj)
+	case auxDim > 1<<10:
+		return nil, fmt.Errorf("nsga2: checkpoint: implausible aux dimension %d", auxDim)
 	case popLen == 0 || popLen > popSize || popSize > 1<<24:
 		return nil, fmt.Errorf("nsga2: checkpoint: implausible population %d of %d", popLen, popSize)
 	}
@@ -281,6 +322,7 @@ func ReadCheckpointArchive(r io.Reader) (*CheckpointArchive, error) {
 	arch := &CheckpointArchive{
 		GenomeLen:     int(gl),
 		NumObjectives: int(nObj),
+		AuxDim:        int(auxDim),
 		PopSize:       int(popSize),
 		Seed:          seed,
 	}
@@ -292,10 +334,17 @@ func ReadCheckpointArchive(r io.Reader) (*CheckpointArchive, error) {
 			objs[k] = cr.f64()
 		}
 		violation := cr.f64()
+		var aux []float64
+		if auxDim > 0 {
+			aux = make([]float64, auxDim)
+			for k := range aux {
+				aux[k] = cr.f64()
+			}
+		}
 		if cr.err != nil {
 			return nil, fmt.Errorf("nsga2: checkpoint: truncated cache at entry %d of %d: %w", i, cacheLen, cr.err)
 		}
-		arch.Entries = append(arch.Entries, ArchiveEntry{Genome: key, Objs: objs, Violation: violation})
+		arch.Entries = append(arch.Entries, ArchiveEntry{Genome: key, Objs: objs, Violation: violation, Aux: aux})
 	}
 	want := cr.crc
 	stored := cr.u32()
@@ -310,14 +359,16 @@ func ReadCheckpointArchive(r io.Reader) (*CheckpointArchive, error) {
 
 // VisitArchive calls fn for every distinct evaluated genotype in
 // insertion order — the same sequence Result's Archive reports, but
-// without detaching copies. The slices alias engine-owned state:
+// without detaching copies. aux is the entry's auxiliary payload
+// (nil when Config.AuxLen is zero or the entry was not resumed from
+// a checkpoint carrying one). The slices alias engine-owned state:
 // callers must not mutate or retain them past fn's return. Problems
 // resuming from a checkpoint use this to rebuild evaluation-derived
 // side state (e.g. core's metric cache) without re-running the GA.
-func (e *Engine) VisitArchive(fn func(genome []byte, objs []float64, violation float64)) {
+func (e *Engine) VisitArchive(fn func(genome []byte, objs []float64, violation float64, aux []float64)) {
 	for i := range e.cache.entries {
 		ent := &e.cache.entries[i]
-		fn(ent.key, ent.objs, ent.violation)
+		fn(ent.key, ent.objs, ent.violation, ent.aux)
 	}
 }
 

@@ -192,6 +192,144 @@ func TestCheckpointRejectsMismatch(t *testing.T) {
 	})
 }
 
+// encodeV1Checkpoint renders engine-shaped state in the retired v1
+// layout (no auxDim header field, no per-entry aux payload), with a
+// correct CRC — the version-skew probe needs a stream that is wrong
+// ONLY in its version.
+func encodeV1Checkpoint(e *Engine) []byte {
+	var buf bytes.Buffer
+	cw := &crcWriter{w: &buf}
+	cw.bytes(checkpointMagic[:])
+	cw.u16(1)
+	cw.u32(uint32(e.gl))
+	cw.u32(uint32(e.nObj))
+	cw.u32(uint32(e.size))
+	cw.u64(uint64(e.cfg.Seed))
+	cw.u64(uint64(e.gen))
+	cw.u64(e.src.n)
+	cw.u64(uint64(e.evals))
+	cw.u64(uint64(e.validEvals))
+	cw.u32(uint32(len(e.pop)))
+	for i := range e.pop {
+		cw.bytes(e.pop[i].Genome)
+		cw.u32(uint32(e.pop[i].Rank))
+		cw.f64(e.pop[i].Crowding)
+	}
+	cw.u64(uint64(len(e.cache.entries)))
+	for i := range e.cache.entries {
+		ent := &e.cache.entries[i]
+		cw.bytes(ent.key)
+		for _, o := range ent.objs {
+			cw.f64(o)
+		}
+		cw.f64(ent.violation)
+	}
+	cw.u32(cw.crc)
+	return buf.Bytes()
+}
+
+// TestCheckpointVersionSkew pins the cross-version contract: a PR
+// 5-era (v1) checkpoint fed to the current decoder must produce a
+// descriptive unsupported-version error — no panic, no silent parse
+// of the shifted layout — through both ResumeEngine and the
+// standalone archive reader.
+func TestCheckpointVersionSkew(t *testing.T) {
+	p := ckptProblem(16)
+	cfg := Config{PopSize: 12, Generations: 8, Seed: 3}
+	e, err := NewEngine(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Step()
+	old := encodeV1Checkpoint(e)
+
+	_, err = ResumeEngine(p, cfg, bytes.NewReader(old))
+	if err == nil {
+		t.Fatal("ResumeEngine accepted a v1 checkpoint")
+	}
+	if want := "format version 1, this build reads 2"; !bytes.Contains([]byte(err.Error()), []byte(want)) {
+		t.Fatalf("ResumeEngine error %q does not describe the version skew (want substring %q)", err, want)
+	}
+	_, err = ReadCheckpointArchive(bytes.NewReader(old))
+	if err == nil {
+		t.Fatal("ReadCheckpointArchive accepted a v1 checkpoint")
+	}
+	if want := "format version 1, this build reads 2"; !bytes.Contains([]byte(err.Error()), []byte(want)) {
+		t.Fatalf("ReadCheckpointArchive error %q does not describe the version skew (want substring %q)", err, want)
+	}
+}
+
+// TestCheckpointAuxRoundTrip pins the v2 aux payload: AuxFill's
+// values come back bit-exactly through both the resumed engine's
+// archive and the standalone reader, and an aux-dimension mismatch
+// between file and config fails loudly.
+func TestCheckpointAuxRoundTrip(t *testing.T) {
+	p := ckptProblem(12)
+	cfg := Config{PopSize: 12, Generations: 6, Seed: 7, AuxLen: 2,
+		AuxFill: func(genome []byte, aux []float64) {
+			aux[0] = float64(countOnes(genome))
+			aux[1] = -float64(len(genome))
+		}}
+	e, err := NewEngine(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Step()
+	var buf bytes.Buffer
+	if err := e.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	arch, err := ReadCheckpointArchive(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arch.AuxDim != 2 {
+		t.Fatalf("AuxDim = %d, want 2", arch.AuxDim)
+	}
+	for i, ent := range arch.Entries {
+		if len(ent.Aux) != 2 || ent.Aux[0] != float64(countOnes(ent.Genome)) || ent.Aux[1] != -float64(len(ent.Genome)) {
+			t.Fatalf("entry %d aux = %v, not the AuxFill payload", i, ent.Aux)
+		}
+	}
+
+	// A resumed engine carries the payload through VisitArchive and
+	// re-encodes it byte-identically without AuxFill's help.
+	cfgNoFill := cfg
+	cfgNoFill.AuxFill = nil
+	resumed, err := ResumeEngine(p, cfgNoFill, bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	resumed.VisitArchive(func(genome []byte, objs []float64, violation float64, aux []float64) {
+		if len(aux) != 2 || aux[0] != float64(countOnes(genome)) || aux[1] != -float64(len(genome)) {
+			t.Fatalf("resumed aux = %v, not the AuxFill payload", aux)
+		}
+		n++
+	})
+	if n != len(arch.Entries) {
+		t.Fatalf("resumed archive has %d entries, file has %d", n, len(arch.Entries))
+	}
+	var buf2 bytes.Buffer
+	if err := resumed.WriteCheckpoint(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, buf2.Bytes()) {
+		t.Fatal("aux payload does not re-encode byte-identically across a resume")
+	}
+
+	// Dimension mismatch: same file, config expecting a different aux
+	// length.
+	cfgMismatch := cfg
+	cfgMismatch.AuxLen = 0
+	cfgMismatch.AuxFill = nil
+	if _, err := ResumeEngine(p, cfgMismatch, bytes.NewReader(raw)); err == nil {
+		t.Fatal("aux-dimension mismatch accepted")
+	}
+}
+
 // TestVisitArchiveMatchesResult pins VisitArchive to the Result
 // archive: same genomes, same insertion order, same verdicts.
 func TestVisitArchiveMatchesResult(t *testing.T) {
@@ -204,7 +342,7 @@ func TestVisitArchiveMatchesResult(t *testing.T) {
 	}
 	res := e.Result()
 	i := 0
-	e.VisitArchive(func(genome []byte, objs []float64, violation float64) {
+	e.VisitArchive(func(genome []byte, objs []float64, violation float64, aux []float64) {
 		if i >= len(res.Archive) {
 			t.Fatalf("VisitArchive yields more than the %d archived entries", len(res.Archive))
 		}
@@ -241,18 +379,58 @@ func FuzzSnapshotDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte("WACKPT"))
 	huge := append([]byte(nil), good...)
-	// Claim an enormous cache length to probe allocation bombs.
-	for i := 0; i < 8 && len(good) > 60+i; i++ {
-		huge[52+i] = 0xff
+	// Claim implausible counters (v2 header: validEvals at 56..63) to
+	// probe the plausibility bounds.
+	for i := 0; i < 8 && len(huge) > 64+i; i++ {
+		huge[56+i] = 0xff
 	}
 	f.Add(huge)
+	// Claim an enormous cache length to probe allocation bombs: the
+	// v2 cache header sits after the 68-byte file header and the
+	// popLen x (genomeLen + 4 + 8)-byte population section.
+	bomb := append([]byte(nil), good...)
+	cacheOff := 68 + e.size*(e.gl+12)
+	for i := 0; i < 8 && len(bomb) > cacheOff+8+i; i++ {
+		bomb[cacheOff+i] = 0xff
+	}
+	f.Add(bomb)
+	// The retired v1 layout (version field says 1, no auxDim, no aux
+	// payload) must be rejected on its version, never misparsed.
+	eV1, err := NewEngine(p, cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	eV1.Step()
+	f.Add(encodeV1Checkpoint(eV1))
+	// An aux-bearing v2 stream seeds the aux-section decode paths.
+	cfgAux := cfg
+	cfgAux.AuxLen = 3
+	cfgAux.AuxFill = func(genome []byte, aux []float64) {
+		aux[0] = float64(countOnes(genome))
+	}
+	eAux, err := NewEngine(p, cfgAux)
+	if err != nil {
+		f.Fatal(err)
+	}
+	eAux.Step()
+	var bufAux bytes.Buffer
+	if err := eAux.WriteCheckpoint(&bufAux); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(bufAux.Bytes())
 
 	f.Fuzz(func(t *testing.T, raw []byte) {
-		eng, err := ResumeEngine(p, cfg, bytes.NewReader(raw))
-		if err != nil {
-			return
+		// Both the aux-free and the aux-bearing configurations must
+		// survive arbitrary input: resume cleanly or error, never
+		// panic, never hang.
+		for _, c := range []Config{cfg, cfgAux} {
+			eng, err := ResumeEngine(p, c, bytes.NewReader(raw))
+			if err != nil {
+				continue
+			}
+			// A decodable checkpoint must yield a steppable engine.
+			eng.Step()
 		}
-		// A decodable checkpoint must yield a steppable engine.
-		eng.Step()
+		_, _ = ReadCheckpointArchive(bytes.NewReader(raw))
 	})
 }

@@ -97,6 +97,32 @@ type Engine struct {
 	rest     []int
 	oSort    objSorter
 	cSort    crowdSorter
+
+	// Sorted-ranking scratch (the ENS path; see buildFrontsSorted):
+	// group ids in dominance-compatible sorted order, per-front
+	// linked-list heads and per-group next links, the per-group unlock
+	// positions and final last-member positions used to reconstruct
+	// the reference front order, and the previous/current front group
+	// lists of the reconstruction sweep. forcePairwise pins the
+	// retained pair-relation path (the property-test oracle and the
+	// NaN fallback) for tests and benchmarks.
+	sGroups       []int32
+	gFrontOf      []int32
+	gHead         []int32
+	gNext         []int32
+	gP            []int32
+	gLastPos      []int32
+	gPrevF        []int32
+	gCurF         []int32
+	gSortLex      lexSorter
+	gSortPos      posSorter
+	fSort         frontSorter
+	forcePairwise bool
+
+	// Instrumentation counters (see Stats).
+	cacheHits int64
+	warmHits  int64
+	relations int64
 }
 
 // offMeta is one offspring's variation-pipeline record: the genomes
@@ -238,6 +264,7 @@ func newEngineArena(p Problem, cfg Config) (*Engine, error) {
 	}
 	e.gTable = make([]int32, gt)
 	e.gMask = uint64(gt - 1)
+	e.ensureSortScratch(2 * P)
 	e.rng, e.src = newCountedRNG(cfg.Seed)
 	if dp, ok := p.(DeltaProblem); ok {
 		e.deltaP = dp
@@ -350,13 +377,16 @@ func (e *Engine) evaluateBatch(genomes [][]byte, meta []offMeta, out []Individua
 	e.jobGene = e.jobGene[:0]
 	for gi, g := range genomes {
 		idx, ok := e.cache.lookup(g)
-		if !ok {
+		if ok {
+			e.cacheHits++
+		} else {
 			idx = e.cache.insert(g)
 			if e.cfg.WarmLookup != nil {
 				if objs, viol, warm := e.cfg.WarmLookup(g); warm {
 					// Warm hit: the entry is resolved without any
 					// evaluation work; counters and archive order are
 					// untouched.
+					e.warmHits++
 					ent := &e.cache.entries[idx]
 					ent.objs, ent.violation = objs, viol
 					e.entryIdx = append(e.entryIdx, idx)
@@ -584,18 +614,68 @@ func (e *Engine) surviveInto(m []Individual) []Individual {
 // dominated lists produce.
 func (e *Engine) rankAndCrowd(m []Individual) [][]int {
 	n, mo := len(m), e.nObj
+	clean := true
 	for i := 0; i < n; i++ {
 		v := m[i].Violation
 		e.viol[i] = v
 		e.feas[i] = v == 0
+		if v != v {
+			clean = false
+		}
 		row := e.objsFlat[i*mo : (i+1)*mo]
 		c := copy(row, m[i].Objs)
 		for k := c; k < mo; k++ {
 			row[k] = 0
 		}
-		e.domCount[i] = 0
+		for _, x := range row {
+			if x != x {
+				clean = false
+			}
+		}
 	}
 	G := e.groupIndividuals(n)
+
+	// Per-group member lists (counting sort; members ascend within a
+	// group because individuals are scanned in index order). Both
+	// front builders consume them.
+	e.gmStart[0] = 0
+	for g := 0; g < G; g++ {
+		e.gmStart[g+1] = e.gmStart[g] + e.gSize[g]
+		e.gCur[g] = e.gmStart[g]
+	}
+	for i := 0; i < n; i++ {
+		g := e.groupOf[i]
+		e.gMembers[e.gCur[g]] = int32(i)
+		e.gCur[g]++
+	}
+
+	// The ENS sort-based builder needs the lexicographic pre-sort's
+	// "dominator sorts first" invariant, which NaN payloads break; the
+	// pair-relation builder (also the property-test oracle) compares
+	// NaN exactly like the reference, so it stays the fallback.
+	if clean && !e.forcePairwise {
+		e.buildFrontsSorted(n, G)
+	} else {
+		e.buildFrontsPairwise(n, G)
+	}
+	for rank, front := range e.fronts {
+		for _, i := range front {
+			m[i].Rank = rank
+		}
+		e.assignCrowdingScratch(m, front)
+	}
+	return e.fronts
+}
+
+// buildFrontsPairwise is the retained pair-relation front builder: an
+// all-pairs relation pass over the group representatives followed by
+// the classic domination-count peel. It is the oracle the sort-based
+// builder is property-tested against and the fallback for populations
+// carrying NaN objectives or violations.
+func (e *Engine) buildFrontsPairwise(n, G int) {
+	for i := 0; i < n; i++ {
+		e.domCount[i] = 0
+	}
 
 	// Group-representative relation pass: one early-exiting objective
 	// comparison per unordered group pair.
@@ -614,19 +694,7 @@ func (e *Engine) rankAndCrowd(m []Individual) [][]int {
 		}
 	}
 
-	// Per-group member lists (counting sort; members ascend within a
-	// group because individuals are scanned in index order) and the
-	// expanded per-individual domination counts.
-	e.gmStart[0] = 0
-	for g := 0; g < G; g++ {
-		e.gmStart[g+1] = e.gmStart[g] + e.gSize[g]
-		e.gCur[g] = e.gmStart[g]
-	}
-	for i := 0; i < n; i++ {
-		g := e.groupOf[i]
-		e.gMembers[e.gCur[g]] = int32(i)
-		e.gCur[g]++
-	}
+	// Expanded per-individual domination counts.
 	for a := 0; a < G; a++ {
 		sz := e.gSize[a]
 		for _, b := range e.gDom[a] {
@@ -672,13 +740,161 @@ func (e *Engine) rankAndCrowd(m []Individual) [][]int {
 		e.fronts = append(e.fronts, fb[start:end:end])
 		start = end
 	}
-	for rank, front := range e.fronts {
-		for _, i := range front {
-			m[i].Rank = rank
-		}
-		e.assignCrowdingScratch(m, front)
+}
+
+// ensureSortScratch sizes the ENS path's scratch for populations up to
+// n. NewEngine pre-sizes it for 2*PopSize; hand-built test engines hit
+// the lazy growth instead.
+func (e *Engine) ensureSortScratch(n int) {
+	if cap(e.sGroups) >= n {
+		return
 	}
-	return e.fronts
+	e.sGroups = make([]int32, 0, n)
+	e.gFrontOf = make([]int32, n)
+	e.gHead = make([]int32, n)
+	e.gNext = make([]int32, n)
+	e.gP = make([]int32, n)
+	e.gLastPos = make([]int32, n)
+	e.gPrevF = make([]int32, 0, n)
+	e.gCurF = make([]int32, 0, n)
+}
+
+// buildFrontsSorted is the ENS-style sort-based front builder. It
+// replaces the all-pairs relation pass with a lexicographic pre-sort
+// of the duplicate-group representatives — feasible groups ascending
+// by objective vector, then infeasible groups ascending by violation —
+// under which every dominator sorts strictly before everything it
+// dominates (Deb dominance implies componentwise <= with one strict,
+// hence lexicographic <; smaller violation sorts first; feasible
+// always precedes infeasible). Groups are then inserted in sorted
+// order: a group joins the first front none of whose already-inserted
+// groups dominates it, which by transitivity equals 1 + the maximum
+// front of its dominators — the reference front assignment. Infeasible
+// groups need no comparisons at all: ascending violation runs map to
+// consecutive fronts after every feasible front.
+//
+// Front membership alone does not fix the reference's member ORDER, so
+// a reconstruction sweep rebuilds it per front: an individual enters
+// front f+1 the moment the last member of its last dominator group in
+// front f is processed, so sorting front f+1's individuals by (that
+// dominator position, own index) reproduces the reference's
+// zero-batch append order exactly. The position is found by scanning
+// front f's groups in descending last-member position and stopping at
+// the first dominator. Front 0 and every infeasible front unlock
+// uniformly, i.e. ascend by index. The pair-relation oracle
+// (buildFrontsPairwise) pins all of this bit-for-bit in the property
+// tests.
+func (e *Engine) buildFrontsSorted(n, G int) {
+	e.ensureSortScratch(n)
+	sg := e.sGroups[:0]
+	for g := 0; g < G; g++ {
+		sg = append(sg, int32(g))
+	}
+	e.gSortLex.e, e.gSortLex.ids = e, sg
+	sort.Sort(&e.gSortLex)
+	e.gSortLex.e, e.gSortLex.ids = nil, nil
+
+	// Feasible prefix: sequential-search ENS insertion.
+	numFronts := 0
+	k := 0
+	for ; k < len(sg); k++ {
+		g := int(sg[k])
+		rg := int(e.gRep[g])
+		if !e.feas[rg] {
+			break
+		}
+		f := 0
+		for ; f < numFronts; f++ {
+			dominated := false
+			for h := e.gHead[f]; h >= 0; h = e.gNext[h] {
+				if e.relation(int(e.gRep[h]), rg) == 1 {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				break
+			}
+		}
+		if f == numFronts {
+			e.gHead[numFronts] = -1
+			numFronts++
+		}
+		e.gFrontOf[g] = int32(f)
+		e.gNext[g] = e.gHead[f]
+		e.gHead[f] = int32(g)
+	}
+	nf := numFronts // number of feasible fronts
+
+	// Infeasible suffix: one front per distinct violation value,
+	// ascending, strictly after every feasible front.
+	for prev := 0.0; k < len(sg); k++ {
+		g := int(sg[k])
+		v := e.viol[e.gRep[g]]
+		if numFronts == nf || v > prev {
+			e.gHead[numFronts] = -1
+			numFronts++
+		}
+		prev = v
+		f := numFronts - 1
+		e.gFrontOf[g] = int32(f)
+		e.gNext[g] = e.gHead[f]
+		e.gHead[f] = int32(g)
+	}
+
+	// Reconstruction sweep: finalize each front's member order, then
+	// stage its groups (descending last-member position) as the next
+	// front's dominator scan order.
+	fb := e.frontBuf[:0]
+	e.fronts = e.fronts[:0]
+	prevG := e.gPrevF[:0]
+	for f := 0; f < numFronts; f++ {
+		cur := e.gCurF[:0]
+		for h := e.gHead[f]; h >= 0; h = e.gNext[h] {
+			cur = append(cur, h)
+		}
+		if f == 0 || f >= nf {
+			// Front 0 has no dominators; an infeasible front is
+			// dominated by EVERY group of the previous front, so its
+			// members all unlock at that front's final position.
+			// Either way the order is ascending index.
+			for _, g := range cur {
+				e.gP[g] = 0
+			}
+		} else {
+			for _, g := range cur {
+				rg := int(e.gRep[g])
+				var P int32
+				for _, d := range prevG {
+					if e.relation(int(e.gRep[d]), rg) == 1 {
+						P = e.gLastPos[d]
+						break
+					}
+				}
+				e.gP[g] = P
+			}
+		}
+		start := len(fb)
+		for _, g := range cur {
+			for _, j := range e.gMembers[e.gmStart[g]:e.gmStart[g+1]] {
+				fb = append(fb, int(j))
+			}
+		}
+		seg := fb[start:len(fb):len(fb)]
+		e.fSort.e, e.fSort.idx = e, seg
+		sort.Sort(&e.fSort)
+		e.fSort.e, e.fSort.idx = nil, nil
+		e.fronts = append(e.fronts, seg)
+		if f+1 < nf {
+			for pos, i := range seg {
+				e.gLastPos[e.groupOf[i]] = int32(pos)
+			}
+			prevG = append(e.gPrevF[:0], cur...)
+			e.gSortPos.e, e.gSortPos.ids = e, prevG
+			sort.Sort(&e.gSortPos)
+			e.gSortPos.e, e.gSortPos.ids = nil, nil
+		}
+	}
 }
 
 // groupIndividuals partitions the first n scratch rows into duplicate
@@ -746,6 +962,7 @@ func (e *Engine) sameVector(a, b int) bool {
 // Exactly equivalent to evaluating the reference dominates in both
 // directions.
 func (e *Engine) relation(i, j int) int {
+	e.relations++
 	fi, fj := e.feas[i], e.feas[j]
 	if fi != fj {
 		if fi {
@@ -859,6 +1076,117 @@ func (s *crowdSorter) Less(a, b int) bool {
 	return s.ind[s.idx[a]].Crowding > s.ind[s.idx[b]].Crowding
 }
 func (s *crowdSorter) Swap(a, b int) { s.idx[a], s.idx[b] = s.idx[b], s.idx[a] }
+
+// lexSorter orders group ids so that any dominator sorts strictly
+// before everything it dominates: feasible groups first, ascending by
+// lexicographic objective vector, then infeasible groups ascending by
+// violation; exact numeric ties fall back to first-seen group order,
+// giving a deterministic total order. Correct only for NaN-free
+// populations (rankAndCrowd guards).
+type lexSorter struct {
+	e   *Engine
+	ids []int32
+}
+
+func (s *lexSorter) Len() int { return len(s.ids) }
+func (s *lexSorter) Less(a, b int) bool {
+	e := s.e
+	ga, gb := s.ids[a], s.ids[b]
+	ra, rb := int(e.gRep[ga]), int(e.gRep[gb])
+	fa, fb := e.feas[ra], e.feas[rb]
+	if fa != fb {
+		return fa
+	}
+	if !fa {
+		va, vb := e.viol[ra], e.viol[rb]
+		if va != vb {
+			return va < vb
+		}
+		return ga < gb
+	}
+	mo := e.nObj
+	oa := e.objsFlat[ra*mo : (ra+1)*mo]
+	ob := e.objsFlat[rb*mo : (rb+1)*mo]
+	for k := 0; k < mo; k++ {
+		if oa[k] != ob[k] {
+			return oa[k] < ob[k]
+		}
+	}
+	return ga < gb
+}
+func (s *lexSorter) Swap(a, b int) { s.ids[a], s.ids[b] = s.ids[b], s.ids[a] }
+
+// posSorter orders a front's group ids by descending final
+// last-member position, the scan order of the next front's unlock-
+// position search. Positions are distinct, so the order is strict.
+type posSorter struct {
+	e   *Engine
+	ids []int32
+}
+
+func (s *posSorter) Len() int { return len(s.ids) }
+func (s *posSorter) Less(a, b int) bool {
+	return s.e.gLastPos[s.ids[a]] > s.e.gLastPos[s.ids[b]]
+}
+func (s *posSorter) Swap(a, b int) { s.ids[a], s.ids[b] = s.ids[b], s.ids[a] }
+
+// frontSorter orders one front's individuals by (unlock position,
+// index): the previous-front position after which the individual's
+// domination count reaches zero, then ascending index within the
+// batch — the reference append order.
+type frontSorter struct {
+	e   *Engine
+	idx []int
+}
+
+func (s *frontSorter) Len() int { return len(s.idx) }
+func (s *frontSorter) Less(a, b int) bool {
+	e := s.e
+	ia, ib := s.idx[a], s.idx[b]
+	pa, pb := e.gP[e.groupOf[ia]], e.gP[e.groupOf[ib]]
+	if pa != pb {
+		return pa < pb
+	}
+	return ia < ib
+}
+func (s *frontSorter) Swap(a, b int) { s.idx[a], s.idx[b] = s.idx[b], s.idx[a] }
+
+// Stats is a snapshot of the engine's instrumentation counters: how
+// evaluations were served (dedup cache, warm lookup, or the problem's
+// kernels, split by path when the problem implements StatsProblem) and
+// how many pairwise dominance relations the ranking compared. The
+// counters observe the new incremental paths' engagement; they are NOT
+// part of the reproducibility contract — kernel-path splits depend on
+// worker scheduling and warm-cache state.
+type Stats struct {
+	// Evaluations and CacheHits mirror the run counters: total genome
+	// evaluations requested, and how many were served by the dedup
+	// cache without touching the problem.
+	Evaluations int64
+	CacheHits   int64
+	// WarmHits counts cache misses short-circuited by Config.WarmLookup.
+	WarmHits int64
+	// RelationsCompared counts Deb-dominance pair comparisons across
+	// both front builders.
+	RelationsCompared int64
+	// Eval is the problem-side kernel-path split, zero-valued when the
+	// problem does not implement StatsProblem.
+	Eval EvalStats
+}
+
+// Stats returns the engine's instrumentation counters.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		Evaluations:       int64(e.evals),
+		CacheHits:         e.cacheHits,
+		WarmHits:          e.warmHits,
+		RelationsCompared: e.relations,
+	}
+	if sp, ok := e.p.(StatsProblem); ok {
+		s.Eval = sp.EvalStats()
+	}
+	return s
+}
 
 // Snapshot captures the engine's evolutionary state — the ranked
 // population and the PRNG position — so Restore can rewind and replay

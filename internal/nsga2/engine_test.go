@@ -92,29 +92,38 @@ func TestRankAndCrowdMatchesReference(t *testing.T) {
 			assignCrowding(ref, front)
 		}
 
-		e := scratchEngine(n, m)
-		gotFronts := e.rankAndCrowd(got)
+		// Both builders — the default sort-based one and the retained
+		// pair-relation fallback — must reproduce the reference.
+		for _, pairwise := range []bool{false, true} {
+			copy(got, ref)
+			for i := range got {
+				got[i].Rank, got[i].Crowding = 0, 0
+			}
+			e := scratchEngine(n, m)
+			e.forcePairwise = pairwise
+			gotFronts := e.rankAndCrowd(got)
 
-		if len(gotFronts) != len(refFronts) {
-			return false
-		}
-		for fi := range refFronts {
-			if len(gotFronts[fi]) != len(refFronts[fi]) {
+			if len(gotFronts) != len(refFronts) {
 				return false
 			}
-			for k := range refFronts[fi] {
-				if gotFronts[fi][k] != refFronts[fi][k] {
+			for fi := range refFronts {
+				if len(gotFronts[fi]) != len(refFronts[fi]) {
 					return false
 				}
+				for k := range refFronts[fi] {
+					if gotFronts[fi][k] != refFronts[fi][k] {
+						return false
+					}
+				}
 			}
-		}
-		for i := range ref {
-			if got[i].Rank != ref[i].Rank {
-				return false
-			}
-			if got[i].Crowding != ref[i].Crowding &&
-				!(math.IsInf(got[i].Crowding, 1) && math.IsInf(ref[i].Crowding, 1)) {
-				return false
+			for i := range ref {
+				if got[i].Rank != ref[i].Rank {
+					return false
+				}
+				if got[i].Crowding != ref[i].Crowding &&
+					!(math.IsInf(got[i].Crowding, 1) && math.IsInf(ref[i].Crowding, 1)) {
+					return false
+				}
 			}
 		}
 		return true

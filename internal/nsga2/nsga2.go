@@ -64,6 +64,25 @@ type DeltaProblem interface {
 	EvaluateDelta(genome, parent1, parent2 []byte, gene int) (objs []float64, violation float64)
 }
 
+// EvalStats is a problem-side split of how evaluations were served:
+// full kernel runs, single-gene delta replays, few-row (near) delta
+// replays off one parent, and two-parent crossover delta replays.
+type EvalStats struct {
+	Full       int64
+	GeneDelta  int64
+	NearDelta  int64
+	CrossDelta int64
+}
+
+// StatsProblem is an optional Problem extension: problems that can
+// distinguish their evaluation kernel paths implement it, and
+// Engine.Stats surfaces the split. Counts are observability only —
+// they may depend on worker scheduling and cache state and are not
+// part of the reproducibility contract.
+type StatsProblem interface {
+	EvalStats() EvalStats
+}
+
 // PerWorkerProblem is the scaling hook for problems whose evaluation
 // benefits from per-goroutine state (scratch buffers, metric shards).
 // When Workers > 1 and the problem implements it, the engine calls
@@ -142,6 +161,19 @@ type Config struct {
 	// evaluation work is skipped. The engine retains the returned objs
 	// slice; the callback must not reuse it.
 	WarmLookup func(genome []byte) (objs []float64, violation float64, ok bool)
+	// AuxLen is the number of auxiliary float64 values serialized per
+	// evaluation-cache entry in checkpoints (format v2): problem-side
+	// state, such as derived metrics, that a resumed run needs without
+	// re-evaluating the genotype. 0 (the default) writes no aux data.
+	// Resuming a checkpoint whose aux dimension differs from AuxLen
+	// fails loudly.
+	AuxLen int
+	// AuxFill, when non-nil and AuxLen > 0, supplies the aux values at
+	// checkpoint-write time: it is called once per cache entry with aux
+	// pre-filled with the entry's retained aux values (NaN when none),
+	// and may overwrite them. Entries the problem has no aux for should
+	// be left untouched. The genome slice must not be retained.
+	AuxFill func(genome []byte, aux []float64)
 	// OnGeneration, when non-nil, observes each generation's
 	// population after survival selection. The Individual slice and
 	// the genome bytes it references alias engine-owned scratch that
@@ -199,6 +231,9 @@ type ArchiveEntry struct {
 	Genome    []byte
 	Objs      []float64
 	Violation float64
+	// Aux carries the checkpoint's per-entry auxiliary values (see
+	// Config.AuxLen); nil when the source carries none.
+	Aux []float64
 }
 
 // Feasible reports whether the archived genotype was valid.
