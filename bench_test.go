@@ -22,6 +22,8 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/core"
+	"repro/internal/crossbar"
+	"repro/internal/energy"
 	"repro/internal/expt"
 	"repro/internal/graph"
 	"repro/internal/nsga2"
@@ -403,6 +405,41 @@ func BenchmarkEvaluateKernel(b *testing.B) {
 	// reaches steady state: the zero-alloc gate measures the kernel,
 	// not first-call buffer growth.
 	ev.EvaluateInto(&out, g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.EvaluateInto(&out, g)
+		if !out.Valid {
+			b.Fatal(out.Reason())
+		}
+	}
+}
+
+// BenchmarkEvaluateKernelCrossbar measures the evaluator's inner loop
+// on the multi-layer crossbar backend: the same kernel as
+// BenchmarkEvaluateKernel driven through the fabric interface with the
+// crossbar's single-lane, overlap-by-destination conflict structure.
+// Gated at 0 allocs/op in CI like the ring kernel — the fabric
+// indirection must not introduce allocations on any backend.
+func BenchmarkEvaluateKernelCrossbar(b *testing.B) {
+	x, err := crossbar.New(crossbar.DefaultConfig(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, err := alloc.NewInstance(x, graph.PaperApp(), graph.PaperMapping(), 1, energy.Default())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev, err := alloc.NewEvaluator(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := alloc.Assign(in, []int{1, 4, 2, 3, 2, 3}, alloc.LeastUsed, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var out alloc.Eval
+	ev.EvaluateInto(&out, g) // warm-up: schedule scratch growth
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -31,6 +31,13 @@
 // violations:
 //
 //	-campaign         run a campaign instead of a single suite
+//	-backends string  comma-separated optical fabric backends: ring,
+//	                  crossbar (default "ring"). With more than one,
+//	                  the campaign sweeps every cell per backend and
+//	                  the artifacts gain a backend column, so one run
+//	                  directly compares ring vs multi-layer crossbar
+//	                  Pareto fronts. Unknown names are rejected up
+//	                  front with exit status 2.
 //	-cellworkers int  cells explored concurrently (default 1)
 //	-reps int         replicate seeds per cell (default 1)
 //	-objsets string   comma-separated objective sets: teb, te, tb
@@ -115,7 +122,8 @@ func main() {
 		seeds   = flag.Int("seeds", 5, "seed count for -exp robustness")
 		workers = flag.Int("workers", 0, "parallel evaluation goroutines (0 = serial; results identical)")
 
-		campaign    = flag.Bool("campaign", false, "run a campaign: the cross product of -nw, -objsets, -workloads and -reps")
+		campaign    = flag.Bool("campaign", false, "run a campaign: the cross product of -backends, -nw, -objsets, -workloads and -reps")
+		backends    = flag.String("backends", "ring", "comma-separated campaign optical fabric backends: ring, crossbar")
 		cellworkers = flag.Int("cellworkers", 1, "campaign cells explored concurrently (results identical)")
 		reps        = flag.Int("reps", 1, "campaign replicate seeds per cell")
 		objsets     = flag.String("objsets", "teb", "comma-separated campaign objective sets: teb, te, tb")
@@ -158,7 +166,7 @@ func main() {
 	var err error
 	conflicting := []string{"exp", "seeds"}
 	if !*campaign {
-		conflicting = []string{"json", "cellworkers", "reps", "objsets", "workloads", "warmstart",
+		conflicting = []string{"json", "backends", "cellworkers", "reps", "objsets", "workloads", "warmstart",
 			"checkpoint-dir", "checkpoint-every", "resume", "halt-after-checkpoints", "warmcache", "stats"}
 	}
 	for _, name := range conflicting {
@@ -181,7 +189,7 @@ func main() {
 	if err == nil {
 		if *campaign {
 			err = runCampaign(campaignOpts{
-				nws: *nws, pop: *pop, gens: *gens, seed: *seed,
+				nws: *nws, backends: *backends, pop: *pop, gens: *gens, seed: *seed,
 				cellWorkers: *cellworkers, evalWorkers: *workers, reps: *reps,
 				objsets: *objsets, workloads: *workloads,
 				jsonPath: *jsonPath, csvPath: *csv, warmStart: *warmstart,
@@ -279,7 +287,7 @@ func writeMemProfile(path string) error {
 
 // campaignOpts carries the campaign-mode flag values.
 type campaignOpts struct {
-	nws                      string
+	nws, backends            string
 	pop, gens                int
 	seed                     int64
 	cellWorkers, evalWorkers int
@@ -315,6 +323,10 @@ func runCampaign(o campaignOpts) error {
 		Stats:                o.stats,
 	}
 	var err error
+	cfg.Backends, err = parseBackends(o.backends)
+	if err != nil {
+		return err
+	}
 	cfg.NWs, err = parseNWs(o.nws)
 	if err != nil {
 		return err
@@ -413,6 +425,26 @@ func writeArtifact(path string, write func(*os.File) error) error {
 		return err
 	}
 	return f.Close()
+}
+
+// parseBackends validates -backends up front: an unknown backend is a
+// usage error (exit status 2), reported before any cell runs.
+func parseBackends(s string) ([]string, error) {
+	known := make(map[string]bool)
+	for _, b := range core.Backends() {
+		known[b] = true
+	}
+	var out []string
+	for _, part := range splitList(s) {
+		if !known[part] {
+			return nil, usageError{fmt.Errorf("unknown backend %q (want one of %s)", part, strings.Join(core.Backends(), ", "))}
+		}
+		out = append(out, part)
+	}
+	if len(out) == 0 {
+		return nil, usageError{fmt.Errorf("no backends in %q", s)}
+	}
+	return out, nil
 }
 
 func parseObjectiveSets(s string) ([]core.ObjectiveSet, error) {

@@ -471,8 +471,8 @@ func (e *Evaluator) evaluateDelta(out *Eval, ent, aux *deltaEntry, key []byte) {
 	}
 
 	// Affected edges: a mutated row, a row that can see a mutated row
-	// in its receiver bank or crosstalk-contributor set (same
-	// propagation direction and overlapping windows, before or after
+	// in its receiver bank or crosstalk-contributor set (same lane
+	// and overlapping windows, before or after
 	// the edit), or a row whose overlap relation with any loaded edge
 	// flipped when windows moved. Everything else has bit-identical
 	// optics inputs and replays the parent's recorded results.
@@ -488,7 +488,7 @@ func (e *Evaluator) evaluateDelta(out *Eval, ent, aux *deltaEntry, key []byte) {
 			continue
 		}
 		aff := d.changedMark[o]
-		dirO := in.paths[o].Dir
+		laneO := in.paths[o].Lane
 		if !aff && d.wchanged[o] {
 			// A shifted window keeps its overlap relations more often
 			// than not, but its Duration() — an input of the laser
@@ -502,7 +502,7 @@ func (e *Evaluator) evaluateDelta(out *Eval, ent, aux *deltaEntry, key []byte) {
 		}
 		if !aff {
 			for _, E := range d.changed {
-				if in.App.Edges[E].VolumeBits <= 0 || in.selfEdge[E] || in.paths[E].Dir != dirO {
+				if in.App.Edges[E].VolumeBits <= 0 || in.selfEdge[E] || in.paths[E].Lane != laneO {
 					continue
 				}
 				if ent.windows[o].Overlaps(ent.windows[E]) || s.Comm[o].Overlaps(s.Comm[E]) {
@@ -513,7 +513,7 @@ func (e *Evaluator) evaluateDelta(out *Eval, ent, aux *deltaEntry, key []byte) {
 		}
 		if !aff && d.wchanged[o] {
 			for q := 0; q < nl; q++ {
-				if q == o || in.App.Edges[q].VolumeBits <= 0 || in.selfEdge[q] || in.paths[q].Dir != dirO {
+				if q == o || in.App.Edges[q].VolumeBits <= 0 || in.selfEdge[q] || in.paths[q].Lane != laneO {
 					continue
 				}
 				if ent.windows[o].Overlaps(ent.windows[q]) != s.Comm[o].Overlaps(s.Comm[q]) {
@@ -523,7 +523,7 @@ func (e *Evaluator) evaluateDelta(out *Eval, ent, aux *deltaEntry, key []byte) {
 			}
 		} else if !aff {
 			for _, q := range d.wchangedLst {
-				if q == o || in.paths[q].Dir != dirO {
+				if q == o || in.paths[q].Lane != laneO {
 					continue
 				}
 				if ent.windows[o].Overlaps(ent.windows[q]) != s.Comm[o].Overlaps(s.Comm[q]) {
@@ -594,12 +594,12 @@ func (e *Evaluator) evaluateDelta(out *Eval, ent, aux *deltaEntry, key []byte) {
 //
 //   - o's activity-window duration bits match aux's (the laser-energy
 //     input, a float subtraction sensitive in the last ulp), and
-//   - for every other statically loaded same-direction edge q, the
+//   - for every other statically loaded same-lane edge q, the
 //     o/q window-overlap relation matches the aux evaluation's, and
 //     every overlapping q's row equals aux's row q.
 //
 // Those inputs determine everything o's optics consume: the receiver
-// bank is the OR of overlapping same-direction rows (a zero row ORs
+// bank is the OR of overlapping same-lane rows (a zero row ORs
 // as a no-op, so counts need no separate check), the inter-crosstalk
 // contributors are a subset of the same overlapping set, and the
 // intra walk uses only o's own row.
@@ -610,10 +610,10 @@ func (e *Evaluator) auxReplayable(o int, aux *deltaEntry, s *sched.Schedule) boo
 	if math.Float64bits(w.End-w.Start) != math.Float64bits(aw.End-aw.Start) {
 		return false
 	}
-	dirO := in.paths[o].Dir
+	laneO := in.paths[o].Lane
 	nl := in.Edges()
 	for q := 0; q < nl; q++ {
-		if q == o || in.App.Edges[q].VolumeBits <= 0 || in.selfEdge[q] || in.paths[q].Dir != dirO {
+		if q == o || in.App.Edges[q].VolumeBits <= 0 || in.selfEdge[q] || in.paths[q].Lane != laneO {
 			continue
 		}
 		ov := w.Overlaps(s.Comm[q])

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/fabric"
 	"repro/internal/phys"
-	"repro/internal/ring"
 	"repro/internal/sched"
 )
 
@@ -147,17 +147,17 @@ func (in *Instance) Evaluate(g Genome) Eval {
 // bankFor builds the receiver-bank state seen by communication e's
 // light: the micro-ring for channel ch at ONI oni is ON when some
 // communication whose activity window overlaps e's (including e
-// itself) is dropping ch at oni on e's waveguide. On bidirectional
-// rings each direction carries its own bank, so counter-propagating
-// receivers never appear in e's view.
-func (in *Instance) bankFor(e int, s *sched.Schedule, sets [][]int) ring.BankState {
+// itself) is dropping ch at oni on e's lane. Each lane carries its
+// own bank (physically separate media), so receivers on other lanes
+// never appear in e's view.
+func (in *Instance) bankFor(e int, s *sched.Schedule, sets [][]int) fabric.BankState {
 	nw := in.Channels()
-	bank := ring.NewBank(in.Ring.Size(), nw)
+	bank := fabric.NewBank(in.fab.Size(), nw)
 	for o := 0; o < in.Edges(); o++ {
 		if in.App.Edges[o].VolumeBits <= 0 || in.selfEdge[o] {
 			continue
 		}
-		if in.paths[o].Dir != in.paths[e].Dir {
+		if in.paths[o].Lane != in.paths[e].Lane {
 			continue
 		}
 		if o != e && !s.Comm[e].Overlaps(s.Comm[o]) {

@@ -331,7 +331,7 @@ func TestEvaluateZeroVolumeEdgeSkipped(t *testing.T) {
 	in := mustInstance(t, 8)
 	app := in.App.Clone()
 	app.Edges[0].VolumeBits = 0
-	r := in.Ring
+	r := in.Fabric()
 	in2, err := NewInstance(r, app, in.Map, 1, energy.Default())
 	if err != nil {
 		t.Fatal(err)
@@ -481,7 +481,7 @@ func TestCrosstalkModeAttribution(t *testing.T) {
 	app := in.App.Clone()
 	app.Edges[3].VolumeBits = 16000 // widen c3's window to force overlap with c2
 	mkEval := func(mode CrosstalkMode) Eval {
-		in2, err := NewInstance(in.Ring, app, in.Map, 1, in.Energy)
+		in2, err := NewInstance(in.Fabric(), app, in.Map, 1, in.Energy)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"math/bits"
 
+	"repro/internal/fabric"
 	"repro/internal/phys"
-	"repro/internal/ring"
 	"repro/internal/sched"
 )
 
@@ -45,7 +45,7 @@ type Evaluator struct {
 	// the conflict kernel (disjointness = word-wise AND) and of the
 	// receiver-bank fill (Bank.OrRow).
 	masks []uint64
-	bank  *ring.Bank
+	bank  *fabric.Bank
 	// berBuf records the per-(edge, reserved channel) BER values of
 	// the optics walk, parallel to setsBuf. The delta kernel replays
 	// them in stream order for edges whose optics inputs did not
@@ -94,7 +94,7 @@ func NewEvaluator(in *Instance) (*Evaluator, error) {
 	if in == nil {
 		return nil, fmt.Errorf("alloc: nil instance")
 	}
-	planner, err := sched.NewPlannerMapped(in.App, in.Map, in.Ring.Size())
+	planner, err := sched.NewPlannerMapped(in.App, in.Map, in.fab.Size())
 	if err != nil {
 		return nil, err
 	}
@@ -108,7 +108,7 @@ func NewEvaluator(in *Instance) (*Evaluator, error) {
 		setsBuf: make([]int, 0, nl*nw),
 		setOff:  make([]int32, nl+1),
 		masks:   make([]uint64, nl*in.maskWords),
-		bank:    ring.NewBank(in.Ring.Size(), nw),
+		bank:    fabric.NewBank(in.fab.Size(), nw),
 		berBuf:  make([]float64, nl*nw),
 		powers:  make([]phys.MilliWatt, 0, nw),
 		commBER: make([]float64, nl),
@@ -140,8 +140,8 @@ func (e *Evaluator) Evaluate(g Genome) Eval {
 // The model is identical to Instance.Evaluate:
 //
 //  1. decode and check the validity rules (every loaded communication
-//     needs at least one wavelength; communications whose ring paths
-//     share a segment and whose activity windows overlap must use
+//     needs at least one wavelength; communications whose fabric paths
+//     share a resource and whose activity windows overlap must use
 //     disjoint wavelength sets),
 //  2. run the analytic time model,
 //  3. assemble the per-window receiver-bank states and walk the
@@ -233,7 +233,7 @@ func (e *Evaluator) decodeMasks() (violation float64, reason failureReason) {
 // waveguide segments must not share wavelengths (the paper's "same
 // wavelength assigned to the same link"). Every shared channel adds
 // to the violation grade. Only the precomputed conflict-neighbor
-// pairs (paths sharing a segment, ascending i < j exactly like the
+// pairs (paths sharing a resource, ascending i < j exactly like the
 // full matrix scan) can trip the rule, and set intersection is a
 // word-wise AND over the mask rows.
 func (e *Evaluator) gradeConflicts(s *sched.Schedule, violation float64, reason failureReason) (float64, failureReason) {
@@ -315,7 +315,7 @@ func (e *Evaluator) opticsInto(out *Eval, s *sched.Schedule) {
 func (e *Evaluator) opticsEdge(out *Eval, ei int, s *sched.Schedule, acc *opticsAccum) {
 	in := e.in
 	nl := in.Edges()
-	par := in.Ring.Config().Params
+	par := in.fab.Params()
 	pv := par.LaserOnDBm
 	p0 := par.LaserOffDBm.MilliWatt()
 
@@ -325,7 +325,7 @@ func (e *Evaluator) opticsEdge(out *Eval, ei int, s *sched.Schedule, acc *optics
 	bers := e.berBuf[e.setOff[ei]:e.setOff[ei+1]]
 	var commBERSum float64
 	for si, ch := range e.sets[ei] {
-		sigLoss := in.Ring.SignalArrivalDB(in.paths[ei], ch, e.bank)
+		sigLoss := in.fab.SignalArrivalDB(in.paths[ei], ch, e.bank)
 		psig := pv.Add(sigLoss).MilliWatt()
 
 		var noise phys.MilliWatt
@@ -335,7 +335,7 @@ func (e *Evaluator) opticsEdge(out *Eval, ei int, s *sched.Schedule, acc *optics
 			if other == ch || !in.Xtalk.intra() {
 				continue
 			}
-			arr, err := in.Ring.ArrivalAlongDB(in.paths[ei], dst, other, ch, e.bank)
+			arr, err := in.fab.ArrivalAlongDB(in.paths[ei], dst, other, ch, e.bank)
 			if err == nil {
 				noise += pv.Add(arr).MilliWatt()
 			}
@@ -348,10 +348,10 @@ func (e *Evaluator) opticsEdge(out *Eval, ei int, s *sched.Schedule, acc *optics
 			if o == ei || e.counts[o] == 0 || in.App.Edges[o].VolumeBits <= 0 || in.selfEdge[o] {
 				continue
 			}
-			// Counter-propagating transfers live on the twin
-			// waveguide and pass a different receiver bank: no
-			// coupling.
-			if in.paths[o].Dir != in.paths[ei].Dir {
+			// Transfers on another lane live on a physically
+			// separate medium and pass a different receiver bank:
+			// no coupling.
+			if in.paths[o].Lane != in.paths[ei].Lane {
 				continue
 			}
 			if !s.Comm[ei].Overlaps(s.Comm[o]) || !in.paths[o].Through(dst) {
@@ -364,7 +364,7 @@ func (e *Evaluator) opticsEdge(out *Eval, ei int, s *sched.Schedule, acc *optics
 					// validity rule); skip defensively.
 					continue
 				}
-				arr, err := in.Ring.ArrivalAlongDB(in.paths[o], dst, other, ch, e.bank)
+				arr, err := in.fab.ArrivalAlongDB(in.paths[o], dst, other, ch, e.bank)
 				if err == nil {
 					noise += pv.Add(arr).MilliWatt()
 				}
@@ -401,7 +401,7 @@ func (e *Evaluator) fillBank(ei int, s *sched.Schedule) {
 		if in.App.Edges[o].VolumeBits <= 0 || in.selfEdge[o] {
 			continue
 		}
-		if in.paths[o].Dir != in.paths[ei].Dir {
+		if in.paths[o].Lane != in.paths[ei].Lane {
 			continue
 		}
 		if o != ei && !s.Comm[ei].Overlaps(s.Comm[o]) {

@@ -28,7 +28,7 @@ type CommBudget struct {
 	// Edge is the communication index; Name its task-graph label.
 	Edge int
 	Name string
-	// SrcCore and DstCore are the mapped ring endpoints; Hops the
+	// SrcCore and DstCore are the mapped fabric endpoints; Hops the
 	// path length.
 	SrcCore, DstCore, Hops int
 	// Window is the activity interval from the schedule.
@@ -85,10 +85,10 @@ func (in *Instance) Explain(g Genome) (*Explanation, error) {
 	for e := range sets {
 		sets[e] = g.ChannelSet(e)
 	}
-	par := in.Ring.Config().Params
+	par := in.fab.Params()
 	pv := par.LaserOnDBm
 	p0 := par.LaserOffDBm.MilliWatt()
-	grid := in.Ring.Config().Grid
+	grid := in.fab.Grid()
 
 	ex := &Explanation{Eval: ev}
 	for e := 0; e < in.Edges(); e++ {
@@ -107,7 +107,7 @@ func (in *Instance) Explain(g Genome) (*Explanation, error) {
 			Window:  ev.Schedule.Comm[e],
 		}
 		for _, ch := range sets[e] {
-			loss := in.Ring.SignalArrivalDB(in.paths[e], ch, bank)
+			loss := in.fab.SignalArrivalDB(in.paths[e], ch, bank)
 			lb := LambdaBudget{
 				Channel:      ch,
 				WavelengthNM: grid.WavelengthNM(ch),
@@ -115,7 +115,7 @@ func (in *Instance) Explain(g Genome) (*Explanation, error) {
 				PathLossDB:   loss,
 			}
 			addTerm := func(from, channel int, intra bool) {
-				arr, err := in.Ring.ArrivalAlongDB(in.paths[from], in.dstCore[e], channel, ch, bank)
+				arr, err := in.fab.ArrivalAlongDB(in.paths[from], in.dstCore[e], channel, ch, bank)
 				if err != nil {
 					return
 				}
@@ -138,7 +138,7 @@ func (in *Instance) Explain(g Genome) (*Explanation, error) {
 				if o == e || len(sets[o]) == 0 || in.App.Edges[o].VolumeBits <= 0 {
 					continue
 				}
-				if in.paths[o].Dir != in.paths[e].Dir {
+				if in.paths[o].Lane != in.paths[e].Lane {
 					continue
 				}
 				if !ev.Schedule.Comm[e].Overlaps(ev.Schedule.Comm[o]) || !in.paths[o].Through(in.dstCore[e]) {

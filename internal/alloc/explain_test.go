@@ -144,7 +144,7 @@ func TestBERTargetModeRaisesEnergyWithCrosstalk(t *testing.T) {
 	in := mustInstance(t, 8)
 	em := in.Energy
 	em.BERTarget = 1e-9
-	in2, err := NewInstance(in.Ring, in.App, in.Map, 1, em)
+	in2, err := NewInstance(in.Fabric(), in.App, in.Map, 1, em)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +178,7 @@ func TestBERTargetStricterCostsMore(t *testing.T) {
 	energyAt := func(target float64) float64 {
 		em := in.Energy
 		em.BERTarget = target
-		in2, err := NewInstance(in.Ring, in.App, in.Map, 1, em)
+		in2, err := NewInstance(in.Fabric(), in.App, in.Map, 1, em)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -201,7 +201,7 @@ func TestBERTargetZeroKeepsFixedTargetModel(t *testing.T) {
 	// anything.
 	em := in.Energy
 	em.BERTarget = 0
-	in2, err := NewInstance(in.Ring, in.App, in.Map, 1, em)
+	in2, err := NewInstance(in.Fabric(), in.App, in.Map, 1, em)
 	if err != nil {
 		t.Fatal(err)
 	}

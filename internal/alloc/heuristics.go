@@ -11,7 +11,8 @@ import (
 // The related-work section of the paper lists the classic static
 // wavelength-assignment heuristics for WDM networks (after Zang et
 // al.): Random, First-Fit, Most-Used and Least-Used. This file
-// implements them for the ring ONoC so the GA has baselines to beat:
+// implements them on the fabric interface so the GA has baselines to
+// beat:
 // given a per-communication wavelength count, each heuristic picks
 // concrete channels while respecting the same validity rule the GA
 // chromosomes are checked against.
@@ -65,7 +66,7 @@ func Assign(in *Instance, counts []int, policy Policy, rng *rand.Rand) (Genome, 
 	if policy == RandomFit && rng == nil {
 		return Genome{}, fmt.Errorf("alloc: random assignment needs a rand source")
 	}
-	p, err := sched.NewPlannerMapped(in.App, in.Map, in.Ring.Size())
+	p, err := sched.NewPlannerMapped(in.App, in.Map, in.fab.Size())
 	if err != nil {
 		return Genome{}, err
 	}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/energy"
+	"repro/internal/fabric"
 	"repro/internal/graph"
 	"repro/internal/ring"
 )
@@ -49,9 +50,10 @@ func (m CrosstalkMode) intra() bool { return m == XtalkBoth || m == XtalkIntraOn
 func (m CrosstalkMode) inter() bool { return m == XtalkBoth || m == XtalkInterOnly }
 
 // Instance binds one wavelength-allocation problem: an application
-// task graph mapped onto a ring ONoC, with the data rate and energy
-// calibration. It precomputes the per-communication ring paths so the
-// GA's evaluation loop does no repeated path construction.
+// task graph mapped onto an optical fabric backend (the ring ONoC,
+// the multi-layer crossbar, ...), with the data rate and energy
+// calibration. It precomputes the per-communication fabric paths so
+// the GA's evaluation loop does no repeated path construction.
 //
 // The mapping may be shared-core (several tasks per core): the
 // evaluation then runs the core-serialized time model, and edges
@@ -59,9 +61,9 @@ func (m CrosstalkMode) inter() bool { return m == XtalkBoth || m == XtalkInterOn
 // optical layer. Injective mappings (the paper's Definition 3)
 // evaluate bit-identically to the original model.
 type Instance struct {
-	Ring *ring.Ring
-	App  *graph.TaskGraph
-	Map  graph.Mapping
+	fab fabric.Fabric
+	App *graph.TaskGraph
+	Map graph.Mapping
 	// BitsPerCycle is B of Eq. 10 (1 in all paper experiments).
 	BitsPerCycle float64
 	// Energy is the bit-energy calibration.
@@ -70,21 +72,21 @@ type Instance struct {
 	// Explain; the zero value is the full physical model.
 	Xtalk CrosstalkMode
 
-	paths    []ring.Path // per edge: src core -> dst core route
-	srcCore  []int       // per edge
-	dstCore  []int       // per edge
-	selfEdge []bool      // per edge: endpoints mapped onto the same core
+	paths    []fabric.Path // per edge: src core -> dst core route
+	srcCore  []int         // per edge
+	dstCore  []int         // per edge
+	selfEdge []bool        // per edge: endpoints mapped onto the same core
 	// pathOverlap[i*Nl+j] caches paths[i].Overlaps(paths[j]) — the
 	// pair relation is fixed at instance construction and sits on the
 	// validity check of every evaluation.
 	pathOverlap []bool
 	// maskWords is the stride of one edge's wavelength bitmask row
-	// (ring.MaskWords of the comb size).
+	// (fabric.MaskWords of the comb size).
 	maskWords int
 	// confStart/confAdj hold the overlap matrix as a CSR adjacency
 	// over edge pairs: confAdj[confStart[i]:confStart[i+1]] lists, in
-	// ascending order, the edges j > i whose ring paths share a
-	// waveguide segment with edge i's — the only pairs the wavelength
+	// ascending order, the edges j > i whose fabric paths share a
+	// waveguide resource with edge i's — the only pairs the wavelength
 	// disjointness rule can reject. The conflict kernel walks this
 	// sparse list instead of the Nl x Nl matrix, so a validity check
 	// costs O(actually-overlapping pairs). Both slices are immutable
@@ -94,8 +96,8 @@ type Instance struct {
 	confAdj   []int32
 	// confSymStart/confSymAdj hold the same overlap relation as a
 	// symmetric CSR adjacency: confSymAdj[confSymStart[i]:confSymStart[i+1]]
-	// lists, in ascending order, every edge j != i whose ring path
-	// shares a waveguide segment with edge i's. The delta kernel walks
+	// lists, in ascending order, every edge j != i whose fabric path
+	// shares a waveguide resource with edge i's. The delta kernel walks
 	// this row to re-grade only the conflict pairs a mutated edge can
 	// touch, in either pair direction.
 	confSymStart []int32
@@ -107,15 +109,18 @@ type Instance struct {
 	evalPool sync.Pool
 }
 
-// NewInstance validates the pieces and precomputes the routes.
-func NewInstance(r *ring.Ring, app *graph.TaskGraph, m graph.Mapping, bitsPerCycle float64, em energy.Model) (*Instance, error) {
-	if r == nil || app == nil {
-		return nil, fmt.Errorf("alloc: nil ring or application")
+// NewInstance validates the pieces and precomputes the routes. f is
+// the optical backend the allocation runs on; any fabric.Fabric
+// implementation works (*ring.Ring and *crossbar.Crossbar ship with
+// the repository).
+func NewInstance(f fabric.Fabric, app *graph.TaskGraph, m graph.Mapping, bitsPerCycle float64, em energy.Model) (*Instance, error) {
+	if f == nil || app == nil {
+		return nil, fmt.Errorf("alloc: nil fabric or application")
 	}
 	if err := app.Validate(); err != nil {
 		return nil, err
 	}
-	if err := m.Validate(app, r.Size()); err != nil {
+	if err := m.Validate(app, f.Size()); err != nil {
 		return nil, err
 	}
 	if bitsPerCycle <= 0 {
@@ -125,12 +130,12 @@ func NewInstance(r *ring.Ring, app *graph.TaskGraph, m graph.Mapping, bitsPerCyc
 		return nil, err
 	}
 	in := &Instance{
-		Ring:         r,
+		fab:          f,
 		App:          app,
 		Map:          m,
 		BitsPerCycle: bitsPerCycle,
 		Energy:       em,
-		paths:        make([]ring.Path, app.NumEdges()),
+		paths:        make([]fabric.Path, app.NumEdges()),
 		srcCore:      make([]int, app.NumEdges()),
 		dstCore:      make([]int, app.NumEdges()),
 		selfEdge:     make([]bool, app.NumEdges()),
@@ -142,11 +147,11 @@ func NewInstance(r *ring.Ring, app *graph.TaskGraph, m graph.Mapping, bitsPerCyc
 		if src == dst {
 			// Shared-core mapping: the transfer stays in the core's
 			// memory and never enters the optical layer.
-			in.paths[ei] = ring.SelfPath(src)
+			in.paths[ei] = fabric.SelfPath(src)
 			in.selfEdge[ei] = true
 			continue
 		}
-		p, err := r.PathBetween(src, dst)
+		p, err := f.PathBetween(src, dst)
 		if err != nil {
 			return nil, fmt.Errorf("alloc: edge %s: %v", e.Name, err)
 		}
@@ -159,7 +164,7 @@ func NewInstance(r *ring.Ring, app *graph.TaskGraph, m graph.Mapping, bitsPerCyc
 			in.pathOverlap[i*nl+j] = in.paths[i].Overlaps(in.paths[j])
 		}
 	}
-	in.maskWords = ring.MaskWords(r.Channels())
+	in.maskWords = fabric.MaskWords(f.Channels())
 	in.confStart = make([]int32, nl+1)
 	var adj []int32
 	for i := 0; i < nl; i++ {
@@ -188,18 +193,18 @@ func NewInstance(r *ring.Ring, app *graph.TaskGraph, m graph.Mapping, bitsPerCyc
 }
 
 // MaskWords returns the per-edge wavelength bitmask stride of this
-// instance's comb (see Genome.MaskInto and ring.MaskWords).
+// instance's comb (see Genome.MaskInto and fabric.MaskWords).
 func (in *Instance) MaskWords() int { return in.maskWords }
 
-// ConflictNeighbors returns the edges j > i whose precomputed ring
-// paths share a waveguide segment with edge i's, in ascending order.
+// ConflictNeighbors returns the edges j > i whose precomputed fabric
+// paths share a waveguide resource with edge i's, in ascending order.
 // The returned slice is shared; callers must not mutate it.
 func (in *Instance) ConflictNeighbors(i int) []int32 {
 	return in.confAdj[in.confStart[i]:in.confStart[i+1]]
 }
 
 // AllConflictNeighbors returns every edge j != i whose precomputed
-// ring path shares a waveguide segment with edge i's, in ascending
+// fabric path shares a waveguide resource with edge i's, in ascending
 // order — the symmetric form of ConflictNeighbors. The returned slice
 // is shared; callers must not mutate it.
 func (in *Instance) AllConflictNeighbors(i int) []int32 {
@@ -224,14 +229,17 @@ func DefaultInstance(nw int) (*Instance, error) {
 	return NewInstance(r, graph.PaperApp(), graph.PaperMapping(), 1, energy.Default())
 }
 
+// Fabric exposes the optical backend the instance was built on.
+func (in *Instance) Fabric() fabric.Fabric { return in.fab }
+
 // Channels returns NW of the underlying comb.
-func (in *Instance) Channels() int { return in.Ring.Channels() }
+func (in *Instance) Channels() int { return in.fab.Channels() }
 
 // Edges returns Nl.
 func (in *Instance) Edges() int { return in.App.NumEdges() }
 
 // Path returns the precomputed route of edge e.
-func (in *Instance) Path(e int) ring.Path { return in.paths[e] }
+func (in *Instance) Path(e int) fabric.Path { return in.paths[e] }
 
 // SrcCore and DstCore return the mapped endpoint cores of edge e.
 func (in *Instance) SrcCore(e int) int { return in.srcCore[e] }

@@ -35,7 +35,7 @@ func refValidity(t *testing.T, in *Instance, g Genome) (violation float64, reaso
 			eff[ei] = 1
 		}
 	}
-	planner, err := sched.NewPlannerMapped(in.App, in.Map, in.Ring.Size())
+	planner, err := sched.NewPlannerMapped(in.App, in.Map, in.Fabric().Size())
 	if err != nil {
 		t.Fatal(err)
 	}

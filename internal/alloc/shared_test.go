@@ -102,7 +102,7 @@ func TestSharedEvaluationSelfEdgesNeedNoWavelengths(t *testing.T) {
 		t.Fatalf("allocation invalid: %s", ev.Reason())
 	}
 	// The makespan must match the core-serialized analytic model.
-	p, err := sched.NewPlannerMapped(in.App, in.Map, in.Ring.Size())
+	p, err := sched.NewPlannerMapped(in.App, in.Map, in.Fabric().Size())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -23,12 +23,22 @@ import (
 	"sync/atomic"
 
 	"repro/internal/alloc"
+	"repro/internal/crossbar"
 	"repro/internal/energy"
+	"repro/internal/fabric"
 	"repro/internal/graph"
 	"repro/internal/nsga2"
 	"repro/internal/pareto"
 	"repro/internal/ring"
 )
+
+// DefaultBackend is the optical fabric a zero Config.Backend selects:
+// the paper's serpentine ring.
+const DefaultBackend = "ring"
+
+// Backends lists the optical fabric backends a Config.Backend may
+// name, in canonical order.
+func Backends() []string { return []string{"ring", "crossbar"} }
 
 // ObjectiveSet selects which of the paper's criteria the GA optimizes
 // simultaneously.
@@ -76,8 +86,14 @@ func (s ObjectiveSet) objectives() ([]alloc.Objective, error) {
 type Config struct {
 	// NW is the number of wavelengths of the comb (required).
 	NW int
+	// Backend names the optical fabric the allocation runs on: "ring"
+	// (the paper's serpentine ring, the default for "") or "crossbar"
+	// (the multi-layer MWSR crossbar of internal/crossbar). Both use
+	// the default 16-core platform; Ring customizes the ring backend
+	// only and is rejected with Backend "crossbar".
+	Backend string
 	// Ring optionally overrides the platform; its Grid.Channels must
-	// equal NW when set.
+	// equal NW when set. Only meaningful for the ring backend.
 	Ring *ring.Config
 	// App and Mapping optionally override the workload. The mapping
 	// may place several tasks on one core (shared-core regime): the
@@ -278,15 +294,7 @@ func NewSharedInstance(cfg Config) (*alloc.Instance, error) {
 	if cfg.NW <= 0 {
 		return nil, fmt.Errorf("core: NW must be positive, got %d", cfg.NW)
 	}
-	rcfg := ring.DefaultConfig(cfg.NW)
-	if cfg.Ring != nil {
-		rcfg = *cfg.Ring
-		if rcfg.Grid.Channels != cfg.NW {
-			return nil, fmt.Errorf("core: ring grid has %d channels, config says NW=%d",
-				rcfg.Grid.Channels, cfg.NW)
-		}
-	}
-	r, err := ring.New(rcfg)
+	f, err := newFabric(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -309,7 +317,30 @@ func NewSharedInstance(cfg Config) (*alloc.Instance, error) {
 	if cfg.Energy != nil {
 		em = *cfg.Energy
 	}
-	return alloc.NewInstance(r, app, m, bpc, em)
+	return alloc.NewInstance(f, app, m, bpc, em)
+}
+
+// newFabric builds the optical backend Config.Backend selects.
+func newFabric(cfg Config) (fabric.Fabric, error) {
+	switch cfg.Backend {
+	case "", "ring":
+		rcfg := ring.DefaultConfig(cfg.NW)
+		if cfg.Ring != nil {
+			rcfg = *cfg.Ring
+			if rcfg.Grid.Channels != cfg.NW {
+				return nil, fmt.Errorf("core: ring grid has %d channels, config says NW=%d",
+					rcfg.Grid.Channels, cfg.NW)
+			}
+		}
+		return ring.New(rcfg)
+	case "crossbar":
+		if cfg.Ring != nil {
+			return nil, fmt.Errorf("core: Ring override is meaningless with the crossbar backend")
+		}
+		return crossbar.New(crossbar.DefaultConfig(cfg.NW))
+	default:
+		return nil, fmt.Errorf("core: unknown backend %q (known: %v)", cfg.Backend, Backends())
+	}
 }
 
 // New validates the configuration and builds the problem.
@@ -319,8 +350,8 @@ func New(cfg Config) (*Problem, error) {
 	}
 	in := cfg.Instance
 	if in != nil {
-		if cfg.Ring != nil || cfg.App != nil || cfg.Mapping != nil || cfg.Energy != nil || cfg.BitsPerCycle != 0 {
-			return nil, fmt.Errorf("core: Instance is mutually exclusive with Ring, App, Mapping, BitsPerCycle and Energy")
+		if cfg.Backend != "" || cfg.Ring != nil || cfg.App != nil || cfg.Mapping != nil || cfg.Energy != nil || cfg.BitsPerCycle != 0 {
+			return nil, fmt.Errorf("core: Instance is mutually exclusive with Backend, Ring, App, Mapping, BitsPerCycle and Energy")
 		}
 		if in.Channels() != cfg.NW {
 			return nil, fmt.Errorf("core: shared instance has %d channels, config says NW=%d",

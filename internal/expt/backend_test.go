@@ -1,0 +1,246 @@
+package expt
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// backendCampaignConfig is a small ring-vs-crossbar comparison sweep.
+func backendCampaignConfig() CampaignConfig {
+	return CampaignConfig{
+		Backends:      []string{"ring", "crossbar"},
+		NWs:           []int{4, 8},
+		ObjectiveSets: []core.ObjectiveSet{core.TimeEnergyBER},
+		Replicates:    1,
+		Pop:           20,
+		Generations:   8,
+		Seed:          7,
+		CellWorkers:   2,
+	}
+}
+
+// TestCampaignBackendSweep runs a full ring-vs-crossbar campaign and
+// checks the comparative artifacts: cells enumerate backend-major,
+// both backends produce Pareto fronts, and the backend column appears
+// in the JSON document, the CSV table and the summary.
+func TestCampaignBackendSweep(t *testing.T) {
+	cfg := backendCampaignConfig()
+	cells := cfg.Cells()
+	if len(cells) != 4 {
+		t.Fatalf("enumerated %d cells, want 4", len(cells))
+	}
+	for i, c := range cells {
+		wantBackend := "ring"
+		if i >= 2 {
+			wantBackend = "crossbar"
+		}
+		if c.Backend != wantBackend {
+			t.Errorf("cell %d backend %q, want %q (backend-major enumeration)", i, c.Backend, wantBackend)
+		}
+	}
+	// Ring cells keep the historical backend-free seed; crossbar cells
+	// derive a distinct one from the extended identity.
+	if cells[0].Seed != cellSeed(7, "ring", 4, core.TimeEnergyBER, "paper", 0) {
+		t.Error("ring cell seed not the historical derivation")
+	}
+	if cells[0].Seed == cells[2].Seed {
+		t.Error("ring and crossbar cells of the same (NW, objs, workload, rep) share a seed")
+	}
+
+	camp, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cr := range camp.Cells {
+		if cr.Err != nil {
+			t.Fatalf("cell %v failed: %v", cr.Cell, cr.Err)
+		}
+		if cr.Result == nil || len(cr.Result.FrontTimeEnergy) == 0 {
+			t.Fatalf("cell %v produced no time-energy front", cr.Cell)
+		}
+		if cr.SimViolations != 0 {
+			t.Fatalf("cell %v: %d simulator violations", cr.Cell, cr.SimViolations)
+		}
+	}
+
+	var j bytes.Buffer
+	if err := WriteCampaignJSON(&j, camp); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Backends []string `json:"backends"`
+		Cells    []struct {
+			Backend string `json:"backend"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal(j.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Backends) != 2 || doc.Backends[0] != "ring" || doc.Backends[1] != "crossbar" {
+		t.Errorf("JSON backends = %v", doc.Backends)
+	}
+	for i, c := range doc.Cells {
+		if c.Backend == "" {
+			t.Errorf("JSON cell %d missing backend column", i)
+		}
+	}
+
+	var cbuf bytes.Buffer
+	if err := WriteCampaignCSV(&cbuf, camp); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&cbuf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows[0]) != 14 || rows[0][1] != "backend" {
+		t.Fatalf("CSV header %v, want a backend column at index 1", rows[0])
+	}
+	seen := map[string]bool{}
+	for _, row := range rows[1:] {
+		seen[row[1]] = true
+	}
+	if !seen["ring"] || !seen["crossbar"] {
+		t.Errorf("CSV rows cover backends %v, want both ring and crossbar", seen)
+	}
+
+	summary := CampaignSummary(camp)
+	if !strings.Contains(summary, "backend") || !strings.Contains(summary, "crossbar") {
+		t.Errorf("summary missing backend column:\n%s", summary)
+	}
+}
+
+// TestRingOnlyCampaignArtifactsUnchanged pins artifact byte-stability
+// for historical campaigns: without a non-default backend, neither
+// artifact may mention backends at all and the CSV keeps its exact
+// pre-backend header.
+func TestRingOnlyCampaignArtifactsUnchanged(t *testing.T) {
+	camp, err := RunCampaign(quickCampaignConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var j, c bytes.Buffer
+	if err := WriteCampaignJSON(&j, camp); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCampaignCSV(&c, camp); err != nil {
+		t.Fatal(err)
+	}
+	for name, buf := range map[string]*bytes.Buffer{"JSON": &j, "CSV": &c} {
+		if strings.Contains(buf.String(), "backend") {
+			t.Errorf("ring-only %s artifact mentions backend", name)
+		}
+	}
+	rows, err := csv.NewReader(bytes.NewReader(c.Bytes())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "cell,workload,objectives,nw,replicate,seed,kind,time_kcc,bit_energy_fj,mean_ber,log10_ber,counts,genome"
+	if got := strings.Join(rows[0], ","); got != want {
+		t.Errorf("ring-only CSV header\n got %s\nwant %s", got, want)
+	}
+	if strings.Contains(CampaignSummary(camp), "backend") {
+		t.Error("ring-only summary mentions backend")
+	}
+}
+
+// TestCampaignRejectsUnknownBackend pins the up-front axis check: a
+// typo'd backend fails before any cell runs.
+func TestCampaignRejectsUnknownBackend(t *testing.T) {
+	cfg := quickCampaignConfig(1)
+	cfg.Backends = []string{"ring", "torus"}
+	if _, err := RunCampaign(cfg); err == nil || !strings.Contains(err.Error(), `unknown campaign backend "torus"`) {
+		t.Fatalf("err = %v, want unknown-backend rejection", err)
+	}
+	cfg.Backends = []string{"ring", "ring"}
+	if _, err := RunCampaign(cfg); err == nil || !strings.Contains(err.Error(), "duplicate campaign backend") {
+		t.Fatalf("err = %v, want duplicate-backend rejection", err)
+	}
+}
+
+// TestResumeRejectsPreBackendManifest proves fail-loud resume against
+// directories written before the backend dimension existed: a
+// hand-built v1 manifest (no backends, v1 schema tag) must be refused
+// with the schema message, never silently assumed to be a ring
+// campaign.
+func TestResumeRejectsPreBackendManifest(t *testing.T) {
+	dir := t.TempDir()
+	v1 := map[string]any{
+		"schema":         "wadate-checkpoint/v1",
+		"nws":            []int{4, 8},
+		"objective_sets": []string{"time+energy+BER", "time+energy"},
+		"workloads":      []string{"paper"},
+		"replicates":     2,
+		"pop":            20,
+		"generations":    8,
+		"seed":           7,
+		"warm_start":     false,
+		"cells":          []any{},
+	}
+	raw, err := json.MarshalIndent(v1, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickCampaignConfig(1)
+	cfg.CheckpointDir = dir
+	cfg.Resume = true
+	_, err = RunCampaign(cfg)
+	if err == nil {
+		t.Fatal("resume accepted a pre-backend (v1) manifest")
+	}
+	if !strings.Contains(err.Error(), `schema "wadate-checkpoint/v1"`) || !strings.Contains(err.Error(), "wadate-checkpoint/v2") {
+		t.Fatalf("err = %v, want the v1-vs-v2 schema message", err)
+	}
+}
+
+// TestManifestCarriesBackendIdentity checks a fresh checkpoint
+// directory records the backend axis: the manifest always names its
+// backends (even a ring-only sweep) and every cell carries its own.
+func TestManifestCarriesBackendIdentity(t *testing.T) {
+	dir := t.TempDir()
+	cfg := quickCampaignConfig(1)
+	cfg.NWs = []int{4}
+	cfg.ObjectiveSets = []core.ObjectiveSet{core.TimeEnergyBER}
+	cfg.Replicates = 1
+	cfg.CheckpointDir = dir
+	if _, err := RunCampaign(cfg); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m manifestJSON
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Schema != manifestSchema {
+		t.Errorf("manifest schema %q, want %q", m.Schema, manifestSchema)
+	}
+	if len(m.Backends) != 1 || m.Backends[0] != "ring" {
+		t.Errorf("manifest backends = %v, want [ring]", m.Backends)
+	}
+	for _, c := range m.Cells {
+		if c.Backend != "ring" {
+			t.Errorf("manifest cell %d backend %q, want ring", c.Index, c.Backend)
+		}
+	}
+	// A crossbar resume against the ring directory must be refused:
+	// the backend axis is part of the identity.
+	cross := cfg
+	cross.Backends = []string{"crossbar"}
+	cross.Resume = true
+	if _, err := RunCampaign(cross); err == nil || !strings.Contains(err.Error(), "different campaign configuration") {
+		t.Fatalf("err = %v, want identity-mismatch rejection", err)
+	}
+}

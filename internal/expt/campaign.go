@@ -22,8 +22,9 @@ import (
 )
 
 // This file implements the campaign layer: large multi-cell
-// experiment sweeps over (comb size x objective set x workload x
-// replicate seed), fanned out across a bounded pool of cell workers.
+// experiment sweeps over (backend x comb size x objective set x
+// workload x replicate seed), fanned out across a bounded pool of
+// cell workers.
 // Cells are completely independent GA runs, so the fan-out scales
 // near-linearly with worker count; per-cell seeds derive from the
 // cell's identity (not from execution order), so a parallel campaign
@@ -109,6 +110,12 @@ const PlatformCores = 16
 // to the paper's evaluation setup with one replicate of the paper
 // workload per comb size.
 type CampaignConfig struct {
+	// Backends lists the optical fabric backends to sweep (default
+	// just "ring", the paper's platform). Adding "crossbar" makes the
+	// campaign compare ring and multi-layer crossbar Pareto fronts on
+	// otherwise identical cells. Ring-only campaigns keep their
+	// historical artifacts and seeds byte-for-byte.
+	Backends []string
 	// NWs lists the comb sizes to sweep (default 4, 8, 12).
 	NWs []int
 	// ObjectiveSets lists the GA criteria combinations (default the
@@ -183,6 +190,9 @@ type CampaignConfig struct {
 }
 
 func (c CampaignConfig) withDefaults() CampaignConfig {
+	if len(c.Backends) == 0 {
+		c.Backends = []string{core.DefaultBackend}
+	}
 	if len(c.NWs) == 0 {
 		c.NWs = []int{4, 8, 12}
 	}
@@ -218,6 +228,9 @@ type Cell struct {
 	// Index is the cell's position in the campaign's deterministic
 	// enumeration order.
 	Index int
+	// Backend names the optical fabric the cell runs on ("ring",
+	// "crossbar").
+	Backend string
 	// NW is the comb size.
 	NW int
 	// Objectives selects the GA criteria.
@@ -231,37 +244,53 @@ type Cell struct {
 	Seed int64
 }
 
-// String renders the cell for progress lines.
+// String renders the cell for progress lines. The default ring
+// backend keeps the historical wording; other backends are named
+// explicitly.
 func (c Cell) String() string {
+	if c.Backend != "" && c.Backend != core.DefaultBackend {
+		return fmt.Sprintf("backend=%s NW=%d obj=%s workload=%s rep=%d", c.Backend, c.NW, c.Objectives, c.Workload, c.Replicate)
+	}
 	return fmt.Sprintf("NW=%d obj=%s workload=%s rep=%d", c.NW, c.Objectives, c.Workload, c.Replicate)
 }
 
 // cellSeed derives a cell's GA seed from the campaign seed and the
 // cell's identity alone. FNV-1a keeps nearby cells decorrelated; the
-// sign bit is cleared so seeds read naturally in reports.
-func cellSeed(base int64, nw int, objs core.ObjectiveSet, workload string, replicate int) int64 {
+// sign bit is cleared so seeds read naturally in reports. Ring cells
+// keep the historical backend-free derivation, so every pre-existing
+// ring campaign reproduces bit-for-bit; other backends extend the
+// identity tuple.
+func cellSeed(base int64, backend string, nw int, objs core.ObjectiveSet, workload string, replicate int) int64 {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%d|%d|%d|%s|%d", base, nw, int(objs), workload, replicate)
+	if backend != core.DefaultBackend {
+		fmt.Fprintf(h, "|%s", backend)
+	}
 	return int64(h.Sum64() & math.MaxInt64)
 }
 
 // Cells enumerates the campaign's cells in deterministic order:
-// workload-major, then objective set, then NW, then replicate.
+// backend-major, then workload, then objective set, then NW, then
+// replicate. Backend outermost keeps a ring-only campaign's cell
+// indices identical to the historical (backend-free) enumeration.
 func (c CampaignConfig) Cells() []Cell {
 	c = c.withDefaults()
 	var cells []Cell
-	for _, wl := range c.Workloads {
-		for _, objs := range c.ObjectiveSets {
-			for _, nw := range c.NWs {
-				for rep := 0; rep < c.Replicates; rep++ {
-					cells = append(cells, Cell{
-						Index:      len(cells),
-						NW:         nw,
-						Objectives: objs,
-						Workload:   wl.Name,
-						Replicate:  rep,
-						Seed:       cellSeed(c.Seed, nw, objs, wl.Name, rep),
-					})
+	for _, backend := range c.Backends {
+		for _, wl := range c.Workloads {
+			for _, objs := range c.ObjectiveSets {
+				for _, nw := range c.NWs {
+					for rep := 0; rep < c.Replicates; rep++ {
+						cells = append(cells, Cell{
+							Index:      len(cells),
+							Backend:    backend,
+							NW:         nw,
+							Objectives: objs,
+							Workload:   wl.Name,
+							Replicate:  rep,
+							Seed:       cellSeed(c.Seed, backend, nw, objs, wl.Name, rep),
+						})
+					}
 				}
 			}
 		}
@@ -486,6 +515,22 @@ func RunCampaign(cfg CampaignConfig) (*Campaign, error) {
 		}
 		byName[wl.Name] = wl
 	}
+	// Backend names must be known up front: a typo'd backend would
+	// otherwise surface as every owning cell failing individually.
+	known := make(map[string]bool, len(core.Backends()))
+	for _, b := range core.Backends() {
+		known[b] = true
+	}
+	seenBackend := make(map[string]bool, len(cfg.Backends))
+	for _, b := range cfg.Backends {
+		if !known[b] {
+			return nil, fmt.Errorf("expt: unknown campaign backend %q (known: %v)", b, core.Backends())
+		}
+		if seenBackend[b] {
+			return nil, fmt.Errorf("expt: duplicate campaign backend %q", b)
+		}
+		seenBackend[b] = true
+	}
 	// Duplicate axis entries would enumerate bit-identical cells
 	// (identical identity tuples, therefore identical seeds) counted
 	// as independent results — reject them like duplicate workloads.
@@ -530,17 +575,19 @@ func RunCampaign(cfg CampaignConfig) (*Campaign, error) {
 		}
 	}
 
-	// Build one shared evaluation instance per (workload, NW) pair up
-	// front: instances are read-only during evaluation, so every
-	// replicate and objective-set cell of a pair reuses the same
-	// precomputed routes, overlap matrix and conflict-neighbor lists.
-	// A failed build surfaces as the owning cells' error, exactly as
-	// a per-cell core.New failure used to.
-	instances := make(map[string]sharedInstance, len(cfg.Workloads)*len(cfg.NWs))
-	for _, wl := range cfg.Workloads {
-		for _, nw := range cfg.NWs {
-			in, err := core.NewSharedInstance(core.Config{NW: nw, App: wl.App, Mapping: wl.Mapping})
-			instances[instanceKey(wl.Name, nw)] = sharedInstance{in: in, err: err}
+	// Build one shared evaluation instance per (backend, workload, NW)
+	// triple up front: instances are read-only during evaluation, so
+	// every replicate and objective-set cell of a triple reuses the
+	// same precomputed routes, overlap matrix and conflict-neighbor
+	// lists. A failed build surfaces as the owning cells' error,
+	// exactly as a per-cell core.New failure used to.
+	instances := make(map[string]sharedInstance, len(cfg.Backends)*len(cfg.Workloads)*len(cfg.NWs))
+	for _, backend := range cfg.Backends {
+		for _, wl := range cfg.Workloads {
+			for _, nw := range cfg.NWs {
+				in, err := core.NewSharedInstance(core.Config{NW: nw, Backend: backend, App: wl.App, Mapping: wl.Mapping})
+				instances[instanceKey(backend, wl.Name, nw)] = sharedInstance{in: in, err: err}
+			}
 		}
 	}
 
@@ -620,7 +667,7 @@ func RunCampaign(cfg CampaignConfig) (*Campaign, error) {
 					}
 				}
 				notifyStart(cell, false)
-				results[i] = runCell(cfg, instances[instanceKey(cell.Workload, cell.NW)], cell, mgr)
+				results[i] = runCell(cfg, instances[instanceKey(cell.Backend, cell.Workload, cell.NW)], cell, mgr)
 				notifyDone(cell, results[i])
 			}
 		}()
@@ -653,8 +700,8 @@ type sharedInstance struct {
 	err error
 }
 
-func instanceKey(workload string, nw int) string {
-	return workload + "|" + strconv.Itoa(nw)
+func instanceKey(backend, workload string, nw int) string {
+	return backend + "|" + workload + "|" + strconv.Itoa(nw)
 }
 
 // runCell executes one exploration with the cell's derived seed on
@@ -802,7 +849,10 @@ func simCheck(in *alloc.Instance, res *core.Result) (checked, violations, bracke
 // campaign configuration always produces byte-identical artifacts —
 // diffable and cacheable.
 type campaignJSON struct {
-	Schema        string     `json:"schema"`
+	Schema string `json:"schema"`
+	// Backends is only emitted when the campaign sweeps a non-default
+	// backend: ring-only campaigns keep the historical artifact bytes.
+	Backends      []string   `json:"backends,omitempty"`
 	NWs           []int      `json:"nws"`
 	ObjectiveSets []string   `json:"objective_sets"`
 	Workloads     []string   `json:"workloads"`
@@ -815,7 +865,10 @@ type campaignJSON struct {
 }
 
 type cellJSON struct {
-	Index             int         `json:"index"`
+	Index int `json:"index"`
+	// Backend is emitted (on every cell) exactly when the campaign
+	// sweeps a non-default backend.
+	Backend           string      `json:"backend,omitempty"`
 	NW                int         `json:"nw"`
 	Objectives        string      `json:"objectives"`
 	Workload          string      `json:"workload"`
@@ -870,6 +923,10 @@ func WriteCampaignJSON(w io.Writer, c *Campaign) error {
 		Seed:        cfg.Seed,
 		WarmStart:   cfg.WarmStart,
 	}
+	multi := sweepsBackends(cfg)
+	if multi {
+		doc.Backends = cfg.Backends
+	}
 	for _, os := range cfg.ObjectiveSets {
 		doc.ObjectiveSets = append(doc.ObjectiveSets, os.String())
 	}
@@ -887,6 +944,9 @@ func WriteCampaignJSON(w io.Writer, c *Campaign) error {
 			Replicate:  cr.Cell.Replicate,
 			Seed:       cr.Cell.Seed,
 			Error:      a.Error,
+		}
+		if multi {
+			cj.Backend = cr.Cell.Backend
 		}
 		cj.SimChecked = a.SimChecked
 		cj.SimViolations = a.SimViolations
@@ -913,7 +973,7 @@ func WriteCampaignJSON(w io.Writer, c *Campaign) error {
 // table external plotting tools slice by (workload, objectives, nw).
 // Like the JSON artifact, the bytes are deterministic.
 func WriteCampaignCSV(w io.Writer, c *Campaign) error {
-	cw := newCampaignCSV(w)
+	cw := newCampaignCSV(w, sweepsBackends(c.Cfg.withDefaults()))
 	for i := range c.Cells {
 		cr := &c.Cells[i]
 		a := cr.artifact()
@@ -930,21 +990,42 @@ func WriteCampaignCSV(w io.Writer, c *Campaign) error {
 	return cw.flush()
 }
 
+// sweepsBackends reports whether the campaign sweeps any non-default
+// backend — the condition under which the backend column appears in
+// every artifact (ring-only campaigns keep their historical bytes).
+func sweepsBackends(cfg CampaignConfig) bool {
+	for _, b := range cfg.Backends {
+		if b != core.DefaultBackend {
+			return true
+		}
+	}
+	return false
+}
+
 // CampaignSummary renders the per-cell outcome table for the
 // terminal.
 func CampaignSummary(c *Campaign) string {
+	multi := sweepsBackends(c.Cfg.withDefaults())
 	headers := []string{"cell", "workload", "objectives", "NW", "rep", "evals", "valid", "best t (k-cc)", "min E (fJ/bit)", "|front TE|", "|front TB|", "sim viol", "wall"}
+	if multi {
+		headers = append([]string{"cell", "backend"}, headers[1:]...)
+	}
 	var rows [][]string
 	for i := range c.Cells {
 		cr := &c.Cells[i]
 		a := cr.artifact()
 		row := []string{
 			strconv.Itoa(cr.Cell.Index),
+		}
+		if multi {
+			row = append(row, cr.Cell.Backend)
+		}
+		row = append(row,
 			cr.Cell.Workload,
 			cr.Cell.Objectives.String(),
 			strconv.Itoa(cr.Cell.NW),
 			strconv.Itoa(cr.Cell.Replicate),
-		}
+		)
 		wall := cr.Elapsed.Round(time.Millisecond).String()
 		if cr.Restored() {
 			wall = "restored"

@@ -43,7 +43,7 @@ func TestCampaignCellEnumeration(t *testing.T) {
 	other.NWs = []int{8}
 	other.ObjectiveSets = []core.ObjectiveSet{core.TimeEnergy}
 	for _, oc := range other.Cells() {
-		want := cellSeed(7, oc.NW, oc.Objectives, oc.Workload, oc.Replicate)
+		want := cellSeed(7, oc.Backend, oc.NW, oc.Objectives, oc.Workload, oc.Replicate)
 		if oc.Seed != want {
 			t.Errorf("cell %v seed %d, want identity-derived %d", oc, oc.Seed, want)
 		}

@@ -51,8 +51,13 @@ import (
 var ErrCampaignStopped = errors.New("expt: campaign stopped after requested checkpoint count (crash test)")
 
 const (
-	manifestSchema = "wadate-checkpoint/v1"
-	cellDoneSchema = "wadate-cell/v1"
+	// manifestSchema v2 added the backend dimension to the campaign
+	// identity (manifest Backends list and per-cell Backend fields,
+	// both always populated). v1 directories predate the dimension and
+	// cannot prove which fabric produced them, so resume rejects them
+	// fail-loud instead of assuming "ring".
+	manifestSchema = "wadate-checkpoint/v2"
+	cellDoneSchema = "wadate-cell/v2"
 
 	// DefaultCheckpointEvery is the in-flight snapshot cadence (in
 	// generations) used when CheckpointDir is set but CheckpointEvery
@@ -77,7 +82,12 @@ const cellCkptVersion = 1
 // of them would silently compute different numbers, so the manager
 // refuses it instead.
 type manifestJSON struct {
-	Schema        string   `json:"schema"`
+	Schema string `json:"schema"`
+	// Backends is always populated (["ring"] for a default campaign):
+	// unlike the byte-stable JSON/CSV artifacts, the manifest is an
+	// identity record, and an explicit backend list is what lets
+	// resume refuse a directory produced by a different fabric sweep.
+	Backends      []string `json:"backends"`
 	NWs           []int    `json:"nws"`
 	ObjectiveSets []string `json:"objective_sets"`
 	Workloads     []string `json:"workloads"`
@@ -95,6 +105,7 @@ type manifestJSON struct {
 
 type manifestCell struct {
 	Index      int    `json:"index"`
+	Backend    string `json:"backend"`
 	NW         int    `json:"nw"`
 	Objectives string `json:"objectives"`
 	Workload   string `json:"workload"`
@@ -149,6 +160,7 @@ var (
 func buildManifest(cfg CampaignConfig, cells []Cell) manifestJSON {
 	m := manifestJSON{
 		Schema:      manifestSchema,
+		Backends:    cfg.Backends,
 		NWs:         cfg.NWs,
 		Replicates:  cfg.Replicates,
 		Pop:         cfg.Pop,
@@ -172,6 +184,7 @@ func buildManifest(cfg CampaignConfig, cells []Cell) manifestJSON {
 func manifestCellOf(c Cell) manifestCell {
 	return manifestCell{
 		Index:      c.Index,
+		Backend:    c.Backend,
 		NW:         c.NW,
 		Objectives: c.Objectives.String(),
 		Workload:   c.Workload,
@@ -309,9 +322,9 @@ type warmRec struct {
 }
 
 // warmIdentity keys the warm-map cache: replicate siblings share
-// (workload, NW, objective set) and nothing else.
+// (backend, workload, NW, objective set) and nothing else.
 func warmIdentity(c Cell) string {
-	return c.Workload + "|" + fmt.Sprint(c.NW) + "|" + c.Objectives.String()
+	return c.Backend + "|" + c.Workload + "|" + fmt.Sprint(c.NW) + "|" + c.Objectives.String()
 }
 
 // siblingWarmSource returns a cell's warm-cache lookup (the

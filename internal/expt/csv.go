@@ -43,16 +43,23 @@ func WriteSolutionsCSV(w io.Writer, nw int, kind string, sols []core.Solution) e
 // campaignCSVWriter streams the flat campaign table: cell identity
 // columns ahead of the per-solution metric columns. The header is
 // written up front, so even an all-failed campaign yields a
-// well-formed (header-only) table.
+// well-formed (header-only) table. The backend column appears exactly
+// when the campaign sweeps a non-default backend, keeping ring-only
+// tables byte-identical to their historical format.
 type campaignCSVWriter struct {
-	cw  *csv.Writer
-	err error
+	cw      *csv.Writer
+	backend bool
+	err     error
 }
 
-func newCampaignCSV(w io.Writer) *campaignCSVWriter {
-	c := &campaignCSVWriter{cw: csv.NewWriter(w)}
-	c.err = c.cw.Write([]string{"cell", "workload", "objectives", "nw", "replicate", "seed", "kind",
-		"time_kcc", "bit_energy_fj", "mean_ber", "log10_ber", "counts", "genome"})
+func newCampaignCSV(w io.Writer, backend bool) *campaignCSVWriter {
+	c := &campaignCSVWriter{cw: csv.NewWriter(w), backend: backend}
+	header := []string{"cell", "workload", "objectives", "nw", "replicate", "seed", "kind",
+		"time_kcc", "bit_energy_fj", "mean_ber", "log10_ber", "counts", "genome"}
+	if backend {
+		header = append([]string{"cell", "backend"}, header[1:]...)
+	}
+	c.err = c.cw.Write(header)
 	return c
 }
 
@@ -65,8 +72,11 @@ func (c *campaignCSVWriter) writeFront(cell Cell, kind string, recs []solutionRe
 		for i, n := range r.Counts {
 			counts[i] = strconv.Itoa(n)
 		}
-		if err := c.cw.Write([]string{
-			strconv.Itoa(cell.Index),
+		row := []string{strconv.Itoa(cell.Index)}
+		if c.backend {
+			row = append(row, cell.Backend)
+		}
+		if err := c.cw.Write(append(row,
 			cell.Workload,
 			cell.Objectives.String(),
 			strconv.Itoa(cell.NW),
@@ -79,7 +89,7 @@ func (c *campaignCSVWriter) writeFront(cell Cell, kind string, recs []solutionRe
 			fmt.Sprintf("%.4f", core.Metrics{MeanBER: r.MeanBER}.Log10BER()),
 			strings.Join(counts, ";"),
 			r.Genome,
-		}); err != nil {
+		)); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,47 @@
+package fabric
+
+// AreaModel holds per-device footprints in square micrometres, shared
+// by every backend's area accounting.
+type AreaModel struct {
+	// MRUM2 is one micro-ring resonator's footprint (a ~10 um ring
+	// with its tuning pad).
+	MRUM2 float64
+	// LaserUM2 is one on-chip VCSEL.
+	LaserUM2 float64
+	// PhotodetectorUM2 is one germanium photodetector.
+	PhotodetectorUM2 float64
+	// WaveguideWidthUM is the waveguide trace width, multiplied by
+	// the routed length.
+	WaveguideWidthUM float64
+}
+
+// DefaultAreaModel returns typical silicon-photonics footprints.
+func DefaultAreaModel() AreaModel {
+	return AreaModel{
+		MRUM2:            150,
+		LaserUM2:         400,
+		PhotodetectorUM2: 100,
+		WaveguideWidthUM: 0.5,
+	}
+}
+
+// Area summarizes an optical layer's footprint.
+type Area struct {
+	// MRs, Lasers and Photodetectors count devices over the whole
+	// fabric.
+	MRs, Lasers, Photodetectors int
+	// WaveguideCM is the total routed waveguide length.
+	WaveguideCM float64
+	// TotalMM2 is the summed footprint in square millimetres.
+	TotalMM2 float64
+}
+
+// Total evaluates the model over already-counted devices: the shared
+// footprint arithmetic of every backend's Area method.
+func (a *Area) Total(m AreaModel) {
+	deviceUM2 := float64(a.MRs)*m.MRUM2 +
+		float64(a.Lasers)*m.LaserUM2 +
+		float64(a.Photodetectors)*m.PhotodetectorUM2
+	waveguideUM2 := a.WaveguideCM * 1e4 * m.WaveguideWidthUM
+	a.TotalMM2 = (deviceUM2 + waveguideUM2) / 1e6
+}

@@ -1,47 +1,24 @@
 package ring
 
+import "repro/internal/fabric"
+
 // The paper closes its Fig. 6(a) discussion with "a growing number of
 // wavelengths increases the area cost". This file makes that remark
 // quantitative with a first-order photonic area model: every ONI
 // carries one receiver micro-ring, one photodetector and one
 // modulating laser per comb channel, and the serpentine waveguide
 // occupies its trace; a bidirectional ring doubles both the waveguide
-// and the per-ONI interfaces.
+// and the per-ONI interfaces. The model types live in the fabric
+// package, shared by every backend.
 
 // AreaModel holds per-device footprints in square micrometres.
-type AreaModel struct {
-	// MRUM2 is one micro-ring resonator's footprint (a ~10 um ring
-	// with its tuning pad).
-	MRUM2 float64
-	// LaserUM2 is one on-chip VCSEL.
-	LaserUM2 float64
-	// PhotodetectorUM2 is one germanium photodetector.
-	PhotodetectorUM2 float64
-	// WaveguideWidthUM is the waveguide trace width, multiplied by
-	// the routed length.
-	WaveguideWidthUM float64
-}
+type AreaModel = fabric.AreaModel
 
 // DefaultAreaModel returns typical silicon-photonics footprints.
-func DefaultAreaModel() AreaModel {
-	return AreaModel{
-		MRUM2:            150,
-		LaserUM2:         400,
-		PhotodetectorUM2: 100,
-		WaveguideWidthUM: 0.5,
-	}
-}
+func DefaultAreaModel() AreaModel { return fabric.DefaultAreaModel() }
 
 // Area summarizes the optical layer's footprint.
-type Area struct {
-	// MRs, Lasers and Photodetectors count devices over the whole
-	// ring.
-	MRs, Lasers, Photodetectors int
-	// WaveguideCM is the total routed waveguide length.
-	WaveguideCM float64
-	// TotalMM2 is the summed footprint in square millimetres.
-	TotalMM2 float64
-}
+type Area = fabric.Area
 
 // Area evaluates the model on this ring.
 func (r *Ring) Area(m AreaModel) Area {
@@ -59,10 +36,6 @@ func (r *Ring) Area(m AreaModel) Area {
 		a.WaveguideCM += r.segments[i].LengthCM
 	}
 	a.WaveguideCM *= float64(dirs)
-	deviceUM2 := float64(a.MRs)*m.MRUM2 +
-		float64(a.Lasers)*m.LaserUM2 +
-		float64(a.Photodetectors)*m.PhotodetectorUM2
-	waveguideUM2 := a.WaveguideCM * 1e4 * m.WaveguideWidthUM
-	a.TotalMM2 = (deviceUM2 + waveguideUM2) / 1e6
+	a.Total(m)
 	return a
 }

@@ -20,24 +20,24 @@ func TestBidirectionalPicksShorterDirection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if p.Dir != CCW || p.Hops() != 3 {
-		t.Errorf("path 1->14 = %s %d hops, want ccw 3", p.Dir, p.Hops())
+	if PathDirection(p) != CCW || p.Hops() != 3 {
+		t.Errorf("path 1->14 = %s %d hops, want ccw 3", PathDirection(p), p.Hops())
 	}
 	// 1 -> 4 stays clockwise.
 	q, err := r.PathBetween(1, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if q.Dir != CW || q.Hops() != 3 {
-		t.Errorf("path 1->4 = %s %d hops, want cw 3", q.Dir, q.Hops())
+	if PathDirection(q) != CW || q.Hops() != 3 {
+		t.Errorf("path 1->4 = %s %d hops, want cw 3", PathDirection(q), q.Hops())
 	}
 	// Exact halves tie clockwise.
 	h, err := r.PathBetween(0, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if h.Dir != CW || h.Hops() != 8 {
-		t.Errorf("path 0->8 = %s %d hops, want cw 8 (tie)", h.Dir, h.Hops())
+	if PathDirection(h) != CW || h.Hops() != 8 {
+		t.Errorf("path 0->8 = %s %d hops, want cw 8 (tie)", PathDirection(h), h.Hops())
 	}
 }
 
@@ -90,7 +90,7 @@ func TestCCWPathSequence(t *testing.T) {
 		t.Errorf("interior = %v, want [1 0 15]", in)
 	}
 	// Resource IDs are direction-qualified (>= N).
-	for _, s := range p.Segments() {
+	for _, s := range p.Resources() {
 		if s < r.Size() {
 			t.Errorf("CCW resource id %d collides with CW space", s)
 		}
@@ -156,7 +156,7 @@ func TestPrefix(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if pre.Src != 1 || pre.Dst != 5 || pre.Hops() != 4 || pre.Dir != CW {
+	if pre.Src != 1 || pre.Dst != 5 || pre.Hops() != 4 || PathDirection(pre) != CW {
 		t.Errorf("prefix = %+v", pre)
 	}
 	// Prefix to the destination is the whole path.

@@ -1,94 +1,34 @@
 package ring
 
 import (
-	"fmt"
-
+	"repro/internal/fabric"
 	"repro/internal/phys"
 )
 
-// BankState answers whether the micro-ring tuned to grid channel ch in
-// the receiver bank of ONI oni is in the ON (dropping) state during
-// the time window under analysis. The allocation/schedule layer
-// implements this per communication window; the ring layer only walks
-// the optics.
-type BankState interface {
-	On(oni, ch int) bool
-}
+// The micro-ring bank state machinery lives in the fabric package
+// (shared by every backend); the ring re-exports it so existing
+// callers keep compiling.
+
+var _ fabric.Fabric = (*Ring)(nil)
+
+// BankState is the fabric bank-state interface.
+type BankState = fabric.BankState
 
 // BankStateFunc adapts a function to the BankState interface.
-type BankStateFunc func(oni, ch int) bool
-
-// On implements BankState.
-func (f BankStateFunc) On(oni, ch int) bool { return f(oni, ch) }
+type BankStateFunc = fabric.BankStateFunc
 
 // AllOff is the quiescent network: every micro-ring detuned.
-var AllOff BankState = BankStateFunc(func(int, int) bool { return false })
+var AllOff BankState = fabric.AllOff
 
-// Bank is a concrete mutable BankState, convenient for tests and for
-// the simulator's time-evolving receiver state. Internally it packs
-// each ONI's micro-ring states into 64-bit words, so the evaluation
-// kernel can install a communication's whole wavelength set with one
-// word-wise OR (OrRow) instead of per-channel Set calls.
-type Bank struct {
-	channels int
-	words    int // 64-bit words per ONI row: MaskWords(channels)
-	on       []uint64
-}
+// Bank is the fabric's concrete mutable BankState.
+type Bank = fabric.Bank
 
-// MaskWords returns the number of 64-bit words of a wavelength bitmask
-// covering channels comb channels — the row stride shared by Bank and
-// the allocation layer's per-communication masks.
-func MaskWords(channels int) int { return (channels + 63) / 64 }
+// MaskWords returns the wavelength-bitmask word stride (see
+// fabric.MaskWords).
+func MaskWords(channels int) int { return fabric.MaskWords(channels) }
 
 // NewBank returns an all-OFF bank matrix for onis x channels rings.
-func NewBank(onis, channels int) *Bank {
-	w := MaskWords(channels)
-	return &Bank{channels: channels, words: w, on: make([]uint64, onis*w)}
-}
-
-// Set switches the MR for channel ch at ONI oni.
-func (b *Bank) Set(oni, ch int, state bool) {
-	if uint(ch) >= uint(b.channels) {
-		panic(fmt.Sprintf("ring: bank channel %d outside [0,%d)", ch, b.channels))
-	}
-	bit := uint64(1) << (uint(ch) & 63)
-	i := oni*b.words + ch>>6
-	if state {
-		b.on[i] |= bit
-	} else {
-		b.on[i] &^= bit
-	}
-}
-
-// OrRow switches ON every micro-ring of ONI oni whose bit is set in
-// the wavelength mask (laid out as by MaskWords: bit ch of word ch/64
-// means comb channel ch). Bits beyond the comb size must be zero.
-func (b *Bank) OrRow(oni int, mask []uint64) {
-	row := b.on[oni*b.words : (oni+1)*b.words]
-	if len(mask) > len(row) {
-		panic(fmt.Sprintf("ring: %d-word mask for a %d-word bank row", len(mask), len(row)))
-	}
-	for w := range mask {
-		row[w] |= mask[w]
-	}
-}
-
-// Reset detunes every micro-ring, returning the bank to the all-OFF
-// state without reallocating. Evaluation kernels reuse one bank per
-// worker this way.
-func (b *Bank) Reset() {
-	for i := range b.on {
-		b.on[i] = 0
-	}
-}
-
-// On implements BankState.
-func (b *Bank) On(oni, ch int) bool {
-	if uint(ch) >= uint(b.channels) {
-		panic(fmt.Sprintf("ring: bank channel %d outside [0,%d)", ch, b.channels))
-	}
-	return b.on[oni*b.words+ch>>6]&(1<<(uint(ch)&63)) != 0
-}
+func NewBank(onis, channels int) *Bank { return fabric.NewBank(onis, channels) }
 
 // PropagationLossDB returns the waveguide propagation plus bending
 // loss (LP + LB of Eq. 6) accumulated along a path.
@@ -98,32 +38,18 @@ func (r *Ring) PropagationLossDB(p Path) phys.DB {
 		phys.DB(r.BendCount(p))*par.BendingDBPer90
 }
 
-// bankWalkDB accumulates the through-losses of channel ch crossing the
-// MRs [0, upto) of the receiver bank at ONI oni (Eqs. 2 and 4). MRs
-// are assumed to be ordered by grid channel along the waveguide, so a
-// signal headed for the detector of channel detCh only crosses the
-// rings before it; pass upto = r.Channels() for a full transit.
-func (r *Ring) bankWalkDB(oni, ch, upto int, bank BankState) phys.DB {
-	par := r.cfg.Params
-	var loss phys.DB
-	for idx := 0; idx < upto; idx++ {
-		state := phys.MRState(bank.On(oni, idx))
-		loss += phys.ThroughLossDB(par, state, idx == ch)
-	}
-	return loss
-}
-
 // TransitLossDB returns the loss channel ch accumulates travelling the
 // whole path p up to (but not into) the receiver bank of p.Dst:
 // propagation and bending along the waveguide plus a full bank walk at
-// every interior ONI. If an interior bank has an ON micro-ring at ch
-// itself, the signal is (almost entirely) dropped there and only the
-// Kp1 residue continues — the situation the allocation validity rule
-// exists to prevent, but the optics model it faithfully.
+// every interior ONI (Eqs. 2 and 4, via fabric.BankWalkDB). If an
+// interior bank has an ON micro-ring at ch itself, the signal is
+// (almost entirely) dropped there and only the Kp1 residue continues —
+// the situation the allocation validity rule exists to prevent, but
+// the optics model it faithfully.
 func (r *Ring) TransitLossDB(p Path, ch int, bank BankState) phys.DB {
 	loss := r.PropagationLossDB(p)
 	for _, oni := range p.Interior() {
-		loss += r.bankWalkDB(oni, ch, r.Channels(), bank)
+		loss += fabric.BankWalkDB(r.cfg.Params, oni, ch, r.Channels(), bank)
 	}
 	return loss
 }
@@ -147,7 +73,7 @@ func (r *Ring) ArrivalAlongDB(p Path, det, ch, detCh int, bank BankState) (phys.
 		}
 	}
 	loss := r.TransitLossDB(prefix, ch, bank)
-	loss += r.bankWalkDB(det, ch, detCh, bank)
+	loss += fabric.BankWalkDB(r.cfg.Params, det, ch, detCh, bank)
 	if ch == detCh {
 		loss += phys.DropLossDB(r.cfg.Params, phys.MRState(bank.On(det, detCh)))
 	} else {
@@ -186,7 +112,7 @@ func (r *Ring) DetectorArrivalDB(src, det, ch, detCh int, bank BankState) (phys.
 // own detector at p.Dst.
 func (r *Ring) SignalArrivalDB(p Path, ch int, bank BankState) phys.DB {
 	loss := r.TransitLossDB(p, ch, bank)
-	loss += r.bankWalkDB(p.Dst, ch, ch, bank)
+	loss += fabric.BankWalkDB(r.cfg.Params, p.Dst, ch, ch, bank)
 	loss += phys.DropLossDB(r.cfg.Params, phys.MRState(bank.On(p.Dst, ch)))
 	return loss
 }

@@ -1,13 +1,18 @@
 package ring
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+)
 
 // Direction selects one of the ring's counter-propagating waveguides.
 // The paper's platform is a single clockwise waveguide; the
 // Bidirectional configuration adds the ORNoC-style counter-clockwise
 // twin (Le Beux et al., the paper's reference [9]), halving worst-case
 // hop counts. The two directions are physically separate waveguides:
-// they never share segments, conflict or interfere.
+// they never share segments, conflict or interfere — they map onto
+// fabric path lanes.
 type Direction int
 
 const (
@@ -25,19 +30,15 @@ func (d Direction) String() string {
 	return "cw"
 }
 
-// Path is a directed route along one waveguide from a source ONI to a
-// destination ONI.
-type Path struct {
-	Src, Dst int
-	Dir      Direction
-	// onis is the visited ONI sequence, source first, destination
-	// last.
-	onis []int
-	// segIdx holds one waveguide resource ID per hop: CW hop j->j+1
-	// is resource j; CCW hop j->j-1 is resource N+j. Resource IDs
-	// never collide across directions.
-	segIdx []int
-}
+// Path is the fabric path type; the ring encodes its waveguide
+// direction as the path lane (lane 0 = CW, lane 1 = CCW) and one
+// waveguide resource ID per hop: CW hop j->j+1 is resource j; CCW hop
+// j->j-1 is resource N+j. Resource IDs never collide across
+// directions.
+type Path = fabric.Path
+
+// PathDirection reports which waveguide a ring path travels.
+func PathDirection(p Path) Direction { return Direction(p.Lane) }
 
 // PathBetween returns the route from src to dst: the unique clockwise
 // route on a unidirectional ring, or the hop-shorter of the two
@@ -71,133 +72,38 @@ func (r *Ring) DirectedPath(src, dst int, dir Direction) (Path, error) {
 	if dir == CCW && !r.cfg.Bidirectional {
 		return Path{}, fmt.Errorf("ring: counter-clockwise waveguide not configured")
 	}
-	p := Path{Src: src, Dst: dst, Dir: dir}
+	var onis, segIdx []int
 	switch dir {
 	case CW:
 		hops := ((dst-src)%n + n) % n
-		p.onis = make([]int, 0, hops+1)
-		p.segIdx = make([]int, 0, hops)
+		onis = make([]int, 0, hops+1)
+		segIdx = make([]int, 0, hops)
 		for h := 0; h <= hops; h++ {
-			p.onis = append(p.onis, (src+h)%n)
+			onis = append(onis, (src+h)%n)
 			if h < hops {
-				p.segIdx = append(p.segIdx, (src+h)%n)
+				segIdx = append(segIdx, (src+h)%n)
 			}
 		}
 	case CCW:
 		hops := ((src-dst)%n + n) % n
-		p.onis = make([]int, 0, hops+1)
-		p.segIdx = make([]int, 0, hops)
+		onis = make([]int, 0, hops+1)
+		segIdx = make([]int, 0, hops)
 		for h := 0; h <= hops; h++ {
 			oni := ((src-h)%n + n) % n
-			p.onis = append(p.onis, oni)
+			onis = append(onis, oni)
 			if h < hops {
-				p.segIdx = append(p.segIdx, n+oni)
+				segIdx = append(segIdx, n+oni)
 			}
 		}
 	default:
 		return Path{}, fmt.Errorf("ring: unknown direction %d", int(dir))
 	}
-	return p, nil
+	return fabric.NewPath(src, dst, int(dir), onis, segIdx), nil
 }
 
-// SelfPath returns the degenerate zero-hop path of a communication
-// whose endpoint cores coincide — the shared-core mapping case where
-// producer and consumer run on the same core and the transfer never
-// enters the optical layer. It traverses no waveguide segment,
-// overlaps nothing and crosses no receiver bank.
-func SelfPath(oni int) Path {
-	return Path{Src: oni, Dst: oni, Dir: CW, onis: []int{oni}}
-}
-
-// Hops returns the number of traversed segments.
-func (p Path) Hops() int { return len(p.segIdx) }
-
-// Segments returns the traversed waveguide resource IDs in travel
-// order; IDs are direction-qualified, so CW and CCW paths never
-// share one. The returned slice is shared; callers must not mutate
-// it.
-func (p Path) Segments() []int { return p.segIdx }
-
-// ONIs returns the visited ONI sequence, source first. The returned
-// slice is shared; callers must not mutate it.
-func (p Path) ONIs() []int { return p.onis }
-
-// UsesSegment reports whether the path traverses waveguide resource
-// s.
-func (p Path) UsesSegment(s int) bool {
-	for _, i := range p.segIdx {
-		if i == s {
-			return true
-		}
-	}
-	return false
-}
-
-// Overlaps reports whether two paths share at least one waveguide
-// resource. Counter-propagating paths never overlap (separate
-// waveguides); two same-direction paths overlap when their segment
-// runs intersect. Overlapping simultaneous transmissions must use
-// disjoint wavelength sets (the paper's validity rule) and mutually
-// inject inter-communication crosstalk.
-func (p Path) Overlaps(q Path) bool {
-	if p.Dir != q.Dir {
-		return false
-	}
-	// Paths carry at most one segment per ring hop, so the quadratic
-	// scan beats a hash set at these sizes and never allocates — this
-	// sits on the evaluation kernel's validity path.
-	for _, i := range p.segIdx {
-		for _, j := range q.segIdx {
-			if i == j {
-				return true
-			}
-		}
-	}
-	return false
-}
-
-// Interior returns the ONIs strictly between source and destination,
-// in travel order. Signals pass the full receiver MR bank of each
-// interior ONI.
-func (p Path) Interior() []int {
-	if len(p.onis) <= 2 {
-		return nil
-	}
-	return p.onis[1 : len(p.onis)-1]
-}
-
-// Through reports whether the path's optical signal crosses the
-// receiver MR bank of ONI o: true when o is an interior ONI or the
-// destination. The source's own bank is not crossed because the ONI
-// transmitter injects downstream of its receiver (Fig. 1(b): the
-// receiver block precedes the transmitter along the waveguide).
-func (p Path) Through(o int) bool {
-	for _, oni := range p.onis[1:] {
-		if oni == o {
-			return true
-		}
-	}
-	return false
-}
-
-// Prefix returns the sub-path from the source up to ONI det, which
-// must lie on the path past the source. Noise analyses use it to walk
-// an interferer's light only as far as the victim's receiver.
-func (p Path) Prefix(det int) (Path, error) {
-	for i, oni := range p.onis {
-		if oni != det || i == 0 {
-			continue
-		}
-		return Path{
-			Src:    p.Src,
-			Dst:    det,
-			Dir:    p.Dir,
-			onis:   p.onis[:i+1],
-			segIdx: p.segIdx[:i],
-		}, nil
-	}
-	return Path{}, fmt.Errorf("ring: ONI %d not downstream on path %d->%d (%s)", det, p.Src, p.Dst, p.Dir)
-}
+// SelfPath returns the degenerate zero-hop path of a same-core
+// communication (see fabric.SelfPath).
+func SelfPath(oni int) Path { return fabric.SelfPath(oni) }
 
 // physSegment maps a direction-qualified resource ID to the physical
 // hop geometry: the CCW hop j -> j-1 runs along the same layout trace
@@ -214,7 +120,7 @@ func (r *Ring) physSegment(rid int) Segment {
 // LengthCM sums the waveguide length of a path on ring r.
 func (r *Ring) LengthCM(p Path) float64 {
 	var l float64
-	for _, i := range p.segIdx {
+	for _, i := range p.Resources() {
 		l += r.physSegment(i).LengthCM
 	}
 	return l
@@ -223,7 +129,7 @@ func (r *Ring) LengthCM(p Path) float64 {
 // BendCount sums the 90-degree bends along a path on ring r.
 func (r *Ring) BendCount(p Path) int {
 	var b int
-	for _, i := range p.segIdx {
+	for _, i := range p.Resources() {
 		b += r.physSegment(i).Bends
 	}
 	return b

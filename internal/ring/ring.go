@@ -111,6 +111,19 @@ func New(cfg Config) (*Ring, error) {
 // Config returns the configuration the ring was built from.
 func (r *Ring) Config() Config { return r.cfg }
 
+// Name implements fabric.Fabric.
+func (r *Ring) Name() string { return "ring" }
+
+// ResourceName implements fabric.Fabric: the ring's shared-medium
+// unit is the waveguide segment.
+func (r *Ring) ResourceName() string { return "segment" }
+
+// Grid implements fabric.Fabric.
+func (r *Ring) Grid() phys.Grid { return r.cfg.Grid }
+
+// Params implements fabric.Fabric.
+func (r *Ring) Params() phys.Params { return r.cfg.Params }
+
 // Size returns the number of ONIs on the ring.
 func (r *Ring) Size() int { return len(r.segments) }
 

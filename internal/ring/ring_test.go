@@ -114,7 +114,7 @@ func TestPathBetween(t *testing.T) {
 		t.Errorf("hops 1->5 = %d, want 4", p.Hops())
 	}
 	want := []int{1, 2, 3, 4}
-	for i, s := range p.Segments() {
+	for i, s := range p.Resources() {
 		if s != want[i] {
 			t.Errorf("segment[%d] = %d, want %d", i, s, want[i])
 		}
@@ -131,7 +131,7 @@ func TestPathWrapsAround(t *testing.T) {
 		t.Errorf("hops 14->2 = %d, want 4 (wrap)", p.Hops())
 	}
 	want := []int{14, 15, 0, 1}
-	for i, s := range p.Segments() {
+	for i, s := range p.Resources() {
 		if s != want[i] {
 			t.Errorf("segment[%d] = %d, want %d", i, s, want[i])
 		}

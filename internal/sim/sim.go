@@ -147,7 +147,7 @@ func Run(in *alloc.Instance, g alloc.Genome, opt Options) (*Result, error) {
 		pending[t] = len(preds[t])
 	}
 
-	nCores := in.Ring.Size()
+	nCores := in.Fabric().Size()
 	coreFree := make([]int64, nCores) // next instant the core is idle
 	waiting := make([][]int, nCores)  // data-ready tasks queued per core
 	readyAt := make([]int64, app.NumTasks())
@@ -272,18 +272,21 @@ func commDuration(in *alloc.Instance, counts []int, ei int) int64 {
 	return ceil64(vol / bitsPerCycle)
 }
 
-// reserve books every (segment, channel) of communication ei for
-// [start, end), recording violations on overlap.
+// reserve books every (resource, channel) of communication ei for
+// [start, end), recording violations on overlap. The violation wording
+// names the backend's shared-medium unit (ring: "segment", crossbar:
+// "hop") so diagnostics read in the fabric's own vocabulary.
 func reserve(in *alloc.Instance, g alloc.Genome, res *Result, ei int, start, end int64) {
 	set := g.ChannelSet(ei)
-	for _, seg := range in.Path(ei).Segments() {
+	resource := in.Fabric().ResourceName()
+	for _, seg := range in.Path(ei).Resources() {
 		for _, ch := range set {
 			key := [2]int{seg, ch}
 			for _, iv := range res.SegmentChannel[key] {
 				if start < iv.End && iv.Start < end {
 					res.Violations = append(res.Violations, fmt.Sprintf(
-						"segment %d channel %d double-booked: %s [%d,%d) vs %s [%d,%d)",
-						seg, ch, in.App.Edges[iv.Comm].Name, iv.Start, iv.End,
+						"%s %d channel %d double-booked: %s [%d,%d) vs %s [%d,%d)",
+						resource, seg, ch, in.App.Edges[iv.Comm].Name, iv.Start, iv.End,
 						in.App.Edges[ei].Name, start, end))
 				}
 			}

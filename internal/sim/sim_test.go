@@ -186,7 +186,7 @@ func TestSimOccupancyTraces(t *testing.T) {
 	}
 	// c1 (edge 1) runs on channel 1 over path 1->5 (segments 1..4)
 	// during [5000,13000).
-	for _, seg := range in.Path(1).Segments() {
+	for _, seg := range in.Path(1).Resources() {
 		ivs := res.SegmentChannel[[2]int{seg, 1}]
 		if len(ivs) != 1 {
 			t.Fatalf("segment %d channel 1 intervals = %v", seg, ivs)
@@ -208,7 +208,7 @@ func TestSimZeroVolumeEdge(t *testing.T) {
 	in := mustInstance(t, 8)
 	app := in.App.Clone()
 	app.Edges[0].VolumeBits = 0
-	in2, err := alloc.NewInstance(in.Ring, app, in.Map, 1, in.Energy)
+	in2, err := alloc.NewInstance(in.Fabric(), app, in.Map, 1, in.Energy)
 	if err != nil {
 		t.Fatal(err)
 	}
