@@ -23,6 +23,7 @@ import (
 	"repro/internal/alloc"
 	"repro/internal/core"
 	"repro/internal/crossbar"
+	"repro/internal/dist"
 	"repro/internal/energy"
 	"repro/internal/expt"
 	"repro/internal/graph"
@@ -870,6 +871,56 @@ func BenchmarkCampaignCell(b *testing.B) {
 		if camp.Cells[0].SimViolations != 0 {
 			b.Fatal("campaign cell reported simulator violations")
 		}
+	}
+}
+
+// BenchmarkCampaignDistributed measures distributed campaign
+// throughput — an in-process coordinator plus N loopback workers
+// executing a 4-cell sweep — and reports cells/sec at each worker
+// count. The sub-benchmark wall clocks form the scaling artifact the
+// CI speedup gate pins: on a multi-core host, workers=2 must finish
+// the same campaign at least 1.7x faster than workers=1.
+func BenchmarkCampaignDistributed(b *testing.B) {
+	base := expt.CampaignConfig{
+		NWs:         []int{4, 8},
+		Replicates:  2,
+		Pop:         48,
+		Generations: 20,
+		Seed:        7,
+	}
+	cells := len(base.Cells())
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := base
+				cfg.CheckpointDir = b.TempDir()
+				addrCh := make(chan string, 1)
+				serveCh := make(chan error, 1)
+				go func() {
+					serveCh <- dist.Serve(dist.CoordinatorOptions{
+						Addr:   "127.0.0.1:0",
+						Config: cfg,
+						Ready:  func(addr string) { addrCh <- addr },
+					})
+				}()
+				addr := <-addrCh
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						if err := dist.Run(dist.WorkerOptions{Addr: addr}); err != nil {
+							b.Error(err)
+						}
+					}()
+				}
+				if err := <-serveCh; err != nil {
+					b.Fatal(err)
+				}
+				wg.Wait()
+			}
+			b.ReportMetric(float64(cells*b.N)/b.Elapsed().Seconds(), "cells/sec")
+		})
 	}
 }
 

@@ -32,6 +32,13 @@
 //	                             run. A machine-independent ratio gate —
 //	                             e.g. the delta kernel must beat the
 //	                             full kernel wherever the suite runs
+//	-require-speedup triples     comma-separated FAST<SLOW@FACTOR
+//	                             triples: SLOW's minimum ns/op must be
+//	                             at least FACTOR times FAST's in this
+//	                             run — the quantified version of
+//	                             -require-faster, e.g. the 2-worker
+//	                             campaign must beat the 1-worker one by
+//	                             1.7x on a multi-core host
 //
 // Each benchmark line becomes one record with the iteration count and
 // a metrics map keyed by unit ("ns/op", "B/op", "allocs/op", plus any
@@ -67,12 +74,13 @@ type document struct {
 
 func main() {
 	var (
-		sha           = flag.String("sha", "", "git commit SHA to record (default: $GITHUB_SHA, then git rev-parse HEAD)")
-		requireZero   = flag.String("require-zero-allocs", "", "regexp of benchmark base names that must report 0 allocs/op")
-		compareFile   = flag.String("compare", "", "baseline BENCH_*.json to gate ns/op regressions against")
-		regressGate   = flag.String("regress-gate", "", "regexp of benchmark base names held to the regression budget (required with -compare)")
-		maxRegress    = flag.Float64("max-regress", 0.15, "allowed fractional ns/op growth over the -compare baseline")
-		requireFaster = flag.String("require-faster", "", "comma-separated FAST<SLOW benchmark base-name pairs; FAST's min ns/op must be strictly below SLOW's")
+		sha            = flag.String("sha", "", "git commit SHA to record (default: $GITHUB_SHA, then git rev-parse HEAD)")
+		requireZero    = flag.String("require-zero-allocs", "", "regexp of benchmark base names that must report 0 allocs/op")
+		compareFile    = flag.String("compare", "", "baseline BENCH_*.json to gate ns/op regressions against")
+		regressGate    = flag.String("regress-gate", "", "regexp of benchmark base names held to the regression budget (required with -compare)")
+		maxRegress     = flag.Float64("max-regress", 0.15, "allowed fractional ns/op growth over the -compare baseline")
+		requireFaster  = flag.String("require-faster", "", "comma-separated FAST<SLOW benchmark base-name pairs; FAST's min ns/op must be strictly below SLOW's")
+		requireSpeedup = flag.String("require-speedup", "", "comma-separated FAST<SLOW@FACTOR triples; SLOW's min ns/op must be at least FACTOR times FAST's")
 	)
 	flag.Parse()
 
@@ -110,6 +118,53 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *requireSpeedup != "" {
+		if err := checkSpeedup(doc, *requireSpeedup); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// checkSpeedup enforces the quantified relative-speed gate: for every
+// FAST<SLOW@FACTOR triple, SLOW's minimum ns/op must be at least
+// FACTOR times FAST's in this run. Like -require-faster, both sides
+// come from one run on one machine, so absolute speed cancels out;
+// the factor pins the shape of the scaling curve (e.g. 2 workers at
+// least 1.7x faster than 1).
+func checkSpeedup(doc *document, spec string) error {
+	ns := minNSByName(doc)
+	var violations []string
+	for _, triple := range strings.Split(spec, ",") {
+		pair, factorStr, ok := strings.Cut(triple, "@")
+		if !ok {
+			return fmt.Errorf("bad -require-speedup triple %q (want FAST<SLOW@FACTOR)", triple)
+		}
+		factor, err := strconv.ParseFloat(strings.TrimSpace(factorStr), 64)
+		if err != nil || factor <= 1 {
+			return fmt.Errorf("bad -require-speedup factor %q (want a number > 1)", factorStr)
+		}
+		fast, slow, ok := strings.Cut(pair, "<")
+		if !ok {
+			return fmt.Errorf("bad -require-speedup triple %q (want FAST<SLOW@FACTOR)", triple)
+		}
+		fast, slow = strings.TrimSpace(fast), strings.TrimSpace(slow)
+		fv, okF := ns[fast]
+		sv, okS := ns[slow]
+		switch {
+		case !okF:
+			violations = append(violations, fmt.Sprintf("%s: no ns/op in this run — renamed or not run?", fast))
+		case !okS:
+			violations = append(violations, fmt.Sprintf("%s: no ns/op in this run — renamed or not run?", slow))
+		case sv < factor*fv:
+			violations = append(violations, fmt.Sprintf("%s: %.1f ns/op is only %.2fx %s's %.1f, want >= %.2fx", slow, sv, sv/fv, fast, fv, factor))
+		default:
+			fmt.Fprintf(os.Stderr, "benchjson: %s %.1f ns/op is %.2fx %s's %.1f (>= %.2fx) as required\n", slow, sv, sv/fv, fast, fv, factor)
+		}
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("speedup gate violated:\n  %s", strings.Join(violations, "\n  "))
+	}
+	return nil
 }
 
 // checkFaster enforces the relative-speed gate: for every FAST<SLOW

@@ -111,6 +111,30 @@ func TestRegressionGate(t *testing.T) {
 	})
 }
 
+func TestSpeedupGate(t *testing.T) {
+	// Scaling shape: 1 worker at 1.9ms, 2 workers at 1.0ms = 1.9x.
+	d := doc(t, `goos: linux
+BenchmarkCampaignDistributed/workers=1-8   10   1900000 ns/op
+BenchmarkCampaignDistributed/workers=2-8   10   1000000 ns/op
+`)
+	fast, slow := "BenchmarkCampaignDistributed/workers=2", "BenchmarkCampaignDistributed/workers=1"
+	if err := checkSpeedup(d, fast+"<"+slow+"@1.7"); err != nil {
+		t.Fatalf("1.9x speedup failed a 1.7x gate: %v", err)
+	}
+	if err := checkSpeedup(d, fast+"<"+slow+"@2.0"); err == nil {
+		t.Fatal("1.9x speedup passed a 2.0x gate")
+	}
+	if err := checkSpeedup(d, fast+"<BenchmarkRenamed@1.7"); err == nil {
+		t.Fatal("missing benchmark passed the speedup gate")
+	}
+	if err := checkSpeedup(d, fast+"<"+slow); err == nil {
+		t.Fatal("triple without a factor accepted")
+	}
+	if err := checkSpeedup(d, fast+"<"+slow+"@0.5"); err == nil {
+		t.Fatal("factor <= 1 accepted")
+	}
+}
+
 func TestBaseName(t *testing.T) {
 	for in, want := range map[string]string{
 		"BenchmarkGeneration-8": "BenchmarkGeneration",

@@ -53,10 +53,40 @@
 //	-csv string       write the campaign CSV table to this file
 //	-stats            record per-cell engine instrumentation (kernel
 //	                  path split, cache/warm hits, dominance
-//	                  comparisons) in the JSON artifact and print an
+//	                  comparisons) in the JSON artifact and print one
+//	                  JSON line per cell (with the backend column
+//	                  whenever a non-default backend is swept) plus an
 //	                  aggregate line; the counters depend on worker
 //	                  scheduling, so artifacts are no longer
 //	                  byte-identical across runs with -stats
+//	-islands int      split every cell's GA into N islands that
+//	                  exchange their top genomes on a ring at fixed
+//	                  generation boundaries; reproducible for a given
+//	                  (seed, islands, interval, top-k)
+//	-migrate-every int  island migration period in generations
+//	                  (default 25; needs -islands > 1)
+//	-migrate-k int    emigrant genomes per island per migration
+//	                  (default 3; needs -islands > 1)
+//
+// Distributed mode shards the same campaign across worker processes
+// over a length-prefixed TCP protocol. The checkpoint formats double
+// as the wire format: workers stream back the exact cell-N.json and
+// cell-N.ckpt bytes the in-process checkpoint manager writes, so the
+// coordinator's directory — and the JSON/CSV/summary artifacts
+// rendered from it — are byte-identical to a single-process run's. A
+// worker killed mid-cell loses only the tail since its last streamed
+// snapshot: the coordinator reassigns the cell, resume bytes
+// included, to the next free worker. Workers validate the campaign
+// manifest byte-for-byte before accepting work; a mismatch (e.g.
+// mixed binary versions) fails loudly on both ends:
+//
+//	-distribute addr:port  coordinate the campaign at this address
+//	                       (implies -campaign, needs -checkpoint-dir;
+//	                       parallelism is the number of workers)
+//	-worker addr:port      run as a worker for that coordinator; all
+//	                       configuration arrives over the wire.
+//	                       -halt-after-checkpoints N makes the worker
+//	                       crash (exit 3) after streaming N snapshots
 //
 // Long campaigns survive preemption with durable checkpoints: the
 // campaign manifest, per-cell completion records and in-flight GA
@@ -106,6 +136,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/expt"
 	"repro/internal/graph"
 )
@@ -136,7 +167,13 @@ func main() {
 		checkpointEvery = flag.Int("checkpoint-every", 0, "generations between in-flight cell snapshots (default 25 with -checkpoint-dir)")
 		resume          = flag.Bool("resume", false, "resume the campaign recorded in -checkpoint-dir")
 		warmcache       = flag.Bool("warmcache", false, "retain completed cells' checkpoints and warm later replicate cells from a completed sibling's evaluated infeasible genotypes (needs -checkpoint-dir; results byte-identical)")
-		haltAfter       = flag.Int("halt-after-checkpoints", 0, "crash-test aid: exit(3) after the Nth checkpoint write (simulated preemption)")
+		haltAfter       = flag.Int("halt-after-checkpoints", 0, "crash-test aid: exit(3) after the Nth checkpoint write (simulated preemption); with -worker, crash after streaming N snapshots")
+
+		distribute   = flag.String("distribute", "", "coordinate the campaign at this addr:port, sharding cells over connected -worker processes (implies -campaign, needs -checkpoint-dir)")
+		workerAddr   = flag.String("worker", "", "run as a distributed campaign worker for the coordinator at this addr:port")
+		islands      = flag.Int("islands", 0, "campaign island-model mode: split every cell's GA into N islands exchanging top genomes on a ring")
+		migrateEvery = flag.Int("migrate-every", 0, "island migration period in generations (default 25; needs -islands > 1)")
+		migrateK     = flag.Int("migrate-k", 0, "emigrant genomes per island per migration (default 3; needs -islands > 1)")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write an end-of-run heap profile to this file")
@@ -160,6 +197,25 @@ func main() {
 		}
 	}
 
+	// A worker takes its whole campaign configuration from the
+	// coordinator over the wire, so every local configuration flag is
+	// a mistake; only the crash-test aid and profiling apply.
+	if *workerAddr != "" {
+		allowed := map[string]bool{"worker": true, "halt-after-checkpoints": true, "cpuprofile": true, "memprofile": true}
+		for name := range explicitly {
+			if !allowed[name] {
+				fmt.Fprintf(os.Stderr, "wadate: -%s does not apply in -worker mode (the coordinator supplies the campaign configuration)\n", name)
+				os.Exit(2)
+			}
+		}
+		runWorker(*workerAddr, *haltAfter)
+		return
+	}
+
+	// -distribute is campaign coordination; spelling out -campaign too
+	// is redundant.
+	*campaign = *campaign || *distribute != ""
+
 	// Reject mode-mismatched flags rather than silently ignoring
 	// them: a paper-scale run is too expensive to discover afterwards
 	// that a flag never applied.
@@ -167,7 +223,8 @@ func main() {
 	conflicting := []string{"exp", "seeds"}
 	if !*campaign {
 		conflicting = []string{"json", "backends", "cellworkers", "reps", "objsets", "workloads", "warmstart",
-			"checkpoint-dir", "checkpoint-every", "resume", "halt-after-checkpoints", "warmcache", "stats"}
+			"checkpoint-dir", "checkpoint-every", "resume", "halt-after-checkpoints", "warmcache", "stats",
+			"islands", "migrate-every", "migrate-k"}
 	}
 	for _, name := range conflicting {
 		if explicitly[name] {
@@ -182,6 +239,18 @@ func main() {
 	if err == nil && *campaign {
 		err = validateCampaignFlags(*checkpointDir, *resume, *warmcache, *haltAfter, explicitly["checkpoint-every"])
 	}
+	if err == nil && *distribute != "" {
+		switch {
+		case *checkpointDir == "":
+			err = usageError{fmt.Errorf("-distribute needs -checkpoint-dir (the directory is the durable ground truth workers stream into)")}
+		case *warmcache:
+			err = usageError{fmt.Errorf("-warmcache does not apply with -distribute (workers hold no sibling checkpoints)")}
+		case *haltAfter > 0:
+			err = usageError{fmt.Errorf("-halt-after-checkpoints is a -worker flag; the coordinator does not write snapshots itself")}
+		case explicitly["cellworkers"]:
+			err = usageError{fmt.Errorf("-cellworkers does not apply with -distribute (parallelism is the number of connected workers)")}
+		}
+	}
 	var stopCPU func()
 	if err == nil && *cpuprofile != "" {
 		stopCPU, err = startCPUProfile(*cpuprofile)
@@ -195,7 +264,8 @@ func main() {
 				jsonPath: *jsonPath, csvPath: *csv, warmStart: *warmstart,
 				checkpointDir: *checkpointDir, checkpointEvery: *checkpointEvery,
 				resume: *resume, haltAfter: *haltAfter, warmCache: *warmcache,
-				stats: *stats,
+				stats: *stats, distribute: *distribute,
+				islands: *islands, migrateEvery: *migrateEvery, migrateK: *migrateK,
 			})
 		} else {
 			err = run(*exp, *nws, *pop, *gens, *seed, *csv, *seeds, *workers)
@@ -301,6 +371,31 @@ type campaignOpts struct {
 	haltAfter                int
 	warmCache                bool
 	stats                    bool
+	distribute               string
+	islands                  int
+	migrateEvery             int
+	migrateK                 int
+}
+
+// runWorker joins the coordinator at addr and executes assigned
+// cells and island segments until released. A simulated crash
+// (-halt-after-checkpoints) exits with status 3, like the
+// single-process preemption simulator.
+func runWorker(addr string, haltAfter int) {
+	err := dist.Run(dist.WorkerOptions{
+		Addr:                 addr,
+		HaltAfterCheckpoints: haltAfter,
+		Log: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "wadate worker: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wadate: %v\n", err)
+		if errors.Is(err, dist.ErrWorkerHalted) {
+			os.Exit(3)
+		}
+		os.Exit(1)
+	}
 }
 
 // runCampaign drives the multi-cell sweep: deterministic cells,
@@ -321,6 +416,9 @@ func runCampaign(o campaignOpts) error {
 		StopAfterCheckpoints: o.haltAfter,
 		WarmCacheSiblings:    o.warmCache,
 		Stats:                o.stats,
+		Islands:              o.islands,
+		MigrationEvery:       o.migrateEvery,
+		MigrationK:           o.migrateK,
 	}
 	var err error
 	cfg.Backends, err = parseBackends(o.backends)
@@ -344,6 +442,25 @@ func runCampaign(o campaignOpts) error {
 	}
 	if len(cfg.Workloads) == 0 {
 		return fmt.Errorf("no workloads in %q", o.workloads)
+	}
+	if o.distribute != "" {
+		// Distribute the cells, then render summary and artifacts by
+		// resuming over the completed checkpoint directory — every
+		// cell restores from the records the workers streamed back,
+		// so the output is byte-identical to a single-process run.
+		if err := dist.Serve(dist.CoordinatorOptions{
+			Addr:   o.distribute,
+			Config: cfg,
+			Log: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "wadate coordinator: "+format+"\n", args...)
+			},
+			Ready: func(addr string) {
+				fmt.Fprintf(os.Stderr, "wadate coordinator: accepting workers at %s\n", addr)
+			},
+		}); err != nil {
+			return err
+		}
+		cfg.Resume = true
 	}
 	cfg.Progress = func(ev expt.CellEvent) {
 		if ev.Done {
@@ -390,10 +507,19 @@ func runCampaign(o campaignOpts) error {
 	return err
 }
 
-// printCampaignStats sums the per-cell instrumentation into one
+// printCampaignStats prints one JSON line per cell (carrying the
+// backend column whenever a non-default backend is swept, like every
+// other artifact) and then sums the instrumentation into one
 // campaign-level line: how the engine actually served its
-// evaluations, and how much dominance work ranking did.
+// evaluations, and how much dominance work ranking did. Restored
+// cells report the stats from their completion records, so the
+// output is identical whether the campaign ran in-process or
+// distributed.
 func printCampaignStats(camp *expt.Campaign) {
+	fmt.Println()
+	if err := expt.WriteCampaignStats(os.Stdout, camp); err != nil {
+		fmt.Fprintf(os.Stderr, "wadate: stats lines: %v\n", err)
+	}
 	var total expt.CellStats
 	for i := range camp.Cells {
 		s := camp.Cells[i].Stats()

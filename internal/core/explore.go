@@ -48,7 +48,14 @@ func (p *Problem) gaConfig() nsga2.Config {
 
 // NewExplorer builds the engine and evaluates the initial population.
 func (p *Problem) NewExplorer() (*Explorer, error) {
-	eng, err := nsga2.NewEngine(p, p.gaConfig())
+	return p.newExplorerWith(p.gaConfig())
+}
+
+// newExplorerWith is NewExplorer under an explicit engine
+// configuration — the island model derives per-island configurations
+// from the problem's instead of using it verbatim.
+func (p *Problem) newExplorerWith(ga nsga2.Config) (*Explorer, error) {
+	eng, err := nsga2.NewEngine(p, ga)
 	if err != nil {
 		return nil, err
 	}
@@ -74,7 +81,15 @@ func (p *Problem) ResumeExplorer(r io.Reader) (*Explorer, error) {
 	// Warm-start seeds are an initial-population concern; the
 	// population comes from the checkpoint here, so skip the heuristic
 	// recomputation gaConfig would do per resumed cell.
-	eng, err := nsga2.ResumeEngine(p, p.baseGAConfig(), r)
+	return p.resumeExplorerWith(p.baseGAConfig(), r)
+}
+
+// resumeExplorerWith is ResumeExplorer under an explicit engine
+// configuration (which must match the checkpoint header); the island
+// model resumes per-island checkpoints with per-island
+// configurations.
+func (p *Problem) resumeExplorerWith(ga nsga2.Config, r io.Reader) (*Explorer, error) {
+	eng, err := nsga2.ResumeEngine(p, ga, r)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/nsga2"
+)
+
+func islandProblem(t *testing.T, ga nsga2.Config) *Problem {
+	t.Helper()
+	p, err := New(Config{NW: 4, GA: ga})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestIslandsOneMatchesPlainRun pins the degenerate topology: one
+// island with any interval is the plain single-engine run — same
+// front, archive-derived counts, everything.
+func TestIslandsOneMatchesPlainRun(t *testing.T) {
+	ga := nsga2.Config{PopSize: 16, Generations: 8, Seed: 11}
+	ref, err := islandProblem(t, ga).Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := islandProblem(t, ga).RunIslands(IslandSpec{Islands: 1, Interval: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref, got) {
+		t.Fatalf("1-island run differs from plain run:\nplain: %+v\nisland: %+v", ref, got)
+	}
+}
+
+// TestIslandsDeterministic: the island model is reproducible for a
+// given (seed, islands, interval, top-k) — results and aggregated
+// stats from two independent runs are identical.
+func TestIslandsDeterministic(t *testing.T) {
+	ga := nsga2.Config{PopSize: 18, Generations: 7, Seed: 4}
+	spec := IslandSpec{Islands: 3, Interval: 2, TopK: 2}
+	r1, s1, err := islandProblem(t, ga).RunIslands(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, s2, err := islandProblem(t, ga).RunIslands(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatal("island runs with identical parameters diverged")
+	}
+	if s1 != s2 {
+		t.Fatalf("island stats diverged: %+v vs %+v", s1, s2)
+	}
+	// A different interval is a different (valid) trajectory — guard
+	// against the migration machinery being a no-op.
+	r3, _, err := islandProblem(t, ga).RunIslands(IslandSpec{Islands: 3, Interval: 4, TopK: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Evaluations == 0 || len(r3.Front) == 0 {
+		t.Fatal("island run produced no work")
+	}
+}
+
+// TestIslandsRoundTripRunnerEquivalent simulates distribution: a
+// RoundRunner that serializes every segment through JSON (the wire),
+// executes it on a separate problem instance built from scratch (the
+// worker), and returns the serialized results, must reproduce the
+// local run bit-for-bit — result and stats.
+func TestIslandsRoundTripRunnerEquivalent(t *testing.T) {
+	ga := nsga2.Config{PopSize: 14, Generations: 6, Seed: 9}
+	spec := IslandSpec{Islands: 2, Interval: 2, TopK: 2}
+
+	local, localStats, err := islandProblem(t, ga).RunIslands(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	remote := func(segs []IslandSegment) ([]IslandSegmentResult, error) {
+		out := make([]IslandSegmentResult, len(segs))
+		for i, seg := range segs {
+			wire, err := json.Marshal(seg)
+			if err != nil {
+				return nil, err
+			}
+			var decoded IslandSegment
+			if err := json.Unmarshal(wire, &decoded); err != nil {
+				return nil, err
+			}
+			// The "worker": a problem built independently from the
+			// same configuration.
+			wp, err := New(Config{NW: 4, GA: ga})
+			if err != nil {
+				return nil, err
+			}
+			r, err := wp.RunIslandSegment(decoded)
+			if err != nil {
+				return nil, err
+			}
+			back, err := json.Marshal(r)
+			if err != nil {
+				return nil, err
+			}
+			if err := json.Unmarshal(back, &out[i]); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	dist, distStats, err := islandProblem(t, ga).RunIslands(spec, remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(local, dist) {
+		t.Fatal("distributed-style island run diverged from the local run")
+	}
+	if localStats != distStats {
+		t.Fatalf("stats diverged: local %+v distributed %+v", localStats, distStats)
+	}
+}
+
+// TestIslandSegmentPureFunction: running the same segment twice
+// yields identical checkpoint bytes, emigrants and stats.
+func TestIslandSegmentPureFunction(t *testing.T) {
+	ga := nsga2.Config{PopSize: 12, Generations: 6, Seed: 2}
+	spec := IslandSpec{Islands: 2, Interval: 3, TopK: 2}
+	p := islandProblem(t, ga)
+	seg := IslandSegment{Spec: spec, Island: 1, StartGen: 0, Gens: 3}
+	a, err := p.RunIslandSegment(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := islandProblem(t, ga).RunIslandSegment(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Checkpoint, b.Checkpoint) {
+		t.Fatal("segment checkpoints differ across identical executions")
+	}
+	if !reflect.DeepEqual(a.Emigrants, b.Emigrants) || a.Stats != b.Stats {
+		t.Fatal("segment emigrants or stats differ across identical executions")
+	}
+	// Continuing the segment chain must pick up exactly where the
+	// checkpoint left off.
+	next, err := p.RunIslandSegment(IslandSegment{
+		Spec: spec, Island: 1, StartGen: 3, Gens: 3,
+		Checkpoint: a.Checkpoint, Immigrants: a.Emigrants,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(next.Checkpoint) == 0 {
+		t.Fatal("continuation produced no checkpoint")
+	}
+	// Wrong StartGen is rejected (stale lease / replay protection).
+	if _, err := p.RunIslandSegment(IslandSegment{
+		Spec: spec, Island: 1, StartGen: 5, Gens: 1, Checkpoint: a.Checkpoint,
+	}); err == nil {
+		t.Fatal("segment with mismatched StartGen accepted")
+	}
+}
+
+func TestIslandsValidation(t *testing.T) {
+	p := islandProblem(t, nsga2.Config{PopSize: 4, Generations: 3, Seed: 1})
+	if _, _, err := p.RunIslands(IslandSpec{Islands: 3}, nil); err == nil {
+		t.Fatal("population 4 split into 3 islands accepted")
+	}
+	if _, _, err := p.RunIslands(IslandSpec{Islands: 0}, nil); err == nil {
+		t.Fatal("zero islands accepted")
+	}
+	p2 := islandProblem(t, nsga2.Config{PopSize: 8, Seed: 1})
+	if _, _, err := p2.RunIslands(IslandSpec{Islands: 2}, nil); err == nil {
+		t.Fatal("island run without explicit generations accepted")
+	}
+	if _, err := p.AssembleIslands(IslandSpec{Islands: 2}, [][]byte{nil}); err == nil {
+		t.Fatal("checkpoint count mismatch accepted")
+	}
+}
+
+// TestIslandSeedsDistinct: derived island seeds differ from the base
+// and from each other (island 0 keeps the base seed).
+func TestIslandSeedsDistinct(t *testing.T) {
+	base := int64(42)
+	if islandSeed(base, 0) != base {
+		t.Fatal("island 0 must keep the base seed")
+	}
+	seen := map[int64]bool{base: true}
+	for i := 1; i < 8; i++ {
+		s := islandSeed(base, i)
+		if s < 0 {
+			t.Fatalf("island seed %d negative", i)
+		}
+		if seen[s] {
+			t.Fatalf("island seed collision at %d", i)
+		}
+		seen[s] = true
+	}
+}

@@ -1,0 +1,394 @@
+package dist
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/expt"
+)
+
+// distCampaignConfig is a small two-cell campaign (two replicates of
+// one (ring, NW=4, paper) combination) with frequent snapshots.
+func distCampaignConfig() expt.CampaignConfig {
+	return expt.CampaignConfig{
+		NWs:             []int{4},
+		Replicates:      2,
+		Pop:             12,
+		Generations:     6,
+		Seed:            3,
+		CheckpointEvery: 2,
+	}
+}
+
+// readTree returns every file in dir keyed by name.
+func readTree(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string][]byte, len(entries))
+	for _, e := range entries {
+		raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = raw
+	}
+	return out
+}
+
+func sameTree(t *testing.T, want, got map[string][]byte, label string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Errorf("%s: %d files, want %d", label, len(got), len(want))
+	}
+	for name, w := range want {
+		g, ok := got[name]
+		if !ok {
+			t.Errorf("%s: missing %s", label, name)
+			continue
+		}
+		if !bytes.Equal(w, g) {
+			t.Errorf("%s: %s differs (%d vs %d bytes)", label, name, len(g), len(w))
+		}
+	}
+	for name := range got {
+		if _, ok := want[name]; !ok {
+			t.Errorf("%s: unexpected file %s", label, name)
+		}
+	}
+}
+
+// serveAndWork runs a coordinator for cfg plus n workers in-process
+// and returns the coordinator error and each worker's error.
+func serveAndWork(t *testing.T, cfg expt.CampaignConfig, workers []WorkerOptions) (error, []error) {
+	t.Helper()
+	addrCh := make(chan string, 1)
+	serveCh := make(chan error, 1)
+	go func() {
+		serveCh <- Serve(CoordinatorOptions{
+			Addr:   "127.0.0.1:0",
+			Config: cfg,
+			Log:    t.Logf,
+			Ready:  func(addr string) { addrCh <- addr },
+		})
+	}()
+	addr := <-addrCh
+	errs := make([]error, len(workers))
+	var wg sync.WaitGroup
+	for i := range workers {
+		w := workers[i]
+		w.Addr = addr
+		wg.Add(1)
+		go func(i int, w WorkerOptions) {
+			defer wg.Done()
+			errs[i] = Run(w)
+		}(i, w)
+	}
+	err := <-serveCh
+	wg.Wait()
+	return err, errs
+}
+
+// TestDistributedMatchesSingleProcess is the tentpole's acceptance
+// pin: a campaign distributed over two workers leaves a checkpoint
+// directory byte-identical to a single-process run's, and the
+// artifacts rendered from it (via a resuming RunCampaign) match the
+// single-process artifacts byte-for-byte.
+func TestDistributedMatchesSingleProcess(t *testing.T) {
+	refDir := t.TempDir()
+	refCfg := distCampaignConfig()
+	refCfg.CheckpointDir = refDir
+	ref, err := expt.RunCampaign(refCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	distDir := t.TempDir()
+	distCfg := distCampaignConfig()
+	distCfg.CheckpointDir = distDir
+	serveErr, workerErrs := serveAndWork(t, distCfg, make([]WorkerOptions, 2))
+	if serveErr != nil {
+		t.Fatalf("coordinator: %v", serveErr)
+	}
+	for i, err := range workerErrs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	sameTree(t, readTree(t, refDir), readTree(t, distDir), "checkpoint dir")
+
+	// The artifact path: a resuming run over the distributed
+	// directory restores every cell and renders the same bytes as the
+	// single-process campaign.
+	resumeCfg := distCampaignConfig()
+	resumeCfg.CheckpointDir = distDir
+	resumeCfg.Resume = true
+	resumed, err := expt.RunCampaign(resumeCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range resumed.Cells {
+		if !resumed.Cells[i].Restored() {
+			t.Errorf("cell %d re-explored instead of restored from the distributed record", i)
+		}
+	}
+	var refJSON, resJSON, refCSV, resCSV bytes.Buffer
+	if err := expt.WriteCampaignJSON(&refJSON, ref); err != nil {
+		t.Fatal(err)
+	}
+	if err := expt.WriteCampaignJSON(&resJSON, resumed); err != nil {
+		t.Fatal(err)
+	}
+	if err := expt.WriteCampaignCSV(&refCSV, ref); err != nil {
+		t.Fatal(err)
+	}
+	if err := expt.WriteCampaignCSV(&resCSV, resumed); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(refJSON.Bytes(), resJSON.Bytes()) {
+		t.Error("JSON artifact from the distributed run differs from the single-process run")
+	}
+	if !bytes.Equal(refCSV.Bytes(), resCSV.Bytes()) {
+		t.Error("CSV artifact from the distributed run differs from the single-process run")
+	}
+}
+
+// TestWorkerCrashLeaseReassigned: a worker that dies mid-cell (after
+// streaming two snapshots) loses its lease; the surviving worker
+// resumes the cell from the last streamed snapshot and the final
+// directory still matches a single-process run byte-for-byte.
+func TestWorkerCrashLeaseReassigned(t *testing.T) {
+	single := func() expt.CampaignConfig {
+		return expt.CampaignConfig{
+			NWs:             []int{4},
+			Pop:             12,
+			Generations:     8,
+			Seed:            7,
+			CheckpointEvery: 2,
+		}
+	}
+	refDir := t.TempDir()
+	refCfg := single()
+	refCfg.CheckpointDir = refDir
+	if _, err := expt.RunCampaign(refCfg); err != nil {
+		t.Fatal(err)
+	}
+
+	distDir := t.TempDir()
+	distCfg := single()
+	distCfg.CheckpointDir = distDir
+	addrCh := make(chan string, 1)
+	serveCh := make(chan error, 1)
+	go func() {
+		serveCh <- Serve(CoordinatorOptions{
+			Addr:   "127.0.0.1:0",
+			Config: distCfg,
+			Log:    t.Logf,
+			Ready:  func(addr string) { addrCh <- addr },
+		})
+	}()
+	addr := <-addrCh
+
+	// The doomed worker runs alone first, so it necessarily holds the
+	// cell's lease when it crashes (after streaming two snapshots).
+	if err := Run(WorkerOptions{Addr: addr, HaltAfterCheckpoints: 2, Log: t.Logf}); !errors.Is(err, ErrWorkerHalted) {
+		t.Fatalf("doomed worker returned %v, want ErrWorkerHalted", err)
+	}
+	// The crash severs the socket right after sending; give the
+	// coordinator a moment to drain and persist the streamed frames.
+	snapPath := filepath.Join(distDir, "cell-0.ckpt")
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := os.Stat(snapPath); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no streamed snapshot on the coordinator after the crash")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// A fresh worker picks up the reassigned lease mid-cell.
+	var mu sync.Mutex
+	var resumed bool
+	err := Run(WorkerOptions{Addr: addr, Log: func(format string, args ...any) {
+		t.Logf(format, args...)
+		if strings.HasPrefix(format, "cell %d: resuming") {
+			mu.Lock()
+			resumed = true
+			mu.Unlock()
+		}
+	}})
+	if err != nil {
+		t.Fatalf("replacement worker: %v", err)
+	}
+	if !resumed {
+		t.Error("replacement worker did not resume from the streamed snapshot")
+	}
+	if err := <-serveCh; err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	sameTree(t, readTree(t, refDir), readTree(t, distDir), "post-crash checkpoint dir")
+}
+
+// TestDistributedIslandsMatchSingleProcess: an island-model campaign
+// distributed segment-by-segment produces the same completion
+// records as the in-process island run.
+func TestDistributedIslandsMatchSingleProcess(t *testing.T) {
+	island := func() expt.CampaignConfig {
+		return expt.CampaignConfig{
+			NWs:            []int{4},
+			Pop:            12,
+			Generations:    6,
+			Seed:           5,
+			Islands:        2,
+			MigrationEvery: 2,
+			MigrationK:     2,
+		}
+	}
+	refDir := t.TempDir()
+	refCfg := island()
+	refCfg.CheckpointDir = refDir
+	if _, err := expt.RunCampaign(refCfg); err != nil {
+		t.Fatal(err)
+	}
+
+	distDir := t.TempDir()
+	distCfg := island()
+	distCfg.CheckpointDir = distDir
+	serveErr, workerErrs := serveAndWork(t, distCfg, make([]WorkerOptions, 2))
+	if serveErr != nil {
+		t.Fatalf("coordinator: %v", serveErr)
+	}
+	for i, err := range workerErrs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	sameTree(t, readTree(t, refDir), readTree(t, distDir), "island checkpoint dir")
+}
+
+// TestManifestMismatchFailLoud pins both rejection directions: a
+// peer whose manifest disagrees is refused before any work moves.
+func TestManifestMismatchFailLoud(t *testing.T) {
+	t.Run("coordinator-rejects-worker", func(t *testing.T) {
+		cfg := distCampaignConfig()
+		cfg.CheckpointDir = t.TempDir()
+		addrCh := make(chan string, 1)
+		serveCh := make(chan error, 1)
+		go func() {
+			serveCh <- Serve(CoordinatorOptions{
+				Addr: "127.0.0.1:0", Config: cfg,
+				Ready: func(addr string) { addrCh <- addr },
+			})
+		}()
+		conn, err := net.Dial("tcp", <-addrCh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		typ, _, manifest, err := readFrame(conn)
+		if err != nil || typ != msgConfig {
+			t.Fatalf("handshake: type %d err %v", typ, err)
+		}
+		// Echo a tampered manifest: one byte off is enough.
+		manifest[len(manifest)/2] ^= 0x01
+		if err := writeFrame(conn, msgReady, nil, manifest); err != nil {
+			t.Fatal(err)
+		}
+		if err := <-serveCh; !errors.Is(err, ErrManifestMismatch) {
+			t.Fatalf("coordinator returned %v, want ErrManifestMismatch", err)
+		}
+	})
+
+	t.Run("worker-rejects-coordinator", func(t *testing.T) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+		rejectCh := make(chan error, 1)
+		go func() {
+			conn, err := ln.Accept()
+			if err != nil {
+				rejectCh <- err
+				return
+			}
+			defer conn.Close()
+			cfg := distCampaignConfig()
+			manifest, err := expt.ManifestBytes(cfg)
+			if err != nil {
+				rejectCh <- err
+				return
+			}
+			manifest[len(manifest)/2] ^= 0x01 // coordinator lies about identity
+			if err := writeFrame(conn, msgConfig, WireFrom(cfg), manifest); err != nil {
+				rejectCh <- err
+				return
+			}
+			typ, _, _, err := readFrame(conn)
+			if err != nil {
+				rejectCh <- err
+				return
+			}
+			if typ != msgReject {
+				rejectCh <- errors.New("worker did not reject the session")
+				return
+			}
+			rejectCh <- nil
+		}()
+		err = Run(WorkerOptions{Addr: ln.Addr().String(), DialAttempts: 3})
+		if !errors.Is(err, ErrManifestMismatch) {
+			t.Fatalf("worker returned %v, want ErrManifestMismatch", err)
+		}
+		if err := <-rejectCh; err != nil {
+			t.Fatalf("fake coordinator: %v", err)
+		}
+	})
+}
+
+// TestWireConfigRoundTrip: the wire projection reconstructs an
+// equivalent campaign configuration (workloads by name).
+func TestWireConfigRoundTrip(t *testing.T) {
+	cfg := expt.CampaignConfig{
+		Backends:        []string{"ring", "crossbar"},
+		NWs:             []int{4, 8},
+		Replicates:      2,
+		Pop:             24,
+		Generations:     10,
+		Seed:            5,
+		Stats:           true,
+		CheckpointEvery: 3,
+		Islands:         2,
+		MigrationEvery:  4,
+		MigrationK:      1,
+	}
+	back, err := WireFrom(cfg).CampaignConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := expt.ManifestBytes(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := expt.ManifestBytes(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("wire round-trip changed the campaign manifest")
+	}
+	if !reflect.DeepEqual(cfg.Cells(), back.Cells()) {
+		t.Fatal("wire round-trip changed the cell enumeration")
+	}
+}

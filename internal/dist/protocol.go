@@ -1,0 +1,240 @@
+// Package dist implements distributed campaign execution: a
+// coordinator that enumerates campaign cells and hands them to
+// worker processes over a length-prefixed TCP protocol, and the
+// worker loop that executes them with the ordinary evaluator stack.
+//
+// The campaign checkpoint formats double as the wire formats: a
+// worker streams back the exact cell-<N>.ckpt / cell-<N>.json bytes
+// the in-process checkpoint manager writes, the coordinator stores
+// them verbatim in its checkpoint directory, and the artifact
+// directory comes out byte-identical to a single-process run's. A
+// worker that dies mid-cell loses nothing but the tail since its
+// last streamed snapshot: the coordinator holds the cell's lease,
+// detects the broken connection, and reassigns the cell — resume
+// bytes included — to the next free worker.
+//
+// The protocol carries no authentication and no encryption: it is
+// meant for trusted hosts (a lab cluster, one multi-core machine),
+// not the open internet.
+package dist
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/expt"
+)
+
+// Frame layout, little-endian:
+//
+//	u32 length   of everything after this field
+//	u8  type     one of the msg* constants
+//	u32 metaLen  length of the JSON metadata
+//	... meta     JSON, message-type specific
+//	... blob     opaque payload (checkpoint bytes, records, manifest)
+//
+// Every exchange is synchronous per connection: the coordinator
+// sends one assignment and reads frames until the job resolves, so
+// there is no interleaving to disambiguate.
+const (
+	// msgConfig (coordinator → worker) opens a session: meta is the
+	// WireConfig, blob the coordinator's manifest rendering.
+	msgConfig = iota + 1
+	// msgReady (worker → coordinator) accepts the session: blob is
+	// the worker's own manifest rendering, which the coordinator
+	// byte-compares against its own — identity is checked in both
+	// directions before any work is assigned.
+	msgReady
+	// msgReject (worker → coordinator) refuses the session: meta
+	// carries the reason. Sent when the manifests disagree.
+	msgReject
+	// msgCell (coordinator → worker) assigns one whole cell: meta is
+	// cellMeta, blob the cell's resume snapshot (empty = fresh).
+	msgCell
+	// msgCkpt (worker → coordinator) streams an in-flight snapshot
+	// of the running cell: blob is a complete cell-<N>.ckpt file.
+	msgCkpt
+	// msgDone (worker → coordinator) completes a cell: blob is the
+	// complete cell-<N>.json record.
+	msgDone
+	// msgFail (worker → coordinator) reports a deterministic cell or
+	// segment failure: meta carries the error.
+	msgFail
+	// msgSegment (coordinator → worker) assigns one island segment:
+	// meta is cellMeta, blob the JSON-encoded core.IslandSegment.
+	msgSegment
+	// msgSegDone (worker → coordinator) completes a segment: blob is
+	// the JSON-encoded core.IslandSegmentResult.
+	msgSegDone
+	// msgShutdown (coordinator → worker) ends the session cleanly.
+	msgShutdown
+)
+
+// maxFrame bounds a frame so a corrupt or hostile length prefix
+// cannot make a peer allocate unbounded memory. Engine checkpoints
+// of paper-scale cells are a few hundred kilobytes; a gigabyte is
+// far beyond anything legitimate.
+const maxFrame = 1 << 30
+
+// cellMeta addresses a cell (and, for failures, carries the error).
+type cellMeta struct {
+	Index int    `json:"index"`
+	Error string `json:"error,omitempty"`
+}
+
+// WireConfig is the campaign configuration as shipped to workers:
+// the result-determining fields only, with workloads by name (the
+// name is the generator spec, so the worker rebuilds the identical
+// task graph and mapping). The worker reconstructs a CampaignConfig
+// from it and must arrive at the same manifest bytes as the
+// coordinator; anything this struct failed to carry would surface
+// there, fail-loud.
+type WireConfig struct {
+	Backends        []string `json:"backends,omitempty"`
+	NWs             []int    `json:"nws,omitempty"`
+	ObjectiveSets   []int    `json:"objective_sets,omitempty"`
+	Workloads       []string `json:"workloads,omitempty"`
+	Replicates      int      `json:"replicates,omitempty"`
+	Pop             int      `json:"pop,omitempty"`
+	Generations     int      `json:"generations,omitempty"`
+	Seed            int64    `json:"seed,omitempty"`
+	WarmStart       bool     `json:"warm_start,omitempty"`
+	Stats           bool     `json:"stats,omitempty"`
+	EvalWorkers     int      `json:"eval_workers,omitempty"`
+	CheckpointEvery int      `json:"checkpoint_every,omitempty"`
+	Islands         int      `json:"islands,omitempty"`
+	MigrationEvery  int      `json:"migration_every,omitempty"`
+	MigrationK      int      `json:"migration_k,omitempty"`
+}
+
+// WireFrom projects a campaign configuration onto the wire shape.
+func WireFrom(cfg expt.CampaignConfig) WireConfig {
+	w := WireConfig{
+		Backends:        cfg.Backends,
+		NWs:             cfg.NWs,
+		Replicates:      cfg.Replicates,
+		Pop:             cfg.Pop,
+		Generations:     cfg.Generations,
+		Seed:            cfg.Seed,
+		WarmStart:       cfg.WarmStart,
+		Stats:           cfg.Stats,
+		EvalWorkers:     cfg.EvalWorkers,
+		CheckpointEvery: cfg.CheckpointEvery,
+		Islands:         cfg.Islands,
+		MigrationEvery:  cfg.MigrationEvery,
+		MigrationK:      cfg.MigrationK,
+	}
+	for _, os := range cfg.ObjectiveSets {
+		w.ObjectiveSets = append(w.ObjectiveSets, int(os))
+	}
+	for _, wl := range cfg.Workloads {
+		w.Workloads = append(w.Workloads, wl.Name)
+	}
+	return w
+}
+
+// CampaignConfig reconstructs the worker-side campaign configuration:
+// workload names resolve through the deterministic generator, so
+// both ends hold the same task graphs without shipping them.
+func (w WireConfig) CampaignConfig() (expt.CampaignConfig, error) {
+	cfg := expt.CampaignConfig{
+		Backends:        w.Backends,
+		NWs:             w.NWs,
+		Replicates:      w.Replicates,
+		Pop:             w.Pop,
+		Generations:     w.Generations,
+		Seed:            w.Seed,
+		WarmStart:       w.WarmStart,
+		Stats:           w.Stats,
+		EvalWorkers:     w.EvalWorkers,
+		CheckpointEvery: w.CheckpointEvery,
+		Islands:         w.Islands,
+		MigrationEvery:  w.MigrationEvery,
+		MigrationK:      w.MigrationK,
+	}
+	for _, os := range w.ObjectiveSets {
+		cfg.ObjectiveSets = append(cfg.ObjectiveSets, core.ObjectiveSet(os))
+	}
+	for _, name := range w.Workloads {
+		wl, err := expt.NamedWorkload(name)
+		if err != nil {
+			return expt.CampaignConfig{}, fmt.Errorf("dist: wire workload %q: %w", name, err)
+		}
+		cfg.Workloads = append(cfg.Workloads, wl)
+	}
+	return cfg, nil
+}
+
+// writeFrame writes one protocol frame. meta nil means empty
+// metadata.
+func writeFrame(w io.Writer, typ byte, meta any, blob []byte) error {
+	var metaRaw []byte
+	if meta != nil {
+		var err error
+		if metaRaw, err = json.Marshal(meta); err != nil {
+			return fmt.Errorf("dist: encode frame meta: %w", err)
+		}
+	}
+	total := 1 + 4 + len(metaRaw) + len(blob)
+	if total > maxFrame {
+		return fmt.Errorf("dist: frame of %d bytes exceeds the %d-byte limit", total, maxFrame)
+	}
+	hdr := make([]byte, 4+1+4)
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(total))
+	hdr[4] = typ
+	binary.LittleEndian.PutUint32(hdr[5:], uint32(len(metaRaw)))
+	for _, part := range [][]byte{hdr, metaRaw, blob} {
+		if _, err := w.Write(part); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFrame reads one protocol frame.
+func readFrame(r io.Reader) (typ byte, meta, blob []byte, err error) {
+	var lenBuf [4]byte
+	if _, err = io.ReadFull(r, lenBuf[:]); err != nil {
+		return 0, nil, nil, err
+	}
+	total := binary.LittleEndian.Uint32(lenBuf[:])
+	if total < 5 || total > maxFrame {
+		return 0, nil, nil, fmt.Errorf("dist: implausible frame length %d", total)
+	}
+	payload := make([]byte, total)
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return 0, nil, nil, fmt.Errorf("dist: truncated frame: %w", err)
+	}
+	typ = payload[0]
+	metaLen := binary.LittleEndian.Uint32(payload[1:5])
+	if int(metaLen) > len(payload)-5 {
+		return 0, nil, nil, fmt.Errorf("dist: frame metadata length %d exceeds payload", metaLen)
+	}
+	meta = payload[5 : 5+metaLen]
+	blob = payload[5+metaLen:]
+	if len(blob) == 0 {
+		blob = nil
+	}
+	return typ, meta, blob, nil
+}
+
+// isConnLost normalizes the read errors a vanished peer produces.
+func isConnLost(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// jsonBlob renders a frame blob from a JSON-encodable value.
+func jsonBlob(v any) ([]byte, error) { return json.Marshal(v) }
+
+// parseMeta decodes frame metadata (or a JSON blob); empty input is
+// the zero value.
+func parseMeta(raw []byte, v any) error {
+	if len(raw) == 0 {
+		return nil
+	}
+	return json.Unmarshal(raw, v)
+}

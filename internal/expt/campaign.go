@@ -187,6 +187,23 @@ type CampaignConfig struct {
 	// the result data still is. Part of the campaign identity when
 	// checkpointing (restored cells must carry the same fields).
 	Stats bool
+	// Islands > 1 runs every cell's GA as an island model: the
+	// population splits into that many independent engines that
+	// exchange their best genomes on a ring every MigrationEvery
+	// generations (see core.IslandSpec). Results differ from the
+	// single-engine run but are reproducible for a given (seed,
+	// islands, interval, top-k) — the fields join the campaign
+	// identity when checkpointing. Island cells carry no mid-cell
+	// snapshots: a resume re-runs an interrupted island cell from
+	// scratch (completed cells still restore from their records).
+	Islands int
+	// MigrationEvery is the island migration period in generations
+	// (default core.DefaultMigrationInterval). Requires Islands > 1.
+	MigrationEvery int
+	// MigrationK is the number of emigrant genomes per island per
+	// migration (default core.DefaultMigrationTopK). Requires
+	// Islands > 1.
+	MigrationK int
 }
 
 func (c CampaignConfig) withDefaults() CampaignConfig {
@@ -220,7 +237,25 @@ func (c CampaignConfig) withDefaults() CampaignConfig {
 	if c.CheckpointDir != "" && c.CheckpointEvery <= 0 {
 		c.CheckpointEvery = DefaultCheckpointEvery
 	}
+	if c.Islands > 1 {
+		if c.MigrationEvery <= 0 {
+			c.MigrationEvery = core.DefaultMigrationInterval
+		}
+		if c.MigrationK <= 0 {
+			c.MigrationK = core.DefaultMigrationTopK
+		}
+	}
 	return c
+}
+
+// islandSpec renders the campaign's island parameters for the core
+// driver; the zero value (no island mode) maps to a 1-island spec.
+func (c CampaignConfig) islandSpec() core.IslandSpec {
+	n := c.Islands
+	if n < 1 {
+		n = 1
+	}
+	return core.IslandSpec{Islands: n, Interval: c.MigrationEvery, TopK: c.MigrationK}
 }
 
 // Cell identifies one campaign experiment.
@@ -564,6 +599,22 @@ func RunCampaign(cfg CampaignConfig) (*Campaign, error) {
 			return nil, fmt.Errorf("expt: WarmCacheSiblings needs CheckpointDir (the warm cache is read from sibling checkpoints)")
 		}
 	}
+	if cfg.Islands > 1 {
+		// Island cells split their population across engines and keep
+		// no single mid-cell snapshot, so the snapshot-dependent
+		// features cannot compose with them.
+		if cfg.WarmCacheSiblings {
+			return nil, fmt.Errorf("expt: WarmCacheSiblings is incompatible with Islands (island cells keep no retained single-engine checkpoint)")
+		}
+		if cfg.StopAfterCheckpoints > 0 {
+			return nil, fmt.Errorf("expt: StopAfterCheckpoints is incompatible with Islands (island cells write no mid-cell snapshots)")
+		}
+		if cfg.Pop < 2*cfg.Islands {
+			return nil, fmt.Errorf("expt: population %d cannot split into %d islands (need >= 2 per island)", cfg.Pop, cfg.Islands)
+		}
+	} else if cfg.MigrationEvery > 0 || cfg.MigrationK > 0 {
+		return nil, fmt.Errorf("expt: MigrationEvery/MigrationK need Islands > 1")
+	}
 	cells := cfg.Cells()
 	results := make([]CellResult, len(cells))
 
@@ -720,6 +771,9 @@ func runCell(cfg CampaignConfig, si sharedInstance, cell Cell, mgr *checkpointMa
 	if si.err != nil {
 		return fail(si.err)
 	}
+	if cfg.Islands > 1 {
+		return runIslandCell(cfg, si.in, cell, mgr, t0)
+	}
 	var warmSrc func([]byte) ([]float64, float64, []float64, bool)
 	if cfg.WarmCacheSiblings && mgr != nil {
 		// Best effort and lazy: the lookup starts serving once any
@@ -728,19 +782,7 @@ func runCell(cfg CampaignConfig, si sharedInstance, cell Cell, mgr *checkpointMa
 		// checkpoint only costs the warm start, never the cell.
 		warmSrc = mgr.siblingWarmSource(cell)
 	}
-	p, err := core.New(core.Config{
-		NW:         cell.NW,
-		Instance:   si.in,
-		Objectives: cell.Objectives,
-		WarmStart:  cfg.WarmStart,
-		WarmSource: warmSrc,
-		GA: nsga2.Config{
-			PopSize:     cfg.Pop,
-			Generations: cfg.Generations,
-			Seed:        cell.Seed,
-			Workers:     cfg.EvalWorkers,
-		},
-	})
+	p, err := cellProblem(cfg, cell, si.in, warmSrc)
 	if err != nil {
 		return fail(err)
 	}
@@ -795,6 +837,55 @@ func runCell(cfg CampaignConfig, si sharedInstance, cell Cell, mgr *checkpointMa
 		// Failures are not recorded: they are deterministic, so a
 		// resume re-runs the cell and reports the same error, while a
 		// fixed environment gets a fresh chance.
+		if err := mgr.writeDone(cell, cr.artifact()); err != nil {
+			cr.Err = err
+		}
+	}
+	return cr
+}
+
+// cellProblem builds one cell's exploration problem on the pair's
+// shared read-only instance — the construction runCell, the island
+// path and the distributed worker all share, so a cell means exactly
+// the same GA wherever it executes.
+func cellProblem(cfg CampaignConfig, cell Cell, in *alloc.Instance,
+	warmSrc func([]byte) ([]float64, float64, []float64, bool)) (*core.Problem, error) {
+	return core.New(core.Config{
+		NW:         cell.NW,
+		Instance:   in,
+		Objectives: cell.Objectives,
+		WarmStart:  cfg.WarmStart,
+		WarmSource: warmSrc,
+		GA: nsga2.Config{
+			PopSize:     cfg.Pop,
+			Generations: cfg.Generations,
+			Seed:        cell.Seed,
+			Workers:     cfg.EvalWorkers,
+		},
+	})
+}
+
+// runIslandCell executes one cell as an island model (see
+// CampaignConfig.Islands). Island cells write no mid-cell snapshots —
+// their state is a set of per-island checkpoints, not one engine
+// stream — so an interrupted island cell re-runs from scratch on
+// resume; completion records work exactly like the single-engine
+// path's.
+func runIslandCell(cfg CampaignConfig, in *alloc.Instance, cell Cell, mgr *checkpointManager, t0 time.Time) CellResult {
+	p, err := cellProblem(cfg, cell, in, nil)
+	if err != nil {
+		return CellResult{Cell: cell, Err: err, Elapsed: time.Since(t0)}
+	}
+	res, stats, err := p.RunIslands(cfg.islandSpec(), nil)
+	cr := CellResult{Cell: cell, Result: res, Err: err}
+	if cfg.Stats && err == nil {
+		cr.stats = cellStatsOf(stats)
+	}
+	if err == nil && res != nil {
+		cr.SimChecked, cr.SimViolations, cr.SimBracketMisses, cr.Err = simCheck(p.Instance(), res)
+	}
+	cr.Elapsed = time.Since(t0)
+	if mgr != nil && cr.Err == nil {
 		if err := mgr.writeDone(cell, cr.artifact()); err != nil {
 			cr.Err = err
 		}
@@ -988,6 +1079,55 @@ func WriteCampaignCSV(w io.Writer, c *Campaign) error {
 		}
 	}
 	return cw.flush()
+}
+
+// campaignStatsLine is one cell's engine instrumentation as a JSON
+// line: cell identity plus the CellStats counters.
+type campaignStatsLine struct {
+	Cell       int        `json:"cell"`
+	Backend    string     `json:"backend,omitempty"`
+	Workload   string     `json:"workload"`
+	Objectives string     `json:"objectives"`
+	NW         int        `json:"nw"`
+	Replicate  int        `json:"replicate"`
+	Stats      *CellStats `json:"stats"`
+}
+
+// WriteCampaignStats emits one JSON line per cell carrying the
+// cell's engine instrumentation (cells without recorded stats are
+// skipped). The backend column appears exactly when the campaign
+// sweeps a non-default backend — the same rule as every other
+// artifact. Restored cells carry the stats from their completion
+// records, so the lines are identical whether the campaign ran
+// in-process or was distributed across workers.
+func WriteCampaignStats(w io.Writer, c *Campaign) error {
+	multi := sweepsBackends(c.Cfg.withDefaults())
+	for i := range c.Cells {
+		cr := &c.Cells[i]
+		s := cr.Stats()
+		if s == nil {
+			continue
+		}
+		line := campaignStatsLine{
+			Cell:       cr.Cell.Index,
+			Workload:   cr.Cell.Workload,
+			Objectives: cr.Cell.Objectives.String(),
+			NW:         cr.Cell.NW,
+			Replicate:  cr.Cell.Replicate,
+			Stats:      s,
+		}
+		if multi {
+			line.Backend = cr.Cell.Backend
+		}
+		raw, err := json.Marshal(line)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(raw, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // sweepsBackends reports whether the campaign sweeps any non-default

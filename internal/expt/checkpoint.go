@@ -2,7 +2,6 @@ package expt
 
 import (
 	"bytes"
-	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -99,8 +98,14 @@ type manifestJSON struct {
 	// Stats is part of the identity because it changes the artifact
 	// bytes: a campaign completed without instrumentation cannot be
 	// resumed into one that expects stats on every restored cell.
-	Stats bool           `json:"stats,omitempty"`
-	Cells []manifestCell `json:"cells"`
+	Stats bool `json:"stats,omitempty"`
+	// The island-model parameters change every cell's trajectory, so
+	// they join the identity; single-engine campaigns omit them and
+	// keep their historical manifest bytes.
+	Islands        int            `json:"islands,omitempty"`
+	MigrationEvery int            `json:"migration_every,omitempty"`
+	MigrationK     int            `json:"migration_k,omitempty"`
+	Cells          []manifestCell `json:"cells"`
 }
 
 type manifestCell struct {
@@ -168,6 +173,11 @@ func buildManifest(cfg CampaignConfig, cells []Cell) manifestJSON {
 		Seed:        cfg.Seed,
 		WarmStart:   cfg.WarmStart,
 		Stats:       cfg.Stats,
+	}
+	if cfg.Islands > 1 {
+		m.Islands = cfg.Islands
+		m.MigrationEvery = cfg.MigrationEvery
+		m.MigrationK = cfg.MigrationK
 	}
 	for _, os := range cfg.ObjectiveSets {
 		m.ObjectiveSets = append(m.ObjectiveSets, os.String())
@@ -258,28 +268,26 @@ func (m *checkpointManager) loadDone(c Cell) (*cellArtifact, bool, error) {
 	if err != nil {
 		return nil, false, fmt.Errorf("expt: resume cell %d: %w", c.Index, err)
 	}
-	var done cellDoneJSON
-	if err := json.Unmarshal(raw, &done); err != nil {
-		return nil, false, fmt.Errorf("expt: resume cell %d: corrupt completion record: %w", c.Index, err)
+	art, err := decodeCellDone(c, raw)
+	if err != nil {
+		return nil, false, fmt.Errorf("expt: resume: %w", err)
 	}
-	if done.Schema != cellDoneSchema {
-		return nil, false, fmt.Errorf("expt: resume cell %d: completion schema %q, this build reads %q", c.Index, done.Schema, cellDoneSchema)
-	}
-	if done.Cell != manifestCellOf(c) {
-		return nil, false, fmt.Errorf("expt: resume cell %d: completion record identifies %+v, campaign expects %+v", c.Index, done.Cell, manifestCellOf(c))
-	}
-	return &done.cellArtifact, true, nil
+	return art, true, nil
 }
 
 // writeDone atomically records c's completion and drops its in-flight
 // snapshot. A kill between the two operations leaves both files; the
-// completion record wins on resume.
+// completion record wins on resume. The record bytes come from
+// encodeCellDone — the same encoder a distributed worker streams
+// records through, so both paths write identical files.
 func (m *checkpointManager) writeDone(c Cell, art cellArtifact) error {
-	done := cellDoneJSON{Schema: cellDoneSchema, Cell: manifestCellOf(c), cellArtifact: art}
+	raw, err := encodeCellDone(c, art)
+	if err != nil {
+		return fmt.Errorf("expt: record cell %d completion: %w", c.Index, err)
+	}
 	if err := atomicWriteFile(m.donePath(c), func(w io.Writer) error {
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		return enc.Encode(done)
+		_, err := w.Write(raw)
+		return err
 	}); err != nil {
 		return fmt.Errorf("expt: record cell %d completion: %w", c.Index, err)
 	}
@@ -457,41 +465,26 @@ func (m *checkpointManager) loadCellCheckpoint(c Cell) ([]byte, bool, error) {
 	if err != nil {
 		return nil, false, fmt.Errorf("expt: resume cell %d: %w", c.Index, err)
 	}
-	hdrLen := len(cellCkptMagic) + 2 + 4 + 4
-	if len(raw) < hdrLen || !bytes.Equal(raw[:len(cellCkptMagic)], cellCkptMagic[:]) {
-		return nil, false, fmt.Errorf("expt: resume cell %d: %s is not a cell checkpoint", c.Index, m.ckptPath(c))
+	payload, err := decodeCellCkpt(c, raw)
+	if err != nil {
+		return nil, false, fmt.Errorf("expt: resume: %w", err)
 	}
-	off := len(cellCkptMagic)
-	if v := binary.LittleEndian.Uint16(raw[off:]); v != cellCkptVersion {
-		return nil, false, fmt.Errorf("expt: resume cell %d: cell checkpoint version %d, this build reads %d", c.Index, v, cellCkptVersion)
-	}
-	off += 2
-	if idx := binary.LittleEndian.Uint32(raw[off:]); int(idx) != c.Index {
-		return nil, false, fmt.Errorf("expt: resume cell %d: checkpoint belongs to cell %d", c.Index, idx)
-	}
-	off += 4
-	if nw := binary.LittleEndian.Uint32(raw[off:]); int(nw) != c.NW {
-		return nil, false, fmt.Errorf("expt: resume cell %d: checkpoint comb size %d, cell wants %d", c.Index, nw, c.NW)
-	}
-	off += 4
-	return raw[off:], true, nil
+	return payload, true, nil
 }
 
 // writeCellCheckpoint atomically snapshots an in-flight cell and
-// accounts the write toward the crash-test stop.
+// accounts the write toward the crash-test stop. The snapshot bytes
+// come from encodeCellCkpt — the same encoder a distributed worker
+// streams snapshots through.
 func (m *checkpointManager) writeCellCheckpoint(c Cell, x *core.Explorer) error {
-	err := atomicWriteFile(m.ckptPath(c), func(w io.Writer) error {
-		var hdr [16]byte
-		off := copy(hdr[:], cellCkptMagic[:])
-		binary.LittleEndian.PutUint16(hdr[off:], cellCkptVersion)
-		binary.LittleEndian.PutUint32(hdr[off+2:], uint32(c.Index))
-		binary.LittleEndian.PutUint32(hdr[off+6:], uint32(c.NW))
-		if _, err := w.Write(hdr[:off+10]); err != nil {
-			return err
-		}
-		return x.WriteCheckpoint(w)
-	})
+	raw, err := encodeCellCkpt(c, x)
 	if err != nil {
+		return fmt.Errorf("expt: checkpoint cell %d: %w", c.Index, err)
+	}
+	if err := atomicWriteFile(m.ckptPath(c), func(w io.Writer) error {
+		_, err := w.Write(raw)
+		return err
+	}); err != nil {
 		return fmt.Errorf("expt: checkpoint cell %d: %w", c.Index, err)
 	}
 	m.mu.Lock()

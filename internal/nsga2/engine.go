@@ -982,25 +982,44 @@ func (e *Engine) relation(i, j int) int {
 	mo := e.nObj
 	a := e.objsFlat[i*mo : (i+1)*mo]
 	b := e.objsFlat[j*mo : (j+1)*mo]
-	iBetter, jBetter := false, false
-	for k := 0; k < mo; k++ {
-		switch {
-		case a[k] < b[k]:
-			if jBetter {
-				return 0
+	// The common widths (the 2- and 3-objective sets) compare unrolled:
+	// both better-than flags are folded over the whole vector with
+	// short-circuit ORs instead of the flagged scan. The final decision
+	// — both flags 0, one flag 1/-1 — is exactly what the reference
+	// early-exit loop returns (it only returns 0 sooner, never a
+	// different value), including under NaN, where every comparison is
+	// false and both flags stay clear.
+	var iBetter, jBetter bool
+	switch mo {
+	case 2:
+		iBetter = a[0] < b[0] || a[1] < b[1]
+		jBetter = a[0] > b[0] || a[1] > b[1]
+	case 3:
+		iBetter = a[0] < b[0] || a[1] < b[1] || a[2] < b[2]
+		jBetter = a[0] > b[0] || a[1] > b[1] || a[2] > b[2]
+	case 4:
+		iBetter = a[0] < b[0] || a[1] < b[1] || a[2] < b[2] || a[3] < b[3]
+		jBetter = a[0] > b[0] || a[1] > b[1] || a[2] > b[2] || a[3] > b[3]
+	default:
+		for k := 0; k < mo; k++ {
+			switch {
+			case a[k] < b[k]:
+				if jBetter {
+					return 0
+				}
+				iBetter = true
+			case a[k] > b[k]:
+				if iBetter {
+					return 0
+				}
+				jBetter = true
 			}
-			iBetter = true
-		case a[k] > b[k]:
-			if iBetter {
-				return 0
-			}
-			jBetter = true
 		}
 	}
 	switch {
-	case iBetter:
+	case iBetter && !jBetter:
 		return 1
-	case jBetter:
+	case jBetter && !iBetter:
 		return -1
 	}
 	return 0
