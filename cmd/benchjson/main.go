@@ -16,6 +16,14 @@
 //	                             violation (or if nothing matched, which
 //	                             catches renamed benchmarks silently
 //	                             skipping the gate)
+//	-zero-allocs-exempt regexp   benchmarks whose base name matches are
+//	                             excluded from -require-zero-allocs even
+//	                             when the require pattern matches them —
+//	                             for suites (e.g. the HTTP serving
+//	                             benchmarks) where allocation-free
+//	                             operation is not a goal. Matching
+//	                             nothing is an error, like the other
+//	                             pattern flags
 //	-compare file                baseline BENCH_*.json to gate ns/op
 //	                             regressions against (e.g. the committed
 //	                             BENCH_PR3.json)
@@ -76,6 +84,7 @@ func main() {
 	var (
 		sha            = flag.String("sha", "", "git commit SHA to record (default: $GITHUB_SHA, then git rev-parse HEAD)")
 		requireZero    = flag.String("require-zero-allocs", "", "regexp of benchmark base names that must report 0 allocs/op")
+		zeroExempt     = flag.String("zero-allocs-exempt", "", "regexp of benchmark base names excluded from -require-zero-allocs")
 		compareFile    = flag.String("compare", "", "baseline BENCH_*.json to gate ns/op regressions against")
 		regressGate    = flag.String("regress-gate", "", "regexp of benchmark base names held to the regression budget (required with -compare)")
 		maxRegress     = flag.Float64("max-regress", 0.15, "allowed fractional ns/op growth over the -compare baseline")
@@ -98,9 +107,11 @@ func main() {
 	}
 	// Gates run after writing, so the artifact exists even on failure.
 	if *requireZero != "" {
-		if err := checkZeroAllocs(doc, *requireZero); err != nil {
+		if err := checkZeroAllocs(doc, *requireZero, *zeroExempt); err != nil {
 			fatal(err)
 		}
+	} else if *zeroExempt != "" {
+		fatal(fmt.Errorf("-zero-allocs-exempt needs -require-zero-allocs"))
 	}
 	if *compareFile != "" {
 		base, err := loadBaseline(*compareFile)
@@ -331,16 +342,29 @@ func resolveSHA(flagSHA string) string {
 
 // checkZeroAllocs enforces the allocation budget: every benchmark
 // whose base name (the "-8" GOMAXPROCS suffix stripped) matches the
-// pattern must carry an allocs/op metric equal to zero.
-func checkZeroAllocs(doc *document, pattern string) error {
+// pattern — and does not match the exemption pattern — must carry an
+// allocs/op metric equal to zero. An exemption that matches nothing
+// fails like the other pattern flags: a renamed benchmark must not
+// leave a stale exemption behind.
+func checkZeroAllocs(doc *document, pattern, exempt string) error {
 	re, err := regexp.Compile(pattern)
 	if err != nil {
 		return fmt.Errorf("bad -require-zero-allocs pattern: %v", err)
 	}
-	matched := 0
+	var exemptRE *regexp.Regexp
+	if exempt != "" {
+		if exemptRE, err = regexp.Compile(exempt); err != nil {
+			return fmt.Errorf("bad -zero-allocs-exempt pattern: %v", err)
+		}
+	}
+	matched, exempted := 0, 0
 	var violations []string
 	for _, rec := range doc.Benchmarks {
 		if !re.MatchString(baseName(rec.Name)) {
+			continue
+		}
+		if exemptRE != nil && exemptRE.MatchString(baseName(rec.Name)) {
+			exempted++
 			continue
 		}
 		matched++
@@ -355,10 +379,13 @@ func checkZeroAllocs(doc *document, pattern string) error {
 	if matched == 0 {
 		return fmt.Errorf("zero-alloc gate %q matched no benchmark — renamed or not run?", pattern)
 	}
+	if exemptRE != nil && exempted == 0 {
+		return fmt.Errorf("zero-alloc exemption %q matched no gated benchmark — renamed or not run?", exempt)
+	}
 	if len(violations) > 0 {
 		return fmt.Errorf("allocation budget violated:\n  %s", strings.Join(violations, "\n  "))
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: zero-alloc gate passed for %d benchmark(s)\n", matched)
+	fmt.Fprintf(os.Stderr, "benchjson: zero-alloc gate passed for %d benchmark(s), %d exempted\n", matched, exempted)
 	return nil
 }
 

@@ -39,14 +39,36 @@ func TestParseBenchLines(t *testing.T) {
 
 func TestZeroAllocGate(t *testing.T) {
 	d := doc(t, sampleBench)
-	if err := checkZeroAllocs(d, `BenchmarkEvaluateKernel$|BenchmarkGeneration$`); err != nil {
+	if err := checkZeroAllocs(d, `BenchmarkEvaluateKernel$|BenchmarkGeneration$`, ""); err != nil {
 		t.Fatalf("clean gate failed: %v", err)
 	}
-	if err := checkZeroAllocs(d, `BenchmarkOther$`); err == nil {
+	if err := checkZeroAllocs(d, `BenchmarkOther$`, ""); err == nil {
 		t.Fatal("1 allocs/op passed the zero-alloc gate")
 	}
-	if err := checkZeroAllocs(d, `BenchmarkRenamed$`); err == nil {
+	if err := checkZeroAllocs(d, `BenchmarkRenamed$`, ""); err == nil {
 		t.Fatal("empty match passed the zero-alloc gate")
+	}
+}
+
+func TestZeroAllocExemption(t *testing.T) {
+	d := doc(t, sampleBench)
+	// BenchmarkOther allocates, but the exemption carves it out of a
+	// broad require pattern.
+	if err := checkZeroAllocs(d, `Benchmark`, `BenchmarkOther$`); err != nil {
+		t.Fatalf("exempted allocator failed the gate: %v", err)
+	}
+	// Without the exemption the same broad pattern must fail.
+	if err := checkZeroAllocs(d, `Benchmark`, ""); err == nil {
+		t.Fatal("allocating benchmark passed a broad zero-alloc gate")
+	}
+	// A stale exemption matching nothing fails, like the other
+	// pattern flags.
+	if err := checkZeroAllocs(d, `Benchmark`, `BenchmarkRenamed$`); err == nil {
+		t.Fatal("no-match exemption passed")
+	}
+	// An exemption must not mask the require pattern entirely.
+	if err := checkZeroAllocs(d, `BenchmarkOther$`, `BenchmarkOther$`); err == nil {
+		t.Fatal("fully-exempted gate passed instead of failing as matched-nothing")
 	}
 }
 

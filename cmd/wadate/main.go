@@ -21,6 +21,19 @@
 //	-quick            use the reduced smoke-test configuration
 //	-csv string       write all fronts (and the NW=8 cloud) to this file
 //
+// Eval mode scores one chromosome and prints the canonical JSON
+// response — the exact bytes the waserve daemon returns for the same
+// request, which CI verifies with a literal diff:
+//
+//	-eval             evaluate a single chromosome instead of running
+//	                  an experiment suite
+//	-genome string    the chromosome, "1000/0001/..." (slashes and
+//	                  spaces optional)
+//	-backend string   optical fabric backend (default "ring")
+//	-workload string  workload spec (default "paper")
+//
+// Eval mode takes exactly one comb size via -nw.
+//
 // Campaign mode fans a whole sweep of independent cells — the cross
 // product of comb sizes, objective sets, workloads and replicate
 // seeds — across a bounded pool of cell workers. Results and
@@ -131,14 +144,14 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
-	"strconv"
-	"strings"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/expt"
 	"repro/internal/graph"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -152,6 +165,11 @@ func main() {
 		csv     = flag.String("csv", "", "write solution CSV to this file (with -campaign: the flat campaign table)")
 		seeds   = flag.Int("seeds", 5, "seed count for -exp robustness")
 		workers = flag.Int("workers", 0, "parallel evaluation goroutines (0 = serial; results identical)")
+
+		evalMode = flag.Bool("eval", false, "evaluate a single chromosome and print the canonical JSON response")
+		genome   = flag.String("genome", "", "chromosome for -eval, e.g. 1000/0001/0100 (slashes and spaces optional)")
+		backend  = flag.String("backend", core.DefaultBackend, "optical fabric backend for -eval")
+		workload = flag.String("workload", "paper", "workload spec for -eval: paper, chain<N>, forkjoin<W>, fft<N>, gauss<N>, diamond<N>")
 
 		campaign    = flag.Bool("campaign", false, "run a campaign: the cross product of -backends, -nw, -objsets, -workloads and -reps")
 		backends    = flag.String("backends", "ring", "comma-separated campaign optical fabric backends: ring, crossbar")
@@ -212,6 +230,25 @@ func main() {
 		return
 	}
 
+	// Eval mode is a one-shot scoring call sharing the serving
+	// daemon's code path; experiment and campaign flags cannot apply,
+	// so any of them is a usage error (exit status 2).
+	if *evalMode {
+		allowed := map[string]bool{"eval": true, "genome": true, "backend": true, "workload": true, "nw": true,
+			"cpuprofile": true, "memprofile": true}
+		for name := range explicitly {
+			if !allowed[name] {
+				fmt.Fprintf(os.Stderr, "wadate: -%s does not apply in -eval mode\n", name)
+				os.Exit(2)
+			}
+		}
+		if err := runEval(*genome, *backend, *workload, *nws); err != nil {
+			fmt.Fprintf(os.Stderr, "wadate: %v\n", err)
+			os.Exit(cliutil.ExitStatus(err))
+		}
+		return
+	}
+
 	// -distribute is campaign coordination; spelling out -campaign too
 	// is redundant.
 	*campaign = *campaign || *distribute != ""
@@ -220,6 +257,12 @@ func main() {
 	// them: a paper-scale run is too expensive to discover afterwards
 	// that a flag never applied.
 	var err error
+	for _, name := range []string{"genome", "backend", "workload"} {
+		if explicitly[name] {
+			err = cliutil.Usagef("-%s only applies in -eval mode", name)
+			break
+		}
+	}
 	conflicting := []string{"exp", "seeds"}
 	if !*campaign {
 		conflicting = []string{"json", "backends", "cellworkers", "reps", "objsets", "workloads", "warmstart",
@@ -227,12 +270,15 @@ func main() {
 			"islands", "migrate-every", "migrate-k"}
 	}
 	for _, name := range conflicting {
+		if err != nil {
+			break
+		}
 		if explicitly[name] {
 			mode := "outside"
 			if *campaign {
 				mode = "in"
 			}
-			err = usageError{fmt.Errorf("-%s does not apply %s -campaign mode", name, mode)}
+			err = cliutil.Usagef("-%s does not apply %s -campaign mode", name, mode)
 			break
 		}
 	}
@@ -242,13 +288,13 @@ func main() {
 	if err == nil && *distribute != "" {
 		switch {
 		case *checkpointDir == "":
-			err = usageError{fmt.Errorf("-distribute needs -checkpoint-dir (the directory is the durable ground truth workers stream into)")}
+			err = cliutil.Usagef("-distribute needs -checkpoint-dir (the directory is the durable ground truth workers stream into)")
 		case *warmcache:
-			err = usageError{fmt.Errorf("-warmcache does not apply with -distribute (workers hold no sibling checkpoints)")}
+			err = cliutil.Usagef("-warmcache does not apply with -distribute (workers hold no sibling checkpoints)")
 		case *haltAfter > 0:
-			err = usageError{fmt.Errorf("-halt-after-checkpoints is a -worker flag; the coordinator does not write snapshots itself")}
+			err = cliutil.Usagef("-halt-after-checkpoints is a -worker flag; the coordinator does not write snapshots itself")
 		case explicitly["cellworkers"]:
-			err = usageError{fmt.Errorf("-cellworkers does not apply with -distribute (parallelism is the number of connected workers)")}
+			err = cliutil.Usagef("-cellworkers does not apply with -distribute (parallelism is the number of connected workers)")
 		}
 	}
 	var stopCPU func()
@@ -279,19 +325,40 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "wadate: %v\n", err)
-		if errors.As(err, &usageError{}) {
-			os.Exit(2)
-		}
-		os.Exit(1)
+		os.Exit(cliutil.ExitStatus(err))
 	}
 }
 
-// usageError marks a flag combination that can never work, detected
-// before any cell runs. Reported like a flag-parse failure: exit
-// status 2 instead of the runtime-failure status 1.
-type usageError struct{ error }
-
-func (u usageError) Unwrap() error { return u.error }
+// runEval scores one chromosome through serve.EvaluateLocal — the
+// daemon's own resolve/evaluate/render path — and prints the canonical
+// response bytes. CI diffs this output against a live waserve's
+// /v1/evaluate response to pin the byte-identity guarantee.
+func runEval(genome, backend, workload, nws string) error {
+	if genome == "" {
+		return cliutil.Usagef("-eval needs -genome")
+	}
+	if _, err := cliutil.ParseBackends(backend); err != nil {
+		return err
+	}
+	ns, err := cliutil.ParseNWs(nws)
+	if err != nil {
+		return err
+	}
+	if len(ns) != 1 {
+		return cliutil.Usagef("-eval needs exactly one comb size in -nw, got %v", ns)
+	}
+	out, err := serve.EvaluateLocal(serve.EvaluateRequest{
+		Workload: workload,
+		Backend:  backend,
+		NW:       ns[0],
+		Genome:   genome,
+	})
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(out)
+	return err
+}
 
 // validateCampaignFlags rejects checkpoint flag combinations up
 // front: every checkpoint-dependent flag needs -checkpoint-dir, and
@@ -303,20 +370,20 @@ func validateCampaignFlags(dir string, resume, warmcache bool, haltAfter int, ev
 	if dir == "" {
 		switch {
 		case warmcache:
-			return usageError{fmt.Errorf("-warmcache needs -checkpoint-dir (the warm cache is read from sibling checkpoints)")}
+			return cliutil.Usagef("-warmcache needs -checkpoint-dir (the warm cache is read from sibling checkpoints)")
 		case resume:
-			return usageError{fmt.Errorf("-resume needs -checkpoint-dir (there is nothing to resume from)")}
+			return cliutil.Usagef("-resume needs -checkpoint-dir (there is nothing to resume from)")
 		case haltAfter > 0:
-			return usageError{fmt.Errorf("-halt-after-checkpoints needs -checkpoint-dir")}
+			return cliutil.Usagef("-halt-after-checkpoints needs -checkpoint-dir")
 		case everySet:
-			return usageError{fmt.Errorf("-checkpoint-every needs -checkpoint-dir")}
+			return cliutil.Usagef("-checkpoint-every needs -checkpoint-dir")
 		}
 		return nil
 	}
 	if resume {
 		manifest := filepath.Join(dir, "manifest.json")
 		if _, err := os.Stat(manifest); err != nil {
-			return usageError{fmt.Errorf("-resume: no campaign manifest at %s (run once without -resume to start the campaign): %v", manifest, err)}
+			return cliutil.Usagef("-resume: no campaign manifest at %s (run once without -resume to start the campaign): %v", manifest, err)
 		}
 	}
 	return nil
@@ -421,19 +488,19 @@ func runCampaign(o campaignOpts) error {
 		MigrationK:           o.migrateK,
 	}
 	var err error
-	cfg.Backends, err = parseBackends(o.backends)
+	cfg.Backends, err = cliutil.ParseBackends(o.backends)
 	if err != nil {
 		return err
 	}
-	cfg.NWs, err = parseNWs(o.nws)
+	cfg.NWs, err = cliutil.ParseNWs(o.nws)
 	if err != nil {
 		return err
 	}
-	cfg.ObjectiveSets, err = parseObjectiveSets(o.objsets)
+	cfg.ObjectiveSets, err = cliutil.ParseObjectiveSets(o.objsets)
 	if err != nil {
 		return err
 	}
-	for _, spec := range splitList(o.workloads) {
+	for _, spec := range cliutil.SplitList(o.workloads) {
 		wl, err := expt.NamedWorkload(spec)
 		if err != nil {
 			return err
@@ -553,56 +620,6 @@ func writeArtifact(path string, write func(*os.File) error) error {
 	return f.Close()
 }
 
-// parseBackends validates -backends up front: an unknown backend is a
-// usage error (exit status 2), reported before any cell runs.
-func parseBackends(s string) ([]string, error) {
-	known := make(map[string]bool)
-	for _, b := range core.Backends() {
-		known[b] = true
-	}
-	var out []string
-	for _, part := range splitList(s) {
-		if !known[part] {
-			return nil, usageError{fmt.Errorf("unknown backend %q (want one of %s)", part, strings.Join(core.Backends(), ", "))}
-		}
-		out = append(out, part)
-	}
-	if len(out) == 0 {
-		return nil, usageError{fmt.Errorf("no backends in %q", s)}
-	}
-	return out, nil
-}
-
-func parseObjectiveSets(s string) ([]core.ObjectiveSet, error) {
-	var out []core.ObjectiveSet
-	for _, part := range splitList(s) {
-		switch part {
-		case "teb":
-			out = append(out, core.TimeEnergyBER)
-		case "te":
-			out = append(out, core.TimeEnergy)
-		case "tb":
-			out = append(out, core.TimeBER)
-		default:
-			return nil, fmt.Errorf("unknown objective set %q (want teb, te or tb)", part)
-		}
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("no objective sets in %q", s)
-	}
-	return out, nil
-}
-
-func splitList(s string) []string {
-	var out []string
-	for _, part := range strings.Split(s, ",") {
-		if part = strings.TrimSpace(part); part != "" {
-			out = append(out, part)
-		}
-	}
-	return out
-}
-
 func run(exp, nws string, pop, gens int, seed int64, csvPath string, seeds, workers int) error {
 	switch exp {
 	case "table1":
@@ -623,7 +640,7 @@ func run(exp, nws string, pop, gens int, seed int64, csvPath string, seeds, work
 
 	cfg := expt.Config{Pop: pop, Generations: gens, Seed: seed, Workers: workers}
 	var err error
-	cfg.NWs, err = parseNWs(nws)
+	cfg.NWs, err = cliutil.ParseNWs(nws)
 	if err != nil {
 		return err
 	}
@@ -683,25 +700,6 @@ func run(exp, nws string, pop, gens int, seed int64, csvPath string, seeds, work
 		fmt.Printf("\nCSV written to %s\n", csvPath)
 	}
 	return nil
-}
-
-func parseNWs(s string) ([]int, error) {
-	var out []int
-	for _, part := range strings.Split(s, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		n, err := strconv.Atoi(part)
-		if err != nil || n <= 0 {
-			return nil, fmt.Errorf("bad wavelength count %q", part)
-		}
-		out = append(out, n)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("no wavelength counts in %q", s)
-	}
-	return out, nil
 }
 
 func contains(xs []int, x int) bool {

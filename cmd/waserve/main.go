@@ -1,0 +1,151 @@
+// Command waserve is the allocation-as-a-service daemon: it serves
+// the wavelength-allocation engine of "Performance and Energy Aware
+// Wavelength Allocation on Ring-Based WDM 3D Optical NoC" (Luo et
+// al., DATE 2017) over HTTP/JSON.
+//
+// Endpoints (all under one port):
+//
+//	POST /v1/evaluate   score one chromosome; concurrent requests are
+//	                    coalesced into batched worker-pool passes
+//	POST /v1/explain    full link-budget report for a valid chromosome
+//	POST /v1/optimize   run (or resume, via the opaque session token)
+//	                    an NSGA-II exploration
+//	POST /v1/campaign   stream a campaign sweep as ndjson progress
+//	                    events plus a final result line
+//	GET  /healthz       liveness + draining state
+//	GET  /v1/instances  the served (workload, backend, nw) set
+//
+// Usage:
+//
+//	waserve [flags]
+//
+//	-addr string       listen address (default "localhost:8337")
+//	-backends string   comma-separated served backends (default all)
+//	-workloads string  comma-separated served workloads (default "paper")
+//	-nw string         comma-separated served comb sizes (default "4,8")
+//	-batch-window duration  batching flush deadline (default 200µs)
+//	-batch-max int     max coalesced requests per pass (default 64)
+//	-queue-depth int   evaluate queue bound; beyond it requests get
+//	                   429 + Retry-After (default 1024)
+//	-workers int       worker-pool size (default GOMAXPROCS)
+//	-no-batch          serve evaluations through one lock-guarded
+//	                   evaluator instead of the batching front (the
+//	                   benchmark baseline)
+//	-campaign-slots int  concurrent campaign sweeps (default 1)
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the daemon stops
+// accepting connections, in-flight optimizations stop at the next
+// generation boundary and flush their state into session tokens,
+// queued evaluations finish, and the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", "localhost:8337", "listen address")
+		backends      = flag.String("backends", "", "comma-separated served optical fabric backends (default all)")
+		workloads     = flag.String("workloads", "paper", "comma-separated served workloads: paper, chain<N>, forkjoin<W>, fft<N>, gauss<N>, diamond<N>")
+		nws           = flag.String("nw", "4,8", "comma-separated served comb sizes")
+		batchWindow   = flag.Duration("batch-window", serve.DefaultBatchWindow, "batching front flush deadline")
+		batchMax      = flag.Int("batch-max", serve.DefaultMaxBatch, "max coalesced evaluate requests per worker-pool pass")
+		queueDepth    = flag.Int("queue-depth", serve.DefaultQueueDepth, "evaluate queue bound (full queue sheds load with 429)")
+		workers       = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+		noBatch       = flag.Bool("no-batch", false, "serve evaluations through one lock-guarded evaluator (benchmark baseline)")
+		campaignSlots = flag.Int("campaign-slots", 1, "concurrent campaign sweeps")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "waserve: ", log.LstdFlags)
+	if err := run(*addr, *backends, *workloads, *nws, *batchWindow, *batchMax, *queueDepth,
+		*workers, *noBatch, *campaignSlots, logger); err != nil {
+		fmt.Fprintf(os.Stderr, "waserve: %v\n", err)
+		os.Exit(cliutil.ExitStatus(err))
+	}
+}
+
+func run(addr, backends, workloads, nws string, batchWindow time.Duration,
+	batchMax, queueDepth, workers int, noBatch bool, campaignSlots int, logger *log.Logger) error {
+	cfg := serve.Config{
+		Workloads:     cliutil.SplitList(workloads),
+		BatchWindow:   batchWindow,
+		MaxBatch:      batchMax,
+		QueueDepth:    queueDepth,
+		Workers:       workers,
+		NoBatch:       noBatch,
+		CampaignSlots: campaignSlots,
+		Log:           logger,
+	}
+	var err error
+	if backends != "" {
+		if cfg.Backends, err = cliutil.ParseBackends(backends); err != nil {
+			return err
+		}
+	}
+	if cfg.NWs, err = cliutil.ParseNWs(nws); err != nil {
+		return err
+	}
+	if len(cfg.Workloads) == 0 {
+		return cliutil.Usagef("no workloads in %q", workloads)
+	}
+
+	s, err := serve.NewServer(cfg)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Addr: addr, Handler: s.Handler()}
+
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("serving on %s", addr)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		// Listener died before any signal — a startup failure, not a
+		// shutdown.
+		s.Close()
+		return err
+	case sig := <-sigc:
+		logger.Printf("received %v, draining", sig)
+	}
+
+	// Graceful shutdown: flip draining first so in-flight optimize
+	// loops checkpoint at their next generation boundary, then stop
+	// the listener and wait for handlers (Shutdown), then drain the
+	// batching front.
+	s.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		s.Close()
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil {
+		s.Close()
+		return err
+	}
+	s.Close()
+	logger.Printf("drained, exiting")
+	return nil
+}

@@ -1,0 +1,115 @@
+// Package cliutil holds the flag-validation helpers the wadate and
+// waserve binaries share: parsing the comma-separated axis flags
+// (backends, comb sizes, objective sets) and the usage-error
+// convention. Keeping them here means the two binaries cannot drift —
+// a backend accepted by one is accepted by the other, and both report
+// a flag combination that can never work as exit status 2 (like a
+// flag-parse failure) instead of the runtime-failure status 1.
+package cliutil
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// UsageError marks a flag combination or value that can never work,
+// detected before any work runs. Binaries map it to exit status 2 via
+// ExitStatus.
+type UsageError struct{ Err error }
+
+// Error implements error.
+func (u UsageError) Error() string { return u.Err.Error() }
+
+// Unwrap exposes the wrapped cause to errors.Is/As.
+func (u UsageError) Unwrap() error { return u.Err }
+
+// Usagef builds a UsageError from a format string.
+func Usagef(format string, args ...any) error {
+	return UsageError{Err: fmt.Errorf(format, args...)}
+}
+
+// IsUsage reports whether err marks a usage error.
+func IsUsage(err error) bool {
+	var u UsageError
+	return errors.As(err, &u)
+}
+
+// ExitStatus maps an error to the process exit status: 2 for usage
+// errors, 1 for everything else (runtime failures).
+func ExitStatus(err error) int {
+	if IsUsage(err) {
+		return 2
+	}
+	return 1
+}
+
+// SplitList splits a comma-separated flag value, trimming whitespace
+// and dropping empty entries.
+func SplitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// ParseBackends validates a comma-separated backend list against
+// core.Backends(). An unknown backend is a usage error, reported
+// before any work runs.
+func ParseBackends(s string) ([]string, error) {
+	known := make(map[string]bool)
+	for _, b := range core.Backends() {
+		known[b] = true
+	}
+	var out []string
+	for _, part := range SplitList(s) {
+		if !known[part] {
+			return nil, Usagef("unknown backend %q (want one of %s)", part, strings.Join(core.Backends(), ", "))
+		}
+		out = append(out, part)
+	}
+	if len(out) == 0 {
+		return nil, Usagef("no backends in %q", s)
+	}
+	return out, nil
+}
+
+// ParseNWs parses a comma-separated list of comb sizes. Non-positive
+// or non-numeric entries are usage errors.
+func ParseNWs(s string) ([]int, error) {
+	var out []int
+	for _, part := range SplitList(s) {
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, Usagef("bad wavelength count %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, Usagef("no wavelength counts in %q", s)
+	}
+	return out, nil
+}
+
+// ParseObjectiveSets parses a comma-separated list of the short
+// objective-set names ("teb", "te", "tb") via core.ParseObjectiveSet.
+func ParseObjectiveSets(s string) ([]core.ObjectiveSet, error) {
+	var out []core.ObjectiveSet
+	for _, part := range SplitList(s) {
+		os, err := core.ParseObjectiveSet(part)
+		if err != nil {
+			return nil, UsageError{Err: err}
+		}
+		out = append(out, os)
+	}
+	if len(out) == 0 {
+		return nil, Usagef("no objective sets in %q", s)
+	}
+	return out, nil
+}

@@ -67,6 +67,35 @@ func (s ObjectiveSet) String() string {
 	return fmt.Sprintf("objectives(%d)", int(s))
 }
 
+// ParseObjectiveSet resolves the short objective-set names the CLI
+// and the serving API use ("teb", "te", "tb") — the single place the
+// wadate flags, the waserve endpoints and the session tokens agree on
+// the spelling.
+func ParseObjectiveSet(name string) (ObjectiveSet, error) {
+	switch name {
+	case "teb":
+		return TimeEnergyBER, nil
+	case "te":
+		return TimeEnergy, nil
+	case "tb":
+		return TimeBER, nil
+	}
+	return 0, fmt.Errorf("core: unknown objective set %q (want teb, te or tb)", name)
+}
+
+// ShortName is the inverse of ParseObjectiveSet.
+func (s ObjectiveSet) ShortName() string {
+	switch s {
+	case TimeEnergyBER:
+		return "teb"
+	case TimeEnergy:
+		return "te"
+	case TimeBER:
+		return "tb"
+	}
+	return fmt.Sprintf("objectives(%d)", int(s))
+}
+
 func (s ObjectiveSet) objectives() ([]alloc.Objective, error) {
 	switch s {
 	case TimeEnergyBER:
@@ -161,7 +190,7 @@ type Problem struct {
 	// parallel and the serial engine keeps reusing one warm delta
 	// cache. Distinct from the instance's compatibility pool, whose
 	// evaluators stay delta-free for sim/CLI/tooling callers.
-	evalPool sync.Pool
+	evalPool *alloc.EvaluatorPool
 
 	mu      sync.Mutex
 	metrics map[string]Metrics // full metric triple per evaluated genotype
@@ -368,7 +397,13 @@ func New(cfg Config) (*Problem, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Problem{cfg: cfg, in: in, objs: objs, metrics: make(map[string]Metrics)}, nil
+	return &Problem{
+		cfg:      cfg,
+		in:       in,
+		objs:     objs,
+		evalPool: alloc.NewEvaluatorPool(in, true),
+		metrics:  make(map[string]Metrics),
+	}, nil
 }
 
 // Instance exposes the underlying evaluation instance (heuristics,
@@ -381,18 +416,11 @@ func (p *Problem) GenomeLen() int { return p.in.Edges() * p.in.Channels() }
 // NumObjectives implements nsga2.Problem.
 func (p *Problem) NumObjectives() int { return len(p.objs) }
 
-// getEvaluator draws a delta-enabled evaluator from the problem pool.
+// getEvaluator draws a delta-enabled evaluator from the problem pool
+// (alloc.EvaluatorPool constructs them lazily with the delta cache
+// on).
 func (p *Problem) getEvaluator() (*alloc.Evaluator, error) {
-	ev, _ := p.evalPool.Get().(*alloc.Evaluator)
-	if ev == nil {
-		var err error
-		ev, err = alloc.NewEvaluator(p.in)
-		if err != nil {
-			return nil, err
-		}
-		ev.EnableDeltaCache(0)
-	}
-	return ev, nil
+	return p.evalPool.Get()
 }
 
 // Evaluate implements nsga2.Problem: full evaluation, metric capture,

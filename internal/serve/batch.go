@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/alloc"
+)
+
+// The batching front. alloc.Evaluator is deliberately not
+// concurrency-safe (its scratch buffers are what make single-thread
+// evaluation fast), so a server has two naive options: one evaluator
+// behind a lock (serializes everything) or one evaluator per request
+// (pays construction per call). The batcher takes a third route:
+// concurrent requests land on a bounded queue, a collector coalesces
+// them — flushing when the batch fills or a deadline passes — and each
+// flush runs as one worker-pool pass over pooled delta-enabled
+// evaluators. Evaluation is a pure function of (instance, genome), so
+// batching cannot change any result byte: only latency and throughput
+// move.
+
+var (
+	errQueueFull = errors.New("serve: evaluate queue full")
+	errClosed    = errors.New("serve: server is shutting down")
+)
+
+// evalJob is one queued evaluation. The batcher owns out until done is
+// closed; out is detached (no scratch aliasing) by then.
+type evalJob struct {
+	inst *instance
+	g    alloc.Genome
+	out  *alloc.Eval
+	err  error
+	done chan struct{}
+}
+
+// batcher coalesces concurrent evaluate submissions into worker-pool
+// passes.
+type batcher struct {
+	queue    chan *evalJob
+	window   time.Duration
+	maxBatch int
+	workers  int
+
+	// run executes one flushed batch. Tests substitute it to control
+	// timing (e.g. to hold the queue full deterministically).
+	run func([]*evalJob)
+
+	mu      sync.RWMutex
+	closed  bool
+	drained chan struct{}
+}
+
+// newBatcher starts the collector goroutine.
+func newBatcher(window time.Duration, maxBatch, workers, depth int) *batcher {
+	b := &batcher{
+		queue:    make(chan *evalJob, depth),
+		window:   window,
+		maxBatch: maxBatch,
+		workers:  workers,
+		drained:  make(chan struct{}),
+	}
+	b.run = b.runBatch
+	go b.loop()
+	return b
+}
+
+// submit enqueues one job. It returns errQueueFull when the bounded
+// queue is at capacity (the caller maps this to 429 + Retry-After) and
+// errClosed once close has begun. The read-lock pairs with close's
+// write-lock so a send can never race the channel close.
+func (b *batcher) submit(j *evalJob) error {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		return errClosed
+	}
+	select {
+	case b.queue <- j:
+		return nil
+	default:
+		return errQueueFull
+	}
+}
+
+// close stops intake, waits for every queued job to finish, and
+// returns. Safe to call more than once.
+func (b *batcher) close() {
+	b.mu.Lock()
+	already := b.closed
+	b.closed = true
+	if !already {
+		close(b.queue)
+	}
+	b.mu.Unlock()
+	<-b.drained
+}
+
+// loop is the collector: block for the first job, then gather more
+// until the batch fills or the flush deadline passes, then hand the
+// batch to run. Draining after close finishes every queued job before
+// signalling drained.
+func (b *batcher) loop() {
+	defer close(b.drained)
+	for {
+		first, ok := <-b.queue
+		if !ok {
+			return
+		}
+		batch := append(make([]*evalJob, 0, b.maxBatch), first)
+		deadline := time.NewTimer(b.window)
+	gather:
+		for len(batch) < b.maxBatch {
+			select {
+			case j, ok := <-b.queue:
+				if !ok {
+					break gather
+				}
+				batch = append(batch, j)
+			case <-deadline.C:
+				break gather
+			}
+		}
+		deadline.Stop()
+		b.run(batch)
+	}
+}
+
+// runBatch evaluates one batch with a worker pool over the instances'
+// evaluator pools. Each job's result is detached before done closes,
+// so the caller owns it outright and the evaluator can go straight
+// back to its pool.
+func (b *batcher) runBatch(jobs []*evalJob) {
+	workers := b.workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for _, j := range jobs {
+			evalOne(j)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				evalOne(jobs[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// evalOne runs a single job against its instance's evaluator pool.
+func evalOne(j *evalJob) {
+	defer close(j.done)
+	ev, err := j.inst.pool.Get()
+	if err != nil {
+		j.err = err
+		return
+	}
+	ev.EvaluateInto(j.out, j.g)
+	j.out.Detach()
+	j.inst.pool.Put(ev)
+}

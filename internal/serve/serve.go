@@ -1,0 +1,727 @@
+// Package serve is the allocation-as-a-service layer: an HTTP daemon
+// exposing the wavelength-allocation engine over JSON. It serves
+// evaluations (batched), link-budget explanations, resumable GA
+// optimizations and streamed campaign sweeps against a fixed set of
+// shared read-only instances built at startup.
+//
+// The serving discipline mirrors the repo's artifact discipline:
+// every served number is produced by the same code path the CLI uses,
+// and evaluate responses are byte-identical to `wadate -eval` output —
+// CI diffs the two on every push.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/expt"
+	"repro/internal/nsga2"
+)
+
+// Serving defaults. Optimize and campaign defaults match the quick
+// suite (expt.QuickConfig) so a bare request reproduces familiar
+// numbers.
+const (
+	defaultWorkload   = "paper"
+	defaultObjectives = "teb"
+	defaultPop        = 80
+	defaultGens       = 60
+	defaultSeed       = 42
+
+	// DefaultBatchWindow is the flush deadline of the batching front:
+	// how long the collector waits for company after the first queued
+	// request. Roughly 10 kernel evaluations — long enough to coalesce
+	// a concurrent burst, short enough to be invisible next to network
+	// latency.
+	DefaultBatchWindow = 200 * time.Microsecond
+	// DefaultMaxBatch caps one coalesced worker-pool pass.
+	DefaultMaxBatch = 64
+	// DefaultQueueDepth bounds the evaluate queue; beyond it the
+	// daemon sheds load with 429 + Retry-After.
+	DefaultQueueDepth = 1024
+)
+
+// Config describes the daemon: which instances to build and how to
+// batch.
+type Config struct {
+	// Backends, Workloads and NWs define the served instance set — the
+	// cross product is built eagerly at startup so a bad combination
+	// fails the boot, not a request. Defaults: all backends, the paper
+	// workload, comb sizes 4 and 8.
+	Backends  []string
+	Workloads []string
+	NWs       []int
+
+	// BatchWindow, MaxBatch and QueueDepth tune the batching front
+	// (zero = the defaults above). Workers sizes the per-flush worker
+	// pool and the GA evaluation pool (default GOMAXPROCS).
+	BatchWindow time.Duration
+	MaxBatch    int
+	QueueDepth  int
+	Workers     int
+
+	// NoBatch disables the batching front: one evaluator per instance
+	// behind a mutex — the naive thread-safe server. It exists as the
+	// honest baseline the serving benchmarks and the CI speedup gate
+	// compare against.
+	NoBatch bool
+
+	// CampaignSlots bounds concurrent campaign sweeps (default 1);
+	// further requests get 429.
+	CampaignSlots int
+
+	// Log receives request-level diagnostics (nil = silent).
+	Log *log.Logger
+}
+
+// instKey identifies one served instance.
+type instKey struct {
+	backend  string
+	workload string
+	nw       int
+}
+
+// instance is one shared read-only evaluation context plus its
+// serving gear: a delta-enabled evaluator pool for the batched path
+// and a single lock-guarded evaluator for the NoBatch baseline.
+type instance struct {
+	key  instKey
+	in   *alloc.Instance
+	pool *alloc.EvaluatorPool
+
+	mu sync.Mutex
+	ev *alloc.Evaluator
+}
+
+// evaluateSerial is the NoBatch path: the whole evaluation serializes
+// on one evaluator.
+func (inst *instance) evaluateSerial(g alloc.Genome, out *alloc.Eval) error {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	if inst.ev == nil {
+		ev, err := alloc.NewEvaluator(inst.in)
+		if err != nil {
+			return err
+		}
+		ev.EnableDeltaCache(0)
+		inst.ev = ev
+	}
+	inst.ev.EvaluateInto(out, g)
+	out.Detach()
+	return nil
+}
+
+// Server is the daemon state.
+type Server struct {
+	cfg       Config
+	instances map[instKey]*instance
+	order     []instKey
+	batch     *batcher
+	campaigns chan struct{}
+	draining  atomic.Bool
+	log       *log.Logger
+}
+
+// NewServer builds every served instance eagerly and starts the
+// batching front.
+func NewServer(cfg Config) (*Server, error) {
+	if len(cfg.Backends) == 0 {
+		cfg.Backends = core.Backends()
+	}
+	if len(cfg.Workloads) == 0 {
+		cfg.Workloads = []string{defaultWorkload}
+	}
+	if len(cfg.NWs) == 0 {
+		cfg.NWs = []int{4, 8}
+	}
+	if cfg.BatchWindow <= 0 {
+		cfg.BatchWindow = DefaultBatchWindow
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.CampaignSlots <= 0 {
+		cfg.CampaignSlots = 1
+	}
+	logger := cfg.Log
+	if logger == nil {
+		logger = log.New(noopWriter{}, "", 0)
+	}
+	s := &Server{
+		cfg:       cfg,
+		instances: make(map[instKey]*instance),
+		campaigns: make(chan struct{}, cfg.CampaignSlots),
+		log:       logger,
+	}
+	for _, wl := range cfg.Workloads {
+		w, err := expt.NamedWorkload(wl)
+		if err != nil {
+			return nil, err
+		}
+		for _, backend := range cfg.Backends {
+			for _, nw := range cfg.NWs {
+				in, err := core.NewSharedInstance(core.Config{NW: nw, Backend: backend, App: w.App, Mapping: w.Mapping})
+				if err != nil {
+					return nil, fmt.Errorf("serve: instance (%s, %s, NW=%d): %w", wl, backend, nw, err)
+				}
+				key := instKey{backend: backend, workload: wl, nw: nw}
+				s.instances[key] = &instance{key: key, in: in, pool: alloc.NewEvaluatorPool(in, true)}
+				s.order = append(s.order, key)
+			}
+		}
+	}
+	sort.Slice(s.order, func(i, j int) bool {
+		a, b := s.order[i], s.order[j]
+		if a.workload != b.workload {
+			return a.workload < b.workload
+		}
+		if a.backend != b.backend {
+			return a.backend < b.backend
+		}
+		return a.nw < b.nw
+	})
+	if !cfg.NoBatch {
+		s.batch = newBatcher(cfg.BatchWindow, cfg.MaxBatch, cfg.Workers, cfg.QueueDepth)
+	}
+	return s, nil
+}
+
+type noopWriter struct{}
+
+func (noopWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+// BeginDrain flips the daemon into shutdown mode: in-flight optimize
+// loops stop at their next generation boundary and return session
+// tokens (the checkpoint flush), and health reports draining so load
+// balancers stop routing here. Evaluate and explain keep answering
+// until Close.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Close stops the batching front after finishing every queued job.
+// Call after the HTTP server has stopped accepting requests.
+func (s *Server) Close() {
+	if s.batch != nil {
+		s.batch.close()
+	}
+}
+
+// Handler builds the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/instances", s.handleInstances)
+	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
+	mux.HandleFunc("POST /v1/explain", s.handleExplain)
+	mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
+	mux.HandleFunc("POST /v1/campaign", s.handleCampaign)
+	return mux
+}
+
+// decodeRequest parses one JSON request body strictly; unknown fields
+// are 400s so client typos fail loudly instead of silently defaulting.
+func decodeRequest(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad request: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": status, "instances": len(s.instances)})
+}
+
+// instanceInfo is one row of the served-instance listing.
+type instanceInfo struct {
+	Workload string `json:"workload"`
+	Backend  string `json:"backend"`
+	NW       int    `json:"nw"`
+}
+
+func (s *Server) handleInstances(w http.ResponseWriter, r *http.Request) {
+	out := make([]instanceInfo, 0, len(s.order))
+	for _, k := range s.order {
+		out = append(out, instanceInfo{Workload: k.workload, Backend: k.backend, NW: k.nw})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"instances": out})
+}
+
+// resolveEvaluate applies the evaluate defaults. Shared with
+// EvaluateLocal so the CLI and the daemon resolve requests
+// identically — a precondition of the byte-identity guarantee.
+func resolveEvaluate(req *EvaluateRequest) error {
+	if req.Workload == "" {
+		req.Workload = defaultWorkload
+	}
+	if req.Backend == "" {
+		req.Backend = core.DefaultBackend
+	}
+	if req.NW <= 0 {
+		return fmt.Errorf("nw must be positive, got %d", req.NW)
+	}
+	if req.Genome == "" {
+		return fmt.Errorf("genome is required")
+	}
+	return nil
+}
+
+// lookup finds the served instance for a request, or formats the 404
+// body listing what IS served.
+func (s *Server) lookup(workload, backend string, nw int) (*instance, *ErrorResponse) {
+	inst, ok := s.instances[instKey{backend: backend, workload: workload, nw: nw}]
+	if ok {
+		return inst, nil
+	}
+	served := make([]string, 0, len(s.order))
+	for _, k := range s.order {
+		served = append(served, fmt.Sprintf("(%s, %s, nw=%d)", k.workload, k.backend, k.nw))
+	}
+	return nil, &ErrorResponse{Error: fmt.Sprintf("instance (%s, %s, nw=%d) is not served; serving: %v",
+		workload, backend, nw, served)}
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	var req EvaluateRequest
+	if !decodeRequest(w, r, &req) {
+		return
+	}
+	if err := resolveEvaluate(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	inst, nf := s.lookup(req.Workload, req.Backend, req.NW)
+	if nf != nil {
+		writeJSON(w, http.StatusNotFound, *nf)
+		return
+	}
+	g, err := alloc.ParseGenome(req.Genome, inst.in.Edges(), req.NW)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	var out alloc.Eval
+	if s.batch == nil {
+		if err := inst.evaluateSerial(g, &out); err != nil {
+			writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+			return
+		}
+	} else {
+		job := &evalJob{inst: inst, g: g, out: &out, done: make(chan struct{})}
+		switch err := s.batch.submit(job); err {
+		case nil:
+		case errQueueFull:
+			// The queue drains in batches of MaxBatch every
+			// BatchWindow-ish, so "try again in about a window" is the
+			// honest hint; the header's resolution is whole seconds.
+			retryMS := int(s.cfg.BatchWindow / time.Millisecond)
+			if retryMS < 1 {
+				retryMS = 1
+			}
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
+				Error: err.Error(), RetryAfterMS: retryMS,
+			})
+			return
+		default:
+			writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: err.Error()})
+			return
+		}
+		<-job.done
+		if job.err != nil {
+			writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: job.err.Error()})
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, buildEvaluateResponse(req.Workload, req.Backend, req.NW, g, &out))
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req EvaluateRequest
+	if !decodeRequest(w, r, &req) {
+		return
+	}
+	if err := resolveEvaluate(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	inst, nf := s.lookup(req.Workload, req.Backend, req.NW)
+	if nf != nil {
+		writeJSON(w, http.StatusNotFound, *nf)
+		return
+	}
+	g, err := alloc.ParseGenome(req.Genome, inst.in.Edges(), req.NW)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	// Explanations are rare and heavyweight next to evaluations, so
+	// they bypass the batcher: grab a pooled evaluator directly.
+	var out alloc.Eval
+	ev, err := inst.pool.Get()
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+		return
+	}
+	ev.EvaluateInto(&out, g)
+	out.Detach()
+	inst.pool.Put(ev)
+	if !out.Valid {
+		// Unlike evaluate, explain has nothing to say about an invalid
+		// chromosome: 422 with the evaluator's failure reason.
+		writeJSON(w, http.StatusUnprocessableEntity, ErrorResponse{
+			Error:  "cannot explain invalid chromosome",
+			Reason: out.Reason(),
+		})
+		return
+	}
+	exp, err := inst.in.Explain(g)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, ExplainResponse{
+		Evaluate: buildEvaluateResponse(req.Workload, req.Backend, req.NW, g, &out),
+		Report:   exp.String(),
+	})
+}
+
+// EvaluateLocal is the CLI's entry point: resolve, build, evaluate and
+// render one request exactly as the daemon would, returning the
+// canonical response bytes. `wadate -eval` prints these bytes; the CI
+// serve-smoke job diffs them against the daemon's response.
+func EvaluateLocal(req EvaluateRequest) ([]byte, error) {
+	if err := resolveEvaluate(&req); err != nil {
+		return nil, err
+	}
+	wl, err := expt.NamedWorkload(req.Workload)
+	if err != nil {
+		return nil, err
+	}
+	in, err := core.NewSharedInstance(core.Config{NW: req.NW, Backend: req.Backend, App: wl.App, Mapping: wl.Mapping})
+	if err != nil {
+		return nil, err
+	}
+	g, err := alloc.ParseGenome(req.Genome, in.Edges(), req.NW)
+	if err != nil {
+		return nil, err
+	}
+	ev, err := alloc.NewEvaluator(in)
+	if err != nil {
+		return nil, err
+	}
+	var out alloc.Eval
+	ev.EvaluateInto(&out, g)
+	return encodeJSON(buildEvaluateResponse(req.Workload, req.Backend, req.NW, g, &out))
+}
+
+// resolveOptimize applies the optimize defaults to a fresh request and
+// returns the session parameter block.
+func resolveOptimize(req OptimizeRequest) (sessionMeta, error) {
+	meta := sessionMeta{
+		Workload:    req.Workload,
+		Backend:     req.Backend,
+		NW:          req.NW,
+		Objectives:  req.Objectives,
+		Pop:         req.Pop,
+		Generations: req.Generations,
+		Seed:        req.Seed,
+		WarmStart:   req.WarmStart,
+	}
+	if meta.Workload == "" {
+		meta.Workload = defaultWorkload
+	}
+	if meta.Backend == "" {
+		meta.Backend = core.DefaultBackend
+	}
+	if meta.NW <= 0 {
+		return meta, fmt.Errorf("nw must be positive, got %d", meta.NW)
+	}
+	if meta.Objectives == "" {
+		meta.Objectives = defaultObjectives
+	}
+	if meta.Pop <= 0 {
+		meta.Pop = defaultPop
+	}
+	if meta.Generations <= 0 {
+		meta.Generations = defaultGens
+	}
+	if meta.Seed == 0 {
+		meta.Seed = defaultSeed
+	}
+	return meta, nil
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	var req OptimizeRequest
+	if !decodeRequest(w, r, &req) {
+		return
+	}
+	var meta sessionMeta
+	var checkpoint []byte
+	if req.Session != "" {
+		var err error
+		meta, checkpoint, err = decodeSession(req.Session)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+			return
+		}
+	} else {
+		var err error
+		meta, err = resolveOptimize(req)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+			return
+		}
+	}
+	inst, nf := s.lookup(meta.Workload, meta.Backend, meta.NW)
+	if nf != nil {
+		writeJSON(w, http.StatusNotFound, *nf)
+		return
+	}
+	objs, err := core.ParseObjectiveSet(meta.Objectives)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	p, err := core.New(core.Config{
+		NW:         meta.NW,
+		Instance:   inst.in,
+		Objectives: objs,
+		WarmStart:  meta.WarmStart,
+		GA: nsga2.Config{
+			PopSize:     meta.Pop,
+			Generations: meta.Generations,
+			Seed:        meta.Seed,
+			Workers:     s.cfg.Workers,
+		},
+	})
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	var ex *core.Explorer
+	if checkpoint != nil {
+		// The checkpoint header pins geometry, population and seed, so
+		// a token replayed against a mismatched session fails loudly
+		// here instead of silently computing something else.
+		ex, err = p.ResumeExplorer(bytes.NewReader(checkpoint))
+	} else {
+		ex, err = p.NewExplorer()
+	}
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+
+	// The step loop: advance one generation at a time so a draining
+	// daemon can stop at the next boundary and flush the state into a
+	// session token instead of discarding minutes of work.
+	stepped := 0
+	drained := false
+	for !ex.Done() {
+		if s.draining.Load() {
+			drained = true
+			break
+		}
+		if req.StepGenerations > 0 && stepped >= req.StepGenerations {
+			break
+		}
+		ex.Step()
+		stepped++
+	}
+
+	resp := OptimizeResponse{
+		Workload:    meta.Workload,
+		Backend:     meta.Backend,
+		NW:          meta.NW,
+		Objectives:  meta.Objectives,
+		Pop:         meta.Pop,
+		Generations: meta.Generations,
+		Seed:        meta.Seed,
+		Generation:  ex.Generation(),
+		Done:        ex.Done(),
+		Draining:    drained,
+	}
+	if ex.Done() {
+		res, err := ex.Finish()
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+			return
+		}
+		resp.Result = optimizeResult(res)
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	var buf bytes.Buffer
+	if err := ex.WriteCheckpoint(&buf); err != nil {
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+		return
+	}
+	token, err := encodeSession(meta, buf.Bytes())
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+		return
+	}
+	resp.Session = token
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	var req CampaignRequest
+	if !decodeRequest(w, r, &req) {
+		return
+	}
+	select {
+	case s.campaigns <- struct{}{}:
+		defer func() { <-s.campaigns }()
+	default:
+		w.Header().Set("Retry-After", "5")
+		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
+			Error: "all campaign slots busy", RetryAfterMS: 5000,
+		})
+		return
+	}
+	cfg, err := s.campaignConfig(req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+
+	// From here the response is a chunked ndjson stream: progress
+	// events as they happen, then one final result (or error) line.
+	// CampaignConfig.Progress delivers events serially and RunCampaign
+	// blocks this handler, so the writes below never interleave.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	writeLine := func(b []byte) {
+		w.Write(b)
+		w.Write([]byte{'\n'})
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	cfg.Progress = func(ev expt.CellEvent) {
+		line, err := expt.CellEventJSON(ev)
+		if err != nil {
+			s.log.Printf("campaign event encode: %v", err)
+			return
+		}
+		writeLine(line)
+	}
+	c, err := expt.RunCampaign(cfg)
+	if err != nil {
+		line, _ := json.Marshal(map[string]string{"type": "error", "error": err.Error()})
+		writeLine(line)
+		return
+	}
+	var artifact bytes.Buffer
+	if err := expt.WriteCampaignJSON(&artifact, c); err != nil {
+		line, _ := json.Marshal(map[string]string{"type": "error", "error": err.Error()})
+		writeLine(line)
+		return
+	}
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, artifact.Bytes()); err != nil {
+		line, _ := json.Marshal(map[string]string{"type": "error", "error": err.Error()})
+		writeLine(line)
+		return
+	}
+	final, err := json.Marshal(struct {
+		Type     string          `json:"type"`
+		Campaign json.RawMessage `json:"campaign"`
+	}{Type: "result", Campaign: compact.Bytes()})
+	if err != nil {
+		line, _ := json.Marshal(map[string]string{"type": "error", "error": err.Error()})
+		writeLine(line)
+		return
+	}
+	writeLine(final)
+}
+
+// campaignConfig maps a campaign request onto expt.CampaignConfig with
+// the quick-suite defaults. Campaign sweeps build their own instances
+// (the cross product requested, not the served set) — they are batch
+// work that happens to arrive over HTTP.
+func (s *Server) campaignConfig(req CampaignRequest) (expt.CampaignConfig, error) {
+	cfg := expt.CampaignConfig{
+		Backends:    req.Backends,
+		NWs:         req.NWs,
+		Replicates:  req.Replicates,
+		Pop:         req.Pop,
+		Generations: req.Generations,
+		Seed:        req.Seed,
+		WarmStart:   req.WarmStart,
+		CellWorkers: req.CellWorkers,
+		EvalWorkers: s.cfg.Workers,
+	}
+	if len(cfg.NWs) == 0 {
+		cfg.NWs = []int{4, 8}
+	}
+	if cfg.Pop <= 0 {
+		cfg.Pop = defaultPop
+	}
+	if cfg.Generations <= 0 {
+		cfg.Generations = defaultGens
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = defaultSeed
+	}
+	known := make(map[string]bool)
+	for _, b := range core.Backends() {
+		known[b] = true
+	}
+	for _, b := range cfg.Backends {
+		if !known[b] {
+			return cfg, fmt.Errorf("unknown backend %q", b)
+		}
+	}
+	objNames := req.Objectives
+	if len(objNames) == 0 {
+		objNames = []string{defaultObjectives}
+	}
+	for _, name := range objNames {
+		os, err := core.ParseObjectiveSet(name)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.ObjectiveSets = append(cfg.ObjectiveSets, os)
+	}
+	wlNames := req.Workloads
+	if len(wlNames) == 0 {
+		wlNames = []string{defaultWorkload}
+	}
+	for _, name := range wlNames {
+		wl, err := expt.NamedWorkload(name)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Workloads = append(cfg.Workloads, wl)
+	}
+	return cfg, nil
+}

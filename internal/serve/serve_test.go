@@ -1,0 +1,530 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+)
+
+// newTestServer boots a daemon over httptest. The returned cleanup
+// stops both.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// post sends one JSON request and returns status and body.
+func post(t *testing.T, url string, req any) (int, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal request: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read response: %v", err)
+	}
+	return resp.StatusCode, b
+}
+
+// testGenomes builds a deterministic mix of valid heuristic
+// allocations and an invalid all-on-one-channel chromosome for the
+// paper workload at NW=8.
+func testGenomes(t *testing.T) []string {
+	t.Helper()
+	in, err := core.NewSharedInstance(core.Config{NW: 8, Backend: "ring"})
+	if err != nil {
+		t.Fatalf("instance: %v", err)
+	}
+	countSets := [][]int{
+		{1, 1, 1, 1, 1, 1},
+		{2, 1, 1, 1, 1, 1},
+		{1, 2, 1, 2, 1, 1},
+		{2, 2, 2, 2, 2, 2},
+		{1, 1, 3, 1, 1, 2},
+	}
+	var out []string
+	for _, counts := range countSets {
+		g, err := alloc.Assign(in, counts, alloc.LeastUsed, nil)
+		if err != nil {
+			t.Fatalf("assign %v: %v", counts, err)
+		}
+		out = append(out, g.String())
+	}
+	// Every communication on channel 0: maximally conflicting, so the
+	// mix exercises the invalid path too.
+	out = append(out, strings.Repeat("10000000/", in.Edges()-1)+"10000000")
+	return out
+}
+
+func TestEvaluateMatchesEvaluateLocal(t *testing.T) {
+	_, ts := newTestServer(t, Config{NWs: []int{8}})
+	for _, backend := range core.Backends() {
+		for _, genome := range testGenomes(t) {
+			req := EvaluateRequest{Backend: backend, NW: 8, Genome: genome}
+			want, err := EvaluateLocal(req)
+			if err != nil {
+				t.Fatalf("EvaluateLocal(%s, %s): %v", backend, genome, err)
+			}
+			code, got := post(t, ts.URL+"/v1/evaluate", req)
+			if code != http.StatusOK {
+				t.Fatalf("evaluate(%s, %s) status %d: %s", backend, genome, code, got)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("served response differs from CLI bytes for (%s, %s):\nserved: %s\ncli:    %s",
+					backend, genome, got, want)
+			}
+		}
+	}
+}
+
+// TestConcurrentEvaluateBitIdentical hammers the batching front from
+// many goroutines and checks every response against the serial
+// reference bytes — batching must be invisible in the results. Run
+// with -race in CI.
+func TestConcurrentEvaluateBitIdentical(t *testing.T) {
+	_, ts := newTestServer(t, Config{Backends: []string{"ring"}, NWs: []int{8}, Workers: 4})
+	genomes := testGenomes(t)
+	want := make(map[string][]byte, len(genomes))
+	for _, g := range genomes {
+		b, err := EvaluateLocal(EvaluateRequest{NW: 8, Genome: g})
+		if err != nil {
+			t.Fatalf("EvaluateLocal(%s): %v", g, err)
+		}
+		want[g] = b
+	}
+	const clients, perClient = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				g := genomes[(c+i)%len(genomes)]
+				body, _ := json.Marshal(EvaluateRequest{NW: 8, Genome: g})
+				resp, err := http.Post(ts.URL+"/v1/evaluate", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				b, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("status %d: %s", resp.StatusCode, b)
+					return
+				}
+				if !bytes.Equal(b, want[g]) {
+					errs <- fmt.Errorf("batched response differs for %s:\ngot:  %s\nwant: %s", g, b, want[g])
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestNoBatchMatchesBatched pins the two serving modes to each other:
+// the lock-serialized baseline and the batching front must produce the
+// same bytes.
+func TestNoBatchMatchesBatched(t *testing.T) {
+	_, batched := newTestServer(t, Config{Backends: []string{"ring"}, NWs: []int{8}})
+	_, serial := newTestServer(t, Config{Backends: []string{"ring"}, NWs: []int{8}, NoBatch: true})
+	for _, g := range testGenomes(t) {
+		req := EvaluateRequest{NW: 8, Genome: g}
+		_, a := post(t, batched.URL+"/v1/evaluate", req)
+		_, b := post(t, serial.URL+"/v1/evaluate", req)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("batched and no-batch responses differ for %s:\nbatched:  %s\nno-batch: %s", g, a, b)
+		}
+	}
+}
+
+// TestBatchFlushDeadline: a lone request must not wait for the batch
+// to fill — the window deadline flushes it.
+func TestBatchFlushDeadline(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Backends: []string{"ring"}, NWs: []int{8},
+		BatchWindow: 5 * time.Millisecond, MaxBatch: 64,
+	})
+	g := testGenomes(t)[0]
+	start := time.Now()
+	code, body := post(t, ts.URL+"/v1/evaluate", EvaluateRequest{NW: 8, Genome: g})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	// Generous bound: the point is "milliseconds, not forever".
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("lone request took %v; flush deadline is not working", elapsed)
+	}
+}
+
+// TestQueueFullBackpressure fills a tiny queue behind a deliberately
+// blocked batch runner and checks the daemon sheds load with 429 +
+// Retry-After instead of queueing unboundedly.
+func TestQueueFullBackpressure(t *testing.T) {
+	s, ts := newTestServer(t, Config{Backends: []string{"ring"}, NWs: []int{8}})
+	// Swap in a hand-built batcher whose run blocks until released;
+	// constructing it here (before any submission) keeps the stub
+	// publication race-free.
+	s.batch.close()
+	unblock := make(chan struct{})
+	b := &batcher{
+		queue:    make(chan *evalJob, 2),
+		window:   time.Hour,
+		maxBatch: 1,
+		workers:  1,
+		drained:  make(chan struct{}),
+	}
+	b.run = func(jobs []*evalJob) {
+		<-unblock
+		for _, j := range jobs {
+			evalOne(j)
+		}
+	}
+	go b.loop()
+	s.batch = b
+	t.Cleanup(func() { b.close() })
+
+	g := testGenomes(t)[0]
+	body, _ := json.Marshal(EvaluateRequest{NW: 8, Genome: g})
+
+	// One request occupies the (blocked) runner, two fill the queue.
+	results := make(chan *http.Response, 3)
+	for i := 0; i < 3; i++ {
+		go func() {
+			resp, err := http.Post(ts.URL+"/v1/evaluate", "application/json", bytes.NewReader(body))
+			if err == nil {
+				resp.Body.Close()
+				results <- resp
+			}
+		}()
+	}
+	// Wait until the queue really is full (collector took one job,
+	// two sit queued) before probing.
+	deadline := time.After(5 * time.Second)
+	for len(b.queue) < 2 {
+		select {
+		case <-deadline:
+			t.Fatalf("queue never filled: %d/2", len(b.queue))
+		case <-time.After(time.Millisecond):
+		}
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/evaluate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("probe POST: %v", err)
+	}
+	probeBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("full queue returned %d, want 429: %s", resp.StatusCode, probeBody)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("429 without Retry-After header")
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(probeBody, &er); err != nil || er.RetryAfterMS <= 0 {
+		t.Fatalf("429 body %s should carry retry_after_ms", probeBody)
+	}
+
+	// Release the runner; the three held requests must all complete.
+	close(unblock)
+	for i := 0; i < 3; i++ {
+		select {
+		case resp := <-results:
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("held request finished with %d", resp.StatusCode)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("held request %d never completed after release", i)
+		}
+	}
+}
+
+// TestOptimizeSessionRoundTrip pins the checkpoint-as-session-token
+// lifecycle: run once monolithically, then again in small steps
+// through opaque tokens; the final responses must be byte-identical.
+func TestOptimizeSessionRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{Backends: []string{"ring"}, NWs: []int{8}, Workers: 2})
+	full := OptimizeRequest{NW: 8, Pop: 40, Generations: 12, Seed: 7}
+	code, want := post(t, ts.URL+"/v1/optimize", full)
+	if code != http.StatusOK {
+		t.Fatalf("monolithic optimize status %d: %s", code, want)
+	}
+
+	step := full
+	step.StepGenerations = 5
+	code, body := post(t, ts.URL+"/v1/optimize", step)
+	if code != http.StatusOK {
+		t.Fatalf("stepped optimize status %d: %s", code, body)
+	}
+	var got []byte
+	for hops := 0; ; hops++ {
+		if hops > 10 {
+			t.Fatalf("optimize did not converge in 10 hops")
+		}
+		var resp OptimizeResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatalf("unmarshal optimize response: %v", err)
+		}
+		if resp.Done {
+			got = body
+			break
+		}
+		if resp.Session == "" {
+			t.Fatalf("undone response without session token: %s", body)
+		}
+		code, body = post(t, ts.URL+"/v1/optimize", OptimizeRequest{Session: resp.Session, StepGenerations: 5})
+		if code != http.StatusOK {
+			t.Fatalf("resume status %d: %s", code, body)
+		}
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("stepped+resumed final response differs from monolithic run:\nstepped:    %s\nmonolithic: %s", got, want)
+	}
+}
+
+func TestOptimizeTamperedToken(t *testing.T) {
+	_, ts := newTestServer(t, Config{Backends: []string{"ring"}, NWs: []int{8}})
+	code, body := post(t, ts.URL+"/v1/optimize", OptimizeRequest{NW: 8, Pop: 30, Generations: 8, StepGenerations: 2})
+	if code != http.StatusOK {
+		t.Fatalf("optimize status %d: %s", code, body)
+	}
+	var resp OptimizeResponse
+	if err := json.Unmarshal(body, &resp); err != nil || resp.Session == "" {
+		t.Fatalf("no session token in %s", body)
+	}
+	tok := resp.Session
+	for name, bad := range map[string]string{
+		"appended":  tok + "AAAA",
+		"flipped":   tok[:len(tok)/2] + flip(tok[len(tok)/2]) + tok[len(tok)/2+1:],
+		"truncated": tok[:len(tok)-8],
+		"garbage":   "not-a-token",
+	} {
+		code, body := post(t, ts.URL+"/v1/optimize", OptimizeRequest{Session: bad})
+		if code != http.StatusBadRequest {
+			t.Fatalf("%s token: status %d, want 400: %s", name, code, body)
+		}
+	}
+}
+
+// flip returns a different base64url character.
+func flip(c byte) string {
+	if c == 'A' {
+		return "B"
+	}
+	return "A"
+}
+
+// TestOptimizeDraining: after BeginDrain an optimize request must
+// checkpoint immediately instead of exploring, and the token must
+// resume on a healthy server.
+func TestOptimizeDraining(t *testing.T) {
+	s, ts := newTestServer(t, Config{Backends: []string{"ring"}, NWs: []int{8}})
+	s.BeginDrain()
+	code, body := post(t, ts.URL+"/v1/optimize", OptimizeRequest{NW: 8, Pop: 30, Generations: 8})
+	if code != http.StatusOK {
+		t.Fatalf("draining optimize status %d: %s", code, body)
+	}
+	var resp OptimizeResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !resp.Draining || resp.Done || resp.Session == "" || resp.Generation != 0 {
+		t.Fatalf("draining response should checkpoint at generation 0 with a token: %s", body)
+	}
+
+	_, healthy := newTestServer(t, Config{Backends: []string{"ring"}, NWs: []int{8}})
+	code, resumed := post(t, healthy.URL+"/v1/optimize", OptimizeRequest{Session: resp.Session})
+	if code != http.StatusOK {
+		t.Fatalf("resume on healthy server: status %d: %s", code, resumed)
+	}
+	code, direct := post(t, healthy.URL+"/v1/optimize", OptimizeRequest{NW: 8, Pop: 30, Generations: 8})
+	if code != http.StatusOK {
+		t.Fatalf("direct run: status %d", code)
+	}
+	if !bytes.Equal(resumed, direct) {
+		t.Fatalf("drained-then-resumed run differs from direct run:\nresumed: %s\ndirect:  %s", resumed, direct)
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{Backends: []string{"ring"}, NWs: []int{8}})
+	g := testGenomes(t)[0]
+	cases := []struct {
+		name string
+		req  any
+		code int
+	}{
+		{"missing nw", EvaluateRequest{Genome: g}, http.StatusBadRequest},
+		{"missing genome", EvaluateRequest{NW: 8}, http.StatusBadRequest},
+		{"bad genome", EvaluateRequest{NW: 8, Genome: "zzz"}, http.StatusBadRequest},
+		{"unserved nw", EvaluateRequest{NW: 5, Genome: g}, http.StatusNotFound},
+		{"unserved backend", EvaluateRequest{Backend: "crossbar", NW: 8, Genome: g}, http.StatusNotFound},
+		{"unknown field", map[string]any{"nw": 8, "genom": g}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		code, body := post(t, ts.URL+"/v1/evaluate", tc.req)
+		if code != tc.code {
+			t.Errorf("%s: status %d, want %d: %s", tc.name, code, tc.code, body)
+		}
+		var er ErrorResponse
+		if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
+			t.Errorf("%s: body %s is not a structured error", tc.name, body)
+		}
+	}
+}
+
+// TestExplainInvalid: explain on a conflicting chromosome is 422 and
+// surfaces the evaluator's lazily-formatted failure reason.
+func TestExplainInvalid(t *testing.T) {
+	_, ts := newTestServer(t, Config{Backends: []string{"ring"}, NWs: []int{8}})
+	genomes := testGenomes(t)
+	invalid := genomes[len(genomes)-1]
+	code, body := post(t, ts.URL+"/v1/explain", EvaluateRequest{NW: 8, Genome: invalid})
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("explain(invalid) status %d, want 422: %s", code, body)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !strings.Contains(er.Reason, "share wavelength") {
+		t.Fatalf("422 should carry the failure reason, got %q", er.Reason)
+	}
+
+	code, body = post(t, ts.URL+"/v1/explain", EvaluateRequest{NW: 8, Genome: genomes[0]})
+	if code != http.StatusOK {
+		t.Fatalf("explain(valid) status %d: %s", code, body)
+	}
+	var ex ExplainResponse
+	if err := json.Unmarshal(body, &ex); err != nil || ex.Report == "" || !ex.Evaluate.Valid {
+		t.Fatalf("explain(valid) response incomplete: %s", body)
+	}
+}
+
+func TestCampaignStream(t *testing.T) {
+	_, ts := newTestServer(t, Config{Backends: []string{"ring"}, NWs: []int{8}})
+	code, body := post(t, ts.URL+"/v1/campaign", CampaignRequest{NWs: []int{4}, Pop: 30, Generations: 4})
+	if code != http.StatusOK {
+		t.Fatalf("campaign status %d: %s", code, body)
+	}
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("campaign stream too short: %q", body)
+	}
+	var first, last map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil || first["type"] != "cell_start" {
+		t.Fatalf("first stream line should be cell_start: %s", lines[0])
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil || last["type"] != "result" {
+		t.Fatalf("last stream line should be the result: %s", lines[len(lines)-1])
+	}
+	if _, ok := last["campaign"].(map[string]any); !ok {
+		t.Fatalf("result line should embed the campaign artifact: %s", lines[len(lines)-1])
+	}
+}
+
+func TestTokenCodec(t *testing.T) {
+	meta := sessionMeta{Workload: "paper", Backend: "ring", NW: 8, Objectives: "teb",
+		Pop: 80, Generations: 60, Seed: 42, WarmStart: true}
+	checkpoint := []byte("pretend checkpoint bytes \x00\x01\x02")
+	tok, err := encodeSession(meta, checkpoint)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	gotMeta, gotCk, err := decodeSession(tok)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if gotMeta != meta {
+		t.Fatalf("meta round trip: got %+v, want %+v", gotMeta, meta)
+	}
+	if !bytes.Equal(gotCk, checkpoint) {
+		t.Fatalf("checkpoint round trip: got %q", gotCk)
+	}
+	for _, bad := range []string{"", "!!!", tok[:len(tok)-2], tok + "zz"} {
+		if _, _, err := decodeSession(bad); err == nil {
+			t.Fatalf("decodeSession(%q) should fail", bad)
+		}
+	}
+}
+
+func TestHealthAndInstances(t *testing.T) {
+	s, ts := newTestServer(t, Config{Backends: []string{"ring"}, Workloads: []string{"paper"}, NWs: []int{4, 8}})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	json.NewDecoder(resp.Body).Decode(&health)
+	resp.Body.Close()
+	if health["status"] != "ok" {
+		t.Fatalf("health = %v", health)
+	}
+	s.BeginDrain()
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(resp.Body).Decode(&health)
+	resp.Body.Close()
+	if health["status"] != "draining" {
+		t.Fatalf("health after BeginDrain = %v", health)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/instances")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inst struct {
+		Instances []instanceInfo `json:"instances"`
+	}
+	json.NewDecoder(resp.Body).Decode(&inst)
+	resp.Body.Close()
+	want := []instanceInfo{
+		{Workload: "paper", Backend: "ring", NW: 4},
+		{Workload: "paper", Backend: "ring", NW: 8},
+	}
+	if len(inst.Instances) != len(want) {
+		t.Fatalf("instances = %+v, want %+v", inst.Instances, want)
+	}
+	for i := range want {
+		if inst.Instances[i] != want[i] {
+			t.Fatalf("instances[%d] = %+v, want %+v", i, inst.Instances[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+)
+
+// Session tokens make long-running optimizations resumable without any
+// server-side state: the token IS the session. It wraps the problem
+// parameters (so the resuming daemon rebuilds the identical Problem)
+// around the engine's v2 checkpoint bytes (so the exploration resumes
+// bit-identically — the checkpoint header pins genome geometry,
+// population size and seed and fails loudly on mismatch). Losing the
+// daemon loses nothing; any replica that serves the same (workload,
+// backend, NW) combination can continue the run.
+//
+// Layout before base64: magic line, big-endian uint32 CRC32 (IEEE) of
+// everything after it, big-endian uint32 metadata length, metadata
+// JSON, raw checkpoint bytes. base64.RawURLEncoding keeps the token
+// safe inside JSON strings and query parameters. The CRC catches any
+// token corruption outright (including trailing garbage the engine's
+// own reader would ignore); the engine's checkpoint header and
+// checksum remain the deeper integrity layer for the state itself.
+
+const tokenMagic = "WASERVE-SESSION-1\n"
+
+// sessionMeta is the parameter block a token carries alongside the
+// checkpoint.
+type sessionMeta struct {
+	Workload    string `json:"workload"`
+	Backend     string `json:"backend"`
+	NW          int    `json:"nw"`
+	Objectives  string `json:"objectives"`
+	Pop         int    `json:"pop"`
+	Generations int    `json:"generations"`
+	Seed        int64  `json:"seed"`
+	WarmStart   bool   `json:"warmstart,omitempty"`
+}
+
+// encodeSession packs parameters and checkpoint bytes into an opaque
+// token.
+func encodeSession(meta sessionMeta, checkpoint []byte) (string, error) {
+	mb, err := json.Marshal(meta)
+	if err != nil {
+		return "", err
+	}
+	var buf bytes.Buffer
+	buf.Grow(len(tokenMagic) + 8 + len(mb) + len(checkpoint))
+	buf.WriteString(tokenMagic)
+	var word [4]byte
+	crc := crc32.NewIEEE()
+	binary.BigEndian.PutUint32(word[:], uint32(len(mb)))
+	crc.Write(word[:])
+	crc.Write(mb)
+	crc.Write(checkpoint)
+	var crcBuf [4]byte
+	binary.BigEndian.PutUint32(crcBuf[:], crc.Sum32())
+	buf.Write(crcBuf[:])
+	buf.Write(word[:])
+	buf.Write(mb)
+	buf.Write(checkpoint)
+	return base64.RawURLEncoding.EncodeToString(buf.Bytes()), nil
+}
+
+// decodeSession unpacks a token. Corruption at this layer (bad base64,
+// wrong magic, truncated metadata) is caught here; corruption inside
+// the checkpoint bytes is caught by the engine's own header and
+// checksum validation on resume.
+func decodeSession(token string) (sessionMeta, []byte, error) {
+	var meta sessionMeta
+	raw, err := base64.RawURLEncoding.DecodeString(token)
+	if err != nil {
+		return meta, nil, fmt.Errorf("serve: session token is not valid base64: %v", err)
+	}
+	if len(raw) < len(tokenMagic)+8 || string(raw[:len(tokenMagic)]) != tokenMagic {
+		return meta, nil, fmt.Errorf("serve: session token is not a %q token", tokenMagic[:len(tokenMagic)-1])
+	}
+	raw = raw[len(tokenMagic):]
+	sum := binary.BigEndian.Uint32(raw[:4])
+	raw = raw[4:]
+	if crc32.ChecksumIEEE(raw) != sum {
+		return meta, nil, fmt.Errorf("serve: session token failed its integrity check (corrupted or truncated)")
+	}
+	metaLen := int(binary.BigEndian.Uint32(raw[:4]))
+	raw = raw[4:]
+	if metaLen < 0 || metaLen > len(raw) {
+		return meta, nil, fmt.Errorf("serve: session token metadata length %d exceeds token size", metaLen)
+	}
+	if err := json.Unmarshal(raw[:metaLen], &meta); err != nil {
+		return meta, nil, fmt.Errorf("serve: session token metadata: %v", err)
+	}
+	return meta, raw[metaLen:], nil
+}
