@@ -32,6 +32,10 @@
 //	                   evaluator instead of the batching front (the
 //	                   benchmark baseline)
 //	-campaign-slots int  concurrent campaign sweeps (default 1)
+//	-debug-addr string  if set, serve net/http/pprof on this second
+//	                    address (e.g. "localhost:6060"); off by default
+//	                    so the profiling surface never shares the
+//	                    public port
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the daemon stops
 // accepting connections, in-flight optimizations stop at the next
@@ -46,6 +50,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -67,18 +72,20 @@ func main() {
 		workers       = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
 		noBatch       = flag.Bool("no-batch", false, "serve evaluations through one lock-guarded evaluator (benchmark baseline)")
 		campaignSlots = flag.Int("campaign-slots", 1, "concurrent campaign sweeps")
+		debugAddr     = flag.String("debug-addr", "", "serve net/http/pprof on this second address (empty = off)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "waserve: ", log.LstdFlags)
 	if err := run(*addr, *backends, *workloads, *nws, *batchWindow, *batchMax, *queueDepth,
-		*workers, *noBatch, *campaignSlots, logger); err != nil {
+		*workers, *noBatch, *campaignSlots, *debugAddr, logger); err != nil {
 		fmt.Fprintf(os.Stderr, "waserve: %v\n", err)
 		os.Exit(cliutil.ExitStatus(err))
 	}
 }
 
 func run(addr, backends, workloads, nws string, batchWindow time.Duration,
-	batchMax, queueDepth, workers int, noBatch bool, campaignSlots int, logger *log.Logger) error {
+	batchMax, queueDepth, workers int, noBatch bool, campaignSlots int,
+	debugAddr string, logger *log.Logger) error {
 	cfg := serve.Config{
 		Workloads:     cliutil.SplitList(workloads),
 		BatchWindow:   batchWindow,
@@ -107,6 +114,25 @@ func run(addr, backends, workloads, nws string, batchWindow time.Duration,
 		return err
 	}
 	srv := &http.Server{Addr: addr, Handler: s.Handler()}
+
+	// The pprof surface, when requested, gets its own listener and an
+	// explicit mux: the public port never exposes the profiler, and
+	// the debug port exposes nothing but it. Best-effort lifecycle —
+	// it dies with the process.
+	if debugAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			logger.Printf("pprof on %s/debug/pprof/", debugAddr)
+			if err := http.ListenAndServe(debugAddr, mux); err != nil {
+				logger.Printf("pprof listener: %v", err)
+			}
+		}()
+	}
 
 	errc := make(chan error, 1)
 	go func() {

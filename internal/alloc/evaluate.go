@@ -209,23 +209,30 @@ func countShared(a, b []int) int {
 // paper's "set the fitness to infinity".
 func (e Eval) Objectives(objs []Objective) []float64 {
 	out := make([]float64, len(objs))
+	e.ObjectivesInto(out, objs)
+	return out
+}
+
+// ObjectivesInto is Objectives writing into a caller-owned vector
+// (len(dst) must be len(objs)) — the allocation-free form the search
+// engine uses to land objective values directly in its column arena.
+func (e Eval) ObjectivesInto(dst []float64, objs []Objective) {
 	for i, o := range objs {
 		if !e.Valid {
-			out[i] = math.Inf(1)
+			dst[i] = math.Inf(1)
 			continue
 		}
 		switch o {
 		case ObjTime:
-			out[i] = e.MakespanCycles
+			dst[i] = e.MakespanCycles
 		case ObjEnergy:
-			out[i] = e.BitEnergyFJ
+			dst[i] = e.BitEnergyFJ
 		case ObjBER:
-			out[i] = e.MeanBER
+			dst[i] = e.MeanBER
 		default:
-			out[i] = math.Inf(1)
+			dst[i] = math.Inf(1)
 		}
 	}
-	return out
 }
 
 // Objective selects one of the paper's three optimization criteria.

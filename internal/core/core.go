@@ -472,6 +472,54 @@ func (p *Problem) EvaluateDelta(genome, parent1, parent2 []byte, gene int) ([]fl
 	return objs, viol
 }
 
+// EvaluateObjsInto implements nsga2.IntoProblem: Evaluate writing the
+// objective vector into a caller-owned row (the engine's column
+// arena) instead of boxing a fresh slice per evaluation. Values are
+// bit-identical to Evaluate's.
+func (p *Problem) EvaluateObjsInto(dst []float64, genome []byte) float64 {
+	g, err := alloc.FromBits(genome, p.in.Edges(), p.in.Channels())
+	if err != nil {
+		fillInf(dst)
+		return math.Inf(1)
+	}
+	ev, err := p.getEvaluator()
+	if err != nil {
+		fillInf(dst)
+		return 1
+	}
+	var out alloc.Eval
+	ev.EvaluateInto(&out, g)
+	p.countPath(ev.LastEvalPath())
+	p.recordMetrics(g, &out)
+	out.ObjectivesInto(dst, p.objs)
+	viol := out.Violation
+	p.evalPool.Put(ev)
+	return viol
+}
+
+// EvaluateDeltaObjsInto implements nsga2.DeltaIntoProblem — the
+// write-into form of EvaluateDelta.
+func (p *Problem) EvaluateDeltaObjsInto(dst []float64, genome, parent1, parent2 []byte, gene int) float64 {
+	g, err := alloc.FromBits(genome, p.in.Edges(), p.in.Channels())
+	if err != nil {
+		fillInf(dst)
+		return math.Inf(1)
+	}
+	ev, err := p.getEvaluator()
+	if err != nil {
+		fillInf(dst)
+		return 1
+	}
+	var out alloc.Eval
+	deltaEvalInto(ev, &out, g, parent1, parent2, gene)
+	p.countPath(ev.LastEvalPath())
+	p.recordMetrics(g, &out)
+	out.ObjectivesInto(dst, p.objs)
+	viol := out.Violation
+	p.evalPool.Put(ev)
+	return viol
+}
+
 // recordMetrics captures a valid evaluation's full metric triple
 // under the problem lock.
 func (p *Problem) recordMetrics(g alloc.Genome, out *alloc.Eval) {
@@ -512,12 +560,16 @@ func deltaEvalInto(ev *alloc.Evaluator, out *alloc.Eval, g alloc.Genome, parent1
 }
 
 func infObjectives(n int) []float64 {
-	inf := math.Inf(1)
 	out := make([]float64, n)
-	for i := range out {
-		out[i] = inf
-	}
+	fillInf(out)
 	return out
+}
+
+func fillInf(dst []float64) {
+	inf := math.Inf(1)
+	for i := range dst {
+		dst[i] = inf
+	}
 }
 
 // workerProblem is one engine goroutine's private evaluation view: a
@@ -596,6 +648,40 @@ func (w *workerProblem) EvaluateDelta(genome, parent1, parent2 []byte, gene int)
 	p.countPath(w.eval.LastEvalPath())
 	w.record(g, &ev)
 	return ev.Objectives(p.objs), ev.Violation
+}
+
+// EvaluateObjsInto implements nsga2.IntoProblem on the worker's
+// private state — the write-into form of the worker Evaluate.
+func (w *workerProblem) EvaluateObjsInto(dst []float64, genome []byte) float64 {
+	p := w.parent
+	g, err := alloc.FromBits(genome, p.in.Edges(), p.in.Channels())
+	if err != nil {
+		fillInf(dst)
+		return math.Inf(1)
+	}
+	var ev alloc.Eval
+	w.eval.EvaluateInto(&ev, g)
+	p.countPath(w.eval.LastEvalPath())
+	w.record(g, &ev)
+	ev.ObjectivesInto(dst, p.objs)
+	return ev.Violation
+}
+
+// EvaluateDeltaObjsInto implements nsga2.DeltaIntoProblem on the
+// worker's private delta-enabled evaluator.
+func (w *workerProblem) EvaluateDeltaObjsInto(dst []float64, genome, parent1, parent2 []byte, gene int) float64 {
+	p := w.parent
+	g, err := alloc.FromBits(genome, p.in.Edges(), p.in.Channels())
+	if err != nil {
+		fillInf(dst)
+		return math.Inf(1)
+	}
+	var ev alloc.Eval
+	deltaEvalInto(w.eval, &ev, g, parent1, parent2, gene)
+	p.countPath(w.eval.LastEvalPath())
+	w.record(g, &ev)
+	ev.ObjectivesInto(dst, p.objs)
+	return ev.Violation
 }
 
 // record captures a valid evaluation's metric triple in the worker's

@@ -93,6 +93,15 @@ func (p *Problem) resumeExplorerWith(ga nsga2.Config, r io.Reader) (*Explorer, e
 	if err != nil {
 		return nil, err
 	}
+	// Rehydration inserts up to one metric triple per archive entry;
+	// pre-sizing the cache once replaces the incremental map growth
+	// (and rehashing of everything already inserted) a large resumed
+	// archive would otherwise pay.
+	p.mu.Lock()
+	if len(p.metrics) == 0 {
+		p.metrics = make(map[string]Metrics, eng.ArchiveLen())
+	}
+	p.mu.Unlock()
 	eng.VisitArchive(func(genome []byte, objs []float64, violation float64, aux []float64) {
 		if violation != 0 {
 			return

@@ -1055,9 +1055,23 @@ func WriteCampaignJSON(w io.Writer, c *Campaign) error {
 		cj.Stats = a.Stats
 		doc.Cells = append(doc.Cells, cj)
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(doc)
+	e := getEnc()
+	e.campaignDoc(&doc)
+	if e.bad {
+		// Non-finite floats cannot be rendered; delegate to the
+		// stdlib encoder for the identical UnsupportedValueError.
+		putEnc(e)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
+	}
+	out, err := indentDoc(e.b)
+	putEnc(e)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(out)
+	return err
 }
 
 // WriteCampaignCSV emits one row per front point per cell, a flat
@@ -1102,6 +1116,8 @@ type campaignStatsLine struct {
 // in-process or was distributed across workers.
 func WriteCampaignStats(w io.Writer, c *Campaign) error {
 	multi := sweepsBackends(c.Cfg.withDefaults())
+	e := getEnc()
+	defer putEnc(e)
 	for i := range c.Cells {
 		cr := &c.Cells[i]
 		s := cr.Stats()
@@ -1119,11 +1135,10 @@ func WriteCampaignStats(w io.Writer, c *Campaign) error {
 		if multi {
 			line.Backend = cr.Cell.Backend
 		}
-		raw, err := json.Marshal(line)
-		if err != nil {
-			return err
-		}
-		if _, err := w.Write(append(raw, '\n')); err != nil {
+		e.b, e.bad = e.b[:0], false
+		e.statsLine(&line)
+		e.b = append(e.b, '\n')
+		if _, err := w.Write(e.b); err != nil {
 			return err
 		}
 	}

@@ -374,10 +374,12 @@ func (m *checkpointManager) siblingWarmSource(cell Cell) func([]byte) ([]float64
 		if rec.violation == 0 {
 			warmFeasibleHitsTotal.Add(1)
 		}
-		// The engine retains the slices it is handed; hand out copies
-		// so several cells warming from one sibling stay independent.
-		return append([]float64(nil), rec.objs...), rec.violation,
-			append([]float64(nil), rec.aux...), true
+		// The engine and the problem layer intern what they retain
+		// (the objs vector into the engine's arena, the aux triple into
+		// a Metrics value), so the shared decoded map can be served by
+		// reference — no per-hit detach copies, and cells warming from
+		// one sibling still stay independent.
+		return rec.objs, rec.violation, rec.aux, true
 	}
 }
 

@@ -1,0 +1,465 @@
+package expt
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"unicode"
+	"unicode/utf8"
+
+	"repro/internal/jsonx"
+)
+
+// This file is the campaign assembly fast path: hand-rolled compact
+// encoders for the artifact documents the reflection-based
+// encoding/json marshaller used to render. Every composed document is
+// byte-identical to the stdlib's output — golden diff tests in
+// encode_test.go enforce it field order, omitempty rules, float
+// notation and HTML escaping included — and builds append-only into a
+// reused buffer, so a campaign's result assembly stops allocating per
+// cell. Non-finite floats (which encoding/json rejects with an error)
+// flip the encoder's bad flag and the callers fall back to the stdlib
+// path, keeping even the failure mode identical.
+
+// enc composes compact JSON into an append-only buffer.
+type enc struct {
+	b []byte
+	// bad records a non-finite float: the document cannot legally be
+	// rendered, so the caller must discard b and delegate to
+	// encoding/json for the identical error.
+	bad bool
+}
+
+func (e *enc) raw(s string) { e.b = append(e.b, s...) }
+func (e *enc) str(s string) { e.b = jsonx.AppendString(e.b, s) }
+func (e *enc) i64(i int64)  { e.b = jsonx.AppendInt(e.b, i) }
+func (e *enc) num(i int)    { e.b = jsonx.AppendInt(e.b, int64(i)) }
+func (e *enc) boolv(v bool) {
+	if v {
+		e.raw("true")
+	} else {
+		e.raw("false")
+	}
+}
+func (e *enc) f64(f float64) {
+	if !jsonx.Finite(f) {
+		e.bad = true
+		e.b = append(e.b, '0')
+		return
+	}
+	e.b = jsonx.AppendFloat(e.b, f)
+}
+
+// ints renders an []int exactly like encoding/json: null when nil,
+// [] when empty.
+func (e *enc) ints(xs []int) {
+	if xs == nil {
+		e.raw("null")
+		return
+	}
+	e.b = append(e.b, '[')
+	for i, x := range xs {
+		if i > 0 {
+			e.b = append(e.b, ',')
+		}
+		e.num(x)
+	}
+	e.b = append(e.b, ']')
+}
+
+func (e *enc) strs(xs []string) {
+	if xs == nil {
+		e.raw("null")
+		return
+	}
+	e.b = append(e.b, '[')
+	for i, x := range xs {
+		if i > 0 {
+			e.b = append(e.b, ',')
+		}
+		e.str(x)
+	}
+	e.b = append(e.b, ']')
+}
+
+func (e *enc) cellStats(s *CellStats) {
+	e.raw(`{"evaluations":`)
+	e.i64(s.Evaluations)
+	e.raw(`,"cache_hits":`)
+	e.i64(s.CacheHits)
+	e.raw(`,"warm_hits":`)
+	e.i64(s.WarmHits)
+	e.raw(`,"full_evals":`)
+	e.i64(s.FullEvals)
+	e.raw(`,"gene_delta_evals":`)
+	e.i64(s.GeneDeltaEvals)
+	e.raw(`,"near_delta_evals":`)
+	e.i64(s.NearDeltaEvals)
+	e.raw(`,"cross_delta_evals":`)
+	e.i64(s.CrossDeltaEvals)
+	e.raw(`,"relations_compared":`)
+	e.i64(s.RelationsCompared)
+	e.raw("}")
+}
+
+func (e *enc) solutionRec(r *solutionRec) {
+	e.raw(`{"time_kcc":`)
+	e.f64(r.TimeKCC)
+	e.raw(`,"bit_energy_fj":`)
+	e.f64(r.BitEnergyFJ)
+	e.raw(`,"mean_ber":`)
+	e.f64(r.MeanBER)
+	e.raw(`,"counts":`)
+	e.ints(r.Counts)
+	e.raw(`,"genome":`)
+	e.str(r.Genome)
+	e.raw("}")
+}
+
+func (e *enc) solutionRecs(rs []solutionRec) {
+	if rs == nil {
+		e.raw("null")
+		return
+	}
+	e.b = append(e.b, '[')
+	for i := range rs {
+		if i > 0 {
+			e.b = append(e.b, ',')
+		}
+		e.solutionRec(&rs[i])
+	}
+	e.b = append(e.b, ']')
+}
+
+func (e *enc) point(p *pointJSON) {
+	e.raw(`{"time_kcc":`)
+	e.f64(p.TimeKCC)
+	e.raw(`,"bit_energy_fj":`)
+	e.f64(p.BitEnergyFJ)
+	e.raw(`,"mean_ber":`)
+	e.f64(p.MeanBER)
+	e.raw(`,"counts":`)
+	e.ints(p.Counts)
+	e.raw("}")
+}
+
+func (e *enc) points(ps []pointJSON) {
+	if ps == nil {
+		e.raw("null")
+		return
+	}
+	e.b = append(e.b, '[')
+	for i := range ps {
+		if i > 0 {
+			e.b = append(e.b, ',')
+		}
+		e.point(&ps[i])
+	}
+	e.b = append(e.b, ']')
+}
+
+func (e *enc) cellJSON(c *cellJSON) {
+	e.raw(`{"index":`)
+	e.num(c.Index)
+	if c.Backend != "" {
+		e.raw(`,"backend":`)
+		e.str(c.Backend)
+	}
+	e.raw(`,"nw":`)
+	e.num(c.NW)
+	e.raw(`,"objectives":`)
+	e.str(c.Objectives)
+	e.raw(`,"workload":`)
+	e.str(c.Workload)
+	e.raw(`,"replicate":`)
+	e.num(c.Replicate)
+	e.raw(`,"seed":`)
+	e.i64(c.Seed)
+	if c.Error != "" {
+		e.raw(`,"error":`)
+		e.str(c.Error)
+	}
+	e.raw(`,"evaluations":`)
+	e.num(c.Evaluations)
+	e.raw(`,"valid_evaluations":`)
+	e.num(c.ValidEvaluations)
+	e.raw(`,"distinct_evaluated":`)
+	e.num(c.DistinctEvaluated)
+	e.raw(`,"distinct_valid":`)
+	e.num(c.DistinctValid)
+	e.raw(`,"sim_checked":`)
+	e.num(c.SimChecked)
+	e.raw(`,"sim_violations":`)
+	e.num(c.SimViolations)
+	e.raw(`,"sim_bracket_misses":`)
+	e.num(c.SimBracketMisses)
+	if c.BestTimeKCC != nil {
+		e.raw(`,"best_time_kcc":`)
+		e.f64(*c.BestTimeKCC)
+	}
+	if c.MinEnergyFJ != nil {
+		e.raw(`,"min_energy_fj":`)
+		e.f64(*c.MinEnergyFJ)
+	}
+	if len(c.FrontTimeEnergy) > 0 {
+		e.raw(`,"front_time_energy":`)
+		e.points(c.FrontTimeEnergy)
+	}
+	if len(c.FrontTimeBER) > 0 {
+		e.raw(`,"front_time_ber":`)
+		e.points(c.FrontTimeBER)
+	}
+	if c.Stats != nil {
+		e.raw(`,"stats":`)
+		e.cellStats(c.Stats)
+	}
+	e.raw("}")
+}
+
+// campaignDoc renders the compact form of the campaign artifact
+// document; WriteCampaignJSON re-indents it (the exact transformation
+// json.Encoder applies under SetIndent).
+func (e *enc) campaignDoc(doc *campaignJSON) {
+	e.raw(`{"schema":`)
+	e.str(doc.Schema)
+	if len(doc.Backends) > 0 {
+		e.raw(`,"backends":`)
+		e.strs(doc.Backends)
+	}
+	e.raw(`,"nws":`)
+	e.ints(doc.NWs)
+	e.raw(`,"objective_sets":`)
+	e.strs(doc.ObjectiveSets)
+	e.raw(`,"workloads":`)
+	e.strs(doc.Workloads)
+	e.raw(`,"replicates":`)
+	e.num(doc.Replicates)
+	e.raw(`,"pop":`)
+	e.num(doc.Pop)
+	e.raw(`,"generations":`)
+	e.num(doc.Generations)
+	e.raw(`,"seed":`)
+	e.i64(doc.Seed)
+	if doc.WarmStart {
+		e.raw(`,"warm_start":true`)
+	}
+	e.raw(`,"cells":`)
+	if doc.Cells == nil {
+		e.raw("null")
+	} else {
+		e.b = append(e.b, '[')
+		for i := range doc.Cells {
+			if i > 0 {
+				e.b = append(e.b, ',')
+			}
+			e.cellJSON(&doc.Cells[i])
+		}
+		e.b = append(e.b, ']')
+	}
+	e.raw("}")
+}
+
+// artifactFields appends cellArtifact's fields without the enclosing
+// braces (the shape the embedded struct contributes to cellDoneJSON).
+// The caller has just written a '{' or a field followed by ','.
+func (e *enc) artifactFields(a *cellArtifact) {
+	if a.Error != "" {
+		e.raw(`"error":`)
+		e.str(a.Error)
+		e.b = append(e.b, ',')
+	}
+	e.raw(`"has_result":`)
+	e.boolv(a.HasResult)
+	e.raw(`,"evaluations":`)
+	e.num(a.Evaluations)
+	e.raw(`,"valid_evaluations":`)
+	e.num(a.ValidEvaluations)
+	e.raw(`,"distinct_evaluated":`)
+	e.num(a.DistinctEvaluated)
+	e.raw(`,"distinct_valid":`)
+	e.num(a.DistinctValid)
+	e.raw(`,"sim_checked":`)
+	e.num(a.SimChecked)
+	e.raw(`,"sim_violations":`)
+	e.num(a.SimViolations)
+	e.raw(`,"sim_bracket_misses":`)
+	e.num(a.SimBracketMisses)
+	if a.BestTimeKCC != nil {
+		e.raw(`,"best_time_kcc":`)
+		e.f64(*a.BestTimeKCC)
+	}
+	if a.MinEnergyFJ != nil {
+		e.raw(`,"min_energy_fj":`)
+		e.f64(*a.MinEnergyFJ)
+	}
+	if len(a.FrontTimeEnergy) > 0 {
+		e.raw(`,"front_time_energy":`)
+		e.solutionRecs(a.FrontTimeEnergy)
+	}
+	if len(a.FrontTimeBER) > 0 {
+		e.raw(`,"front_time_ber":`)
+		e.solutionRecs(a.FrontTimeBER)
+	}
+	if a.Stats != nil {
+		e.raw(`,"stats":`)
+		e.cellStats(a.Stats)
+	}
+}
+
+func (e *enc) manifestCell(c *manifestCell) {
+	e.raw(`{"index":`)
+	e.num(c.Index)
+	e.raw(`,"backend":`)
+	e.str(c.Backend)
+	e.raw(`,"nw":`)
+	e.num(c.NW)
+	e.raw(`,"objectives":`)
+	e.str(c.Objectives)
+	e.raw(`,"workload":`)
+	e.str(c.Workload)
+	e.raw(`,"replicate":`)
+	e.num(c.Replicate)
+	e.raw(`,"seed":`)
+	e.i64(c.Seed)
+	e.raw("}")
+}
+
+// cellDoneDoc renders the compact form of a completion record;
+// encodeCellDone re-indents it.
+func (e *enc) cellDoneDoc(d *cellDoneJSON) {
+	e.raw(`{"schema":`)
+	e.str(d.Schema)
+	e.raw(`,"cell":`)
+	e.manifestCell(&d.Cell)
+	e.b = append(e.b, ',')
+	e.artifactFields(&d.cellArtifact)
+	e.raw("}")
+}
+
+func (e *enc) statsLine(l *campaignStatsLine) {
+	e.raw(`{"cell":`)
+	e.num(l.Cell)
+	if l.Backend != "" {
+		e.raw(`,"backend":`)
+		e.str(l.Backend)
+	}
+	e.raw(`,"workload":`)
+	e.str(l.Workload)
+	e.raw(`,"objectives":`)
+	e.str(l.Objectives)
+	e.raw(`,"nw":`)
+	e.num(l.NW)
+	e.raw(`,"replicate":`)
+	e.num(l.Replicate)
+	e.raw(`,"stats":`)
+	if l.Stats == nil {
+		e.raw("null")
+	} else {
+		e.cellStats(l.Stats)
+	}
+	e.raw("}")
+}
+
+func (e *enc) cellEvent(ej *cellEventJSON) {
+	e.raw(`{"type":`)
+	e.str(ej.Type)
+	e.raw(`,"cell":`)
+	e.num(ej.Cell)
+	e.raw(`,"backend":`)
+	e.str(ej.Backend)
+	e.raw(`,"workload":`)
+	e.str(ej.Workload)
+	e.raw(`,"objectives":`)
+	e.str(ej.Objectives)
+	e.raw(`,"nw":`)
+	e.num(ej.NW)
+	e.raw(`,"replicate":`)
+	e.num(ej.Replicate)
+	e.raw(`,"seed":`)
+	e.i64(ej.Seed)
+	e.raw(`,"completed":`)
+	e.num(ej.Completed)
+	e.raw(`,"total":`)
+	e.num(ej.Total)
+	if ej.Restored {
+		e.raw(`,"restored":true`)
+	}
+	if ej.Error != "" {
+		e.raw(`,"error":`)
+		e.str(ej.Error)
+	}
+	if ej.ElapsedMS != 0 {
+		e.raw(`,"elapsed_ms":`)
+		e.f64(ej.ElapsedMS)
+	}
+	e.raw("}")
+}
+
+// encPool recycles assembly buffers across campaign writes and stats
+// lines; indentPool recycles the re-indentation scratch.
+var (
+	encPool    = sync.Pool{New: func() any { return &enc{b: make([]byte, 0, 4096)} }}
+	indentPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+)
+
+func getEnc() *enc {
+	e := encPool.Get().(*enc)
+	e.b = e.b[:0]
+	e.bad = false
+	return e
+}
+
+func putEnc(e *enc) { encPool.Put(e) }
+
+// indentDoc applies the campaign artifacts' historical two-space
+// indentation to a compact document — the same json.Indent transform
+// json.Encoder performs under SetIndent — and returns the indented
+// bytes with the Encoder's trailing newline.
+func indentDoc(compact []byte) ([]byte, error) {
+	buf := indentPool.Get().(*bytes.Buffer)
+	defer indentPool.Put(buf)
+	buf.Reset()
+	if err := json.Indent(buf, compact, "", "  "); err != nil {
+		return nil, err
+	}
+	buf.WriteByte('\n')
+	return append([]byte(nil), buf.Bytes()...), nil
+}
+
+// csvFieldNeedsQuotes mirrors encoding/csv's quoting decision for a
+// comma-separated writer.
+func csvFieldNeedsQuotes(field string) bool {
+	if field == "" {
+		return false
+	}
+	if field == `\.` {
+		return true
+	}
+	for i := 0; i < len(field); i++ {
+		c := field[i]
+		if c == '\n' || c == '\r' || c == '"' || c == ',' {
+			return true
+		}
+	}
+	r1, _ := utf8.DecodeRuneInString(field)
+	return unicode.IsSpace(r1)
+}
+
+// appendCSVField appends one field with encoding/csv's exact quoting
+// (Comma ',', UseCRLF false): quoted iff required, '"' doubled, \r
+// and \n preserved.
+func appendCSVField(b []byte, field string) []byte {
+	if !csvFieldNeedsQuotes(field) {
+		return append(b, field...)
+	}
+	b = append(b, '"')
+	for i := 0; i < len(field); i++ {
+		c := field[i]
+		if c == '"' {
+			b = append(b, '"', '"')
+			continue
+		}
+		b = append(b, c)
+	}
+	return append(b, '"')
+}

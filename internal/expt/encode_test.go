@@ -1,0 +1,569 @@
+package expt
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// These are the golden diffs the assembly fast path answers to: every
+// hand-rolled document renderer in encode.go is held byte-for-byte
+// against the encoding/json output it replaced. The fixtures lean on
+// the float edges where a bespoke encoder would drift — negative
+// zero, denormals, BER magnitudes around the 1e-6/1e21 notation
+// switch, integers stored in float fields — plus omitempty boundaries
+// and strings that trip HTML escaping.
+
+func fptr(v float64) *float64 { return &v }
+
+// edgeFloats are the values most likely to expose a formatting
+// divergence between strconv-based rendering and encoding/json.
+var edgeFloats = []float64{
+	0, math.Copysign(0, -1), 1, -1, 42, 1e6,
+	1e-6, 9.999999e-7, 1e-7, 1e21, 9.99999e20,
+	1e-300, 5e-324, math.MaxFloat64, math.SmallestNonzeroFloat64,
+	0.1, 2.718281828459045, 1.2345678901234567e-15, 123456.789,
+}
+
+// edgeStrings exercise escaping: HTML-significant bytes, controls,
+// quotes, backslashes and multibyte runes.
+var edgeStrings = []string{
+	"", "plain", "a<b&c>d", `quo"te`, `back\slash`,
+	"tab\there", "new\nline", "ctrl\x01", "\b\f",
+	"uniécode", "sep arate",
+}
+
+func stdlibIndented(t *testing.T, doc any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		t.Fatalf("stdlib encode: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func diffBytes(t *testing.T, label string, got, want []byte) {
+	t.Helper()
+	if bytes.Equal(got, want) {
+		return
+	}
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	at := n
+	for i := 0; i < n; i++ {
+		if got[i] != want[i] {
+			at = i
+			break
+		}
+	}
+	lo := at - 40
+	if lo < 0 {
+		lo = 0
+	}
+	g, w := got, want
+	if at+40 < len(g) {
+		g = g[:at+40]
+	}
+	if at+40 < len(w) {
+		w = w[:at+40]
+	}
+	t.Fatalf("%s: first divergence at byte %d\n got: %q\nwant: %q", label, at, g[lo:], w[lo:])
+}
+
+// edgeArtifact builds a cellArtifact stressing every omitempty branch
+// and the edge floats.
+func edgeArtifact(variant int) cellArtifact {
+	a := cellArtifact{
+		HasResult:         true,
+		Evaluations:       4800,
+		ValidEvaluations:  3213,
+		DistinctEvaluated: 2101,
+		DistinctValid:     1444,
+		SimChecked:        10,
+		SimViolations:     1,
+		SimBracketMisses:  2,
+		BestTimeKCC:       fptr(edgeFloats[variant%len(edgeFloats)]),
+		MinEnergyFJ:       fptr(edgeFloats[(variant+7)%len(edgeFloats)]),
+		FrontTimeEnergy: []solutionRec{
+			{TimeKCC: 42, BitEnergyFJ: 1e-6, MeanBER: 1e-300, Counts: []int{1, 2, 3, 4}, Genome: "1000/0100"},
+			{TimeKCC: math.Copysign(0, -1), BitEnergyFJ: 9.999999e-7, MeanBER: 5e-324, Counts: []int{}, Genome: ""},
+		},
+		FrontTimeBER: []solutionRec{
+			{TimeKCC: 1e21, BitEnergyFJ: 9.99999e20, MeanBER: 2.5e-13, Counts: nil, Genome: edgeStrings[variant%len(edgeStrings)]},
+		},
+		Stats: &CellStats{Evaluations: 4800, CacheHits: 1200, WarmHits: 17, FullEvals: 900,
+			GeneDeltaEvals: 1800, NearDeltaEvals: 600, CrossDeltaEvals: 283, RelationsCompared: 1 << 40},
+	}
+	switch variant % 4 {
+	case 1:
+		a.Error = "engine exploded: " + edgeStrings[variant%len(edgeStrings)]
+		a.HasResult = false
+		a.BestTimeKCC = nil
+		a.MinEnergyFJ = nil
+		a.FrontTimeEnergy = nil
+		a.FrontTimeBER = nil
+		a.Stats = nil
+	case 2:
+		a.FrontTimeBER = []solutionRec{}
+		a.Stats = nil
+	case 3:
+		a.BestTimeKCC = nil
+	}
+	return a
+}
+
+func edgeCampaignDoc(multi bool) campaignJSON {
+	doc := campaignJSON{
+		Schema:        "wadate-campaign/v1",
+		NWs:           []int{2, 4, 8},
+		ObjectiveSets: []string{"teb", "te"},
+		Workloads:     []string{"paper", "hot<spot>"},
+		Replicates:    3,
+		Pop:           80,
+		Generations:   60,
+		Seed:          42,
+		WarmStart:     multi,
+	}
+	if multi {
+		doc.Backends = []string{"ring", "crossbar"}
+	}
+	for i := 0; i < 6; i++ {
+		a := edgeArtifact(i)
+		cj := cellJSON{
+			Index:      i,
+			NW:         2 << (i % 3),
+			Objectives: "teb",
+			Workload:   doc.Workloads[i%2],
+			Replicate:  i % 3,
+			Seed:       int64(i) * 7777777,
+			Error:      a.Error,
+		}
+		if multi {
+			cj.Backend = doc.Backends[i%2]
+		}
+		cj.SimChecked = a.SimChecked
+		cj.SimViolations = a.SimViolations
+		cj.SimBracketMisses = a.SimBracketMisses
+		if a.HasResult {
+			cj.Evaluations = a.Evaluations
+			cj.ValidEvaluations = a.ValidEvaluations
+			cj.DistinctEvaluated = a.DistinctEvaluated
+			cj.DistinctValid = a.DistinctValid
+			cj.BestTimeKCC = a.BestTimeKCC
+			cj.MinEnergyFJ = a.MinEnergyFJ
+			cj.FrontTimeEnergy = points(a.FrontTimeEnergy)
+			cj.FrontTimeBER = points(a.FrontTimeBER)
+		}
+		cj.Stats = a.Stats
+		doc.Cells = append(doc.Cells, cj)
+	}
+	return doc
+}
+
+func TestCampaignDocGolden(t *testing.T) {
+	for _, multi := range []bool{false, true} {
+		doc := edgeCampaignDoc(multi)
+		e := getEnc()
+		e.campaignDoc(&doc)
+		if e.bad {
+			t.Fatalf("multi=%v: encoder flagged bad on finite doc", multi)
+		}
+		got, err := indentDoc(e.b)
+		putEnc(e)
+		if err != nil {
+			t.Fatalf("indentDoc: %v", err)
+		}
+		diffBytes(t, fmt.Sprintf("campaign doc multi=%v", multi), got, stdlibIndented(t, doc))
+	}
+
+	// Empty campaign: nil cell list must render as null, like the
+	// stdlib.
+	empty := campaignJSON{Schema: "wadate-campaign/v1"}
+	e := getEnc()
+	e.campaignDoc(&empty)
+	got, err := indentDoc(e.b)
+	putEnc(e)
+	if err != nil {
+		t.Fatalf("indentDoc: %v", err)
+	}
+	diffBytes(t, "empty campaign doc", got, stdlibIndented(t, empty))
+}
+
+func TestCampaignDocGoldenRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1007))
+	rf := func() float64 {
+		switch rng.Intn(4) {
+		case 0:
+			return edgeFloats[rng.Intn(len(edgeFloats))]
+		case 1:
+			return float64(rng.Intn(1000)) // integer-valued float
+		case 2:
+			return rng.NormFloat64() * math.Pow(10, float64(rng.Intn(40)-20))
+		default:
+			return rng.Float64()
+		}
+	}
+	for iter := 0; iter < 200; iter++ {
+		doc := campaignJSON{
+			Schema:        "wadate-campaign/v1",
+			NWs:           []int{2, 4},
+			ObjectiveSets: []string{"teb"},
+			Workloads:     []string{edgeStrings[rng.Intn(len(edgeStrings))]},
+			Replicates:    rng.Intn(4),
+			Pop:           rng.Intn(200),
+			Generations:   rng.Intn(100),
+			Seed:          rng.Int63() - rng.Int63(),
+			WarmStart:     rng.Intn(2) == 0,
+		}
+		n := rng.Intn(3)
+		for i := 0; i < n; i++ {
+			cj := cellJSON{
+				Index:      i,
+				NW:         4,
+				Objectives: "teb",
+				Workload:   doc.Workloads[0],
+				Replicate:  i,
+				Seed:       rng.Int63(),
+			}
+			if rng.Intn(2) == 0 {
+				cj.BestTimeKCC = fptr(rf())
+			}
+			if rng.Intn(2) == 0 {
+				cj.MinEnergyFJ = fptr(rf())
+			}
+			if k := rng.Intn(3); k > 0 {
+				for j := 0; j < k; j++ {
+					cj.FrontTimeEnergy = append(cj.FrontTimeEnergy, pointJSON{
+						TimeKCC: rf(), BitEnergyFJ: rf(), MeanBER: rf(),
+						Counts: []int{rng.Intn(8), rng.Intn(8)},
+					})
+				}
+			}
+			doc.Cells = append(doc.Cells, cj)
+		}
+		e := getEnc()
+		e.campaignDoc(&doc)
+		got, err := indentDoc(e.b)
+		putEnc(e)
+		if err != nil {
+			t.Fatalf("iter %d: indentDoc: %v", iter, err)
+		}
+		diffBytes(t, fmt.Sprintf("random campaign doc iter %d", iter), got, stdlibIndented(t, doc))
+	}
+}
+
+func TestCellDoneDocGolden(t *testing.T) {
+	for i := 0; i < 6; i++ {
+		done := cellDoneJSON{
+			Schema: cellDoneSchema,
+			Cell: manifestCell{Index: i, Backend: "ring", NW: 8, Objectives: "teb",
+				Workload: edgeStrings[i%len(edgeStrings)], Replicate: i, Seed: 987654321},
+			cellArtifact: edgeArtifact(i),
+		}
+		e := getEnc()
+		e.cellDoneDoc(&done)
+		if e.bad {
+			t.Fatalf("variant %d: encoder flagged bad on finite doc", i)
+		}
+		got, err := indentDoc(e.b)
+		putEnc(e)
+		if err != nil {
+			t.Fatalf("indentDoc: %v", err)
+		}
+		diffBytes(t, fmt.Sprintf("cell done variant %d", i), got, stdlibIndented(t, done))
+	}
+}
+
+// TestEncodeCellDoneNonFinite pins the fallback contract: a
+// completion record carrying a non-finite float produces the exact
+// stdlib error, not corrupt bytes.
+func TestEncodeCellDoneNonFinite(t *testing.T) {
+	art := edgeArtifact(0)
+	art.BestTimeKCC = fptr(math.NaN())
+	_, err := encodeCellDone(Cell{Index: 0, Backend: "ring", NW: 8, Workload: "paper"}, art)
+	if err == nil {
+		t.Fatal("expected an encoding error for NaN best_time_kcc")
+	}
+	var ue *json.UnsupportedValueError
+	if !errors.As(err, &ue) {
+		t.Fatalf("want *json.UnsupportedValueError, got %T: %v", err, err)
+	}
+}
+
+func TestStatsLineGolden(t *testing.T) {
+	lines := []campaignStatsLine{
+		{Cell: 0, Workload: "paper", Objectives: "teb", NW: 8, Replicate: 0,
+			Stats: &CellStats{Evaluations: 4800, CacheHits: 1, RelationsCompared: math.MaxInt64}},
+		{Cell: 3, Backend: "crossbar", Workload: "hot<spot>", Objectives: "te", NW: 16, Replicate: 2,
+			Stats: &CellStats{}},
+		{Cell: 7, Workload: "w\"q", Objectives: "tb", NW: 2, Replicate: 1, Stats: nil},
+	}
+	e := getEnc()
+	defer putEnc(e)
+	for i, line := range lines {
+		want, err := json.Marshal(line)
+		if err != nil {
+			t.Fatalf("stdlib marshal: %v", err)
+		}
+		e.b, e.bad = e.b[:0], false
+		e.statsLine(&line)
+		diffBytes(t, fmt.Sprintf("stats line %d", i), e.b, want)
+	}
+}
+
+func TestCellEventGolden(t *testing.T) {
+	cell := Cell{Index: 5, Backend: "crossbar", NW: 8, Objectives: core.TimeEnergyBER,
+		Workload: "hot<spot>", Replicate: 1, Seed: 123456789}
+	events := []CellEvent{
+		{Cell: cell, Completed: 0, Total: 12},
+		{Cell: cell, Done: true, Completed: 1, Total: 12, Elapsed: 1234567 * time.Microsecond},
+		{Cell: cell, Done: true, Completed: 2, Total: 12, Err: errors.New(`cell failed: "conflict" <here>`), Elapsed: time.Millisecond / 4},
+		{Cell: cell, Restored: true, Completed: 3, Total: 12},
+		{Cell: Cell{Index: 0, Workload: "paper"}, Done: true, Completed: 4, Total: 12},
+	}
+	for i, ev := range events {
+		got, err := CellEventJSON(ev)
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		// Rebuild the wire struct the way CellEventJSON does and
+		// marshal it with the stdlib.
+		ej := cellEventJSON{
+			Type: "cell_start", Cell: ev.Cell.Index, Backend: ev.Cell.Backend,
+			Workload: ev.Cell.Workload, Objectives: ev.Cell.Objectives.String(),
+			NW: ev.Cell.NW, Replicate: ev.Cell.Replicate, Seed: ev.Cell.Seed,
+			Completed: ev.Completed, Total: ev.Total, Restored: ev.Restored,
+		}
+		if ev.Done {
+			ej.Type = "cell_done"
+			ej.ElapsedMS = float64(ev.Elapsed) / float64(time.Millisecond)
+			if ev.Err != nil {
+				ej.Error = ev.Err.Error()
+			}
+		}
+		want, err := json.Marshal(ej)
+		if err != nil {
+			t.Fatalf("stdlib marshal: %v", err)
+		}
+		diffBytes(t, fmt.Sprintf("cell event %d", i), got, want)
+	}
+}
+
+// referenceCampaignCSV is the renderer the strconv-based
+// campaignCSVWriter replaced: encoding/csv plus fmt verbs. The golden
+// diff holds the two byte-for-byte.
+func referenceCampaignCSV(w *bytes.Buffer, backend bool, rows []struct {
+	cell Cell
+	kind string
+	rec  solutionRec
+}) {
+	cw := csv.NewWriter(w)
+	header := []string{"cell"}
+	if backend {
+		header = append(header, "backend")
+	}
+	header = append(header, "workload", "objectives", "nw", "replicate", "seed", "kind",
+		"time_kcc", "bit_energy_fj", "mean_ber", "log10_ber", "counts", "genome")
+	cw.Write(header)
+	for _, row := range rows {
+		counts := make([]string, len(row.rec.Counts))
+		for i, c := range row.rec.Counts {
+			counts[i] = strconv.Itoa(c)
+		}
+		fields := []string{strconv.Itoa(row.cell.Index)}
+		if backend {
+			fields = append(fields, row.cell.Backend)
+		}
+		fields = append(fields,
+			row.cell.Workload,
+			row.cell.Objectives.String(),
+			strconv.Itoa(row.cell.NW),
+			strconv.Itoa(row.cell.Replicate),
+			strconv.FormatInt(row.cell.Seed, 10),
+			row.kind,
+			fmt.Sprintf("%.6f", row.rec.TimeKCC),
+			fmt.Sprintf("%.6f", row.rec.BitEnergyFJ),
+			fmt.Sprintf("%.6e", row.rec.MeanBER),
+			fmt.Sprintf("%.4f", core.Metrics{MeanBER: row.rec.MeanBER}.Log10BER()),
+			strings.Join(counts, ";"),
+			row.rec.Genome,
+		)
+		cw.Write(fields)
+	}
+	cw.Flush()
+}
+
+func TestCampaignCSVGolden(t *testing.T) {
+	cells := []Cell{
+		{Index: 0, Backend: "ring", NW: 4, Objectives: core.TimeEnergyBER, Workload: "paper", Replicate: 0, Seed: 42},
+		{Index: 1, Backend: "crossbar", NW: 8, Objectives: core.TimeEnergy, Workload: "work,load", Replicate: 1, Seed: -7},
+		{Index: 2, Backend: "ring", NW: 16, Objectives: core.TimeBER, Workload: ` leading`, Replicate: 2, Seed: math.MaxInt64},
+	}
+	recs := [][]solutionRec{
+		{
+			{TimeKCC: 42, BitEnergyFJ: 1e-6, MeanBER: 1e-300, Counts: []int{1, 2, 3}, Genome: "1000/0100"},
+			{TimeKCC: math.Copysign(0, -1), BitEnergyFJ: 123456.789, MeanBER: 0, Counts: []int{}, Genome: `ge"nome`},
+		},
+		{
+			{TimeKCC: 9.999999e-7, BitEnergyFJ: 5e-324, MeanBER: 2.5e-13, Counts: []int{7}, Genome: "multi\nline"},
+		},
+		{
+			{TimeKCC: 1e9, BitEnergyFJ: 0.125, MeanBER: 1e-21, Counts: nil, Genome: "has,comma"},
+		},
+	}
+	for _, backend := range []bool{false, true} {
+		var got, want bytes.Buffer
+		cw := newCampaignCSV(&got, backend)
+		var rows []struct {
+			cell Cell
+			kind string
+			rec  solutionRec
+		}
+		for i, cell := range cells {
+			kind := "front_time_energy"
+			if i%2 == 1 {
+				kind = "front_time_ber"
+			}
+			if err := cw.writeFront(cell, kind, recs[i]); err != nil {
+				t.Fatalf("writeFront: %v", err)
+			}
+			for _, r := range recs[i] {
+				rows = append(rows, struct {
+					cell Cell
+					kind string
+					rec  solutionRec
+				}{cell, kind, r})
+			}
+		}
+		if err := cw.flush(); err != nil {
+			t.Fatalf("flush: %v", err)
+		}
+		referenceCampaignCSV(&want, backend, rows)
+		diffBytes(t, fmt.Sprintf("campaign csv backend=%v", backend), got.Bytes(), want.Bytes())
+	}
+}
+
+// TestAppendCSVFieldMatchesStdlib drives the field-level quoting
+// decision against encoding/csv across the escape-relevant corpus.
+func TestAppendCSVFieldMatchesStdlib(t *testing.T) {
+	fields := append([]string{}, edgeStrings...)
+	fields = append(fields, `\.`, " lead", "\ttab-lead", "trail ", "com,ma", "cr\rhere", "q\"q", " nbsp")
+	rng := rand.New(rand.NewSource(33))
+	alphabet := []byte("a,\"\n\r \t<&\\.x")
+	for i := 0; i < 2000; i++ {
+		n := rng.Intn(6)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = alphabet[rng.Intn(len(alphabet))]
+		}
+		fields = append(fields, string(b))
+	}
+	for _, f := range fields {
+		var buf bytes.Buffer
+		cw := csv.NewWriter(&buf)
+		cw.Write([]string{f, f})
+		cw.Flush()
+		want := buf.Bytes()
+		got := appendCSVField(nil, f)
+		got = append(got, ',')
+		got = appendCSVField(got, f)
+		got = append(got, '\n')
+		if !bytes.Equal(got, want) {
+			t.Fatalf("field %q: got %q want %q", f, got, want)
+		}
+	}
+}
+
+// BenchmarkCampaignAssembly measures the artifact assembly encoders on
+// a fixed mid-size campaign document. json-fast vs json-stdlib is the
+// gated pair (fast must win within the run); the pure encode
+// sub-benches (csv-encode, stats-encode, event-encode) compose into
+// reused buffers and are gated at 0 allocs/op.
+func BenchmarkCampaignAssembly(b *testing.B) {
+	doc := edgeCampaignDoc(true)
+
+	b.Run("json-fast", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e := getEnc()
+			e.campaignDoc(&doc)
+			out, err := indentDoc(e.b)
+			putEnc(e)
+			if err != nil || len(out) == 0 {
+				b.Fatal("encode failed")
+			}
+		}
+	})
+	b.Run("json-stdlib", func(b *testing.B) {
+		b.ReportAllocs()
+		var buf bytes.Buffer
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			enc := json.NewEncoder(&buf)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(&doc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	cell := Cell{Index: 3, Backend: "crossbar", NW: 8, Objectives: core.TimeEnergyBER,
+		Workload: "paper", Replicate: 1, Seed: 987654321}
+	recs := edgeArtifact(0).FrontTimeEnergy
+	b.Run("csv-encode", func(b *testing.B) {
+		cw := newCampaignCSV(io.Discard, true)
+		if err := cw.writeFront(cell, "front_time_energy", recs); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cw.buf = cw.buf[:0]
+			if err := cw.writeFront(cell, "front_time_energy", recs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	line := campaignStatsLine{Cell: 3, Backend: "crossbar", Workload: "paper", Objectives: "teb",
+		NW: 8, Replicate: 1,
+		Stats: &CellStats{Evaluations: 4800, CacheHits: 1200, WarmHits: 17, FullEvals: 900,
+			GeneDeltaEvals: 1800, NearDeltaEvals: 600, CrossDeltaEvals: 283, RelationsCompared: 123456789}}
+	b.Run("stats-encode", func(b *testing.B) {
+		e := getEnc()
+		defer putEnc(e)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e.b, e.bad = e.b[:0], false
+			e.statsLine(&line)
+		}
+	})
+
+	ej := cellEventJSON{Type: "cell_done", Cell: 3, Backend: "crossbar", Workload: "paper",
+		Objectives: "teb", NW: 8, Replicate: 1, Seed: 987654321,
+		Completed: 4, Total: 12, ElapsedMS: 1234.5625}
+	b.Run("event-encode", func(b *testing.B) {
+		e := getEnc()
+		defer putEnc(e)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e.b, e.bad = e.b[:0], false
+			e.cellEvent(&ej)
+		}
+	})
+}

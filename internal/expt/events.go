@@ -60,5 +60,10 @@ func CellEventJSON(ev CellEvent) ([]byte, error) {
 			ej.Error = ev.Err.Error()
 		}
 	}
-	return json.Marshal(ej)
+	e := enc{b: make([]byte, 0, 224)}
+	e.cellEvent(&ej)
+	if e.bad {
+		return json.Marshal(ej)
+	}
+	return e.b, nil
 }

@@ -69,13 +69,22 @@ func decodeCellCkpt(c Cell, raw []byte) ([]byte, error) {
 // bytes writeDone persists as cell-<N>.json.
 func encodeCellDone(c Cell, art cellArtifact) ([]byte, error) {
 	done := cellDoneJSON{Schema: cellDoneSchema, Cell: manifestCellOf(c), cellArtifact: art}
-	var buf bytes.Buffer
-	enc := json.NewEncoder(&buf)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(done); err != nil {
-		return nil, err
+	e := getEnc()
+	if e.cellDoneDoc(&done); e.bad {
+		// Non-finite floats: delegate to the stdlib encoder for the
+		// identical UnsupportedValueError.
+		putEnc(e)
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(done); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
 	}
-	return buf.Bytes(), nil
+	out, err := indentDoc(e.b)
+	putEnc(e)
+	return out, err
 }
 
 // decodeCellDone validates a completion record's schema and identity

@@ -1,0 +1,114 @@
+// Package jsonx holds allocation-free appenders that reproduce
+// encoding/json's output byte for byte for the scalar kinds the
+// artifact and serving hot paths emit: floats (including the e-notation
+// switchover and exponent cleanup), HTML-escaped strings, and
+// integers. The artifact writers and the serve responder build compact
+// documents from these appenders into reused buffers instead of
+// reflecting over structs; golden tests in the consuming packages diff
+// every composed document against the stdlib encoder.
+package jsonx
+
+import (
+	"math"
+	"strconv"
+	"unicode/utf8"
+)
+
+// Finite reports whether f is representable in JSON. encoding/json
+// rejects NaN and infinities with an UnsupportedValueError; callers
+// that might see them must check and fall back to the stdlib encoder
+// so the error (not silently different bytes) stays identical.
+func Finite(f float64) bool {
+	return !math.IsNaN(f) && !math.IsInf(f, 0)
+}
+
+// AppendFloat appends f exactly as encoding/json renders a float64:
+// shortest round-trip form, 'f' notation inside [1e-6, 1e21) and 'e'
+// notation outside, with the exponent's leading zero stripped
+// (1e-09 -> 1e-9). f must be finite (see Finite).
+func AppendFloat(b []byte, f float64) []byte {
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		// Clean up e-09 to e-9, like the stdlib does.
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b
+}
+
+// AppendInt appends i in decimal, the form encoding/json gives every
+// integer kind.
+func AppendInt(b []byte, i int64) []byte {
+	return strconv.AppendInt(b, i, 10)
+}
+
+const hexDigits = "0123456789abcdef"
+
+// htmlSafe reports whether an ASCII byte passes through encoding/json's
+// default (HTML-escaping) string encoder unescaped.
+func htmlSafe(c byte) bool {
+	return c >= 0x20 && c != '"' && c != '\\' && c != '<' && c != '>' && c != '&'
+}
+
+// AppendString appends s as a JSON string literal exactly as
+// encoding/json's default encoder does: quotes around it, short
+// escapes for \" \\ \b \f \n \r \t, \u00xx for other control bytes
+// and for the HTML-sensitive < > &, the replacement rune for invalid
+// UTF-8, and U+2028/U+2029 escaped for script-embedding safety.
+func AppendString(b []byte, s string) []byte {
+	b = append(b, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if c := s[i]; c < utf8.RuneSelf {
+			if htmlSafe(c) {
+				i++
+				continue
+			}
+			b = append(b, s[start:i]...)
+			switch c {
+			case '\\', '"':
+				b = append(b, '\\', c)
+			case '\b':
+				b = append(b, '\\', 'b')
+			case '\f':
+				b = append(b, '\\', 'f')
+			case '\n':
+				b = append(b, '\\', 'n')
+			case '\r':
+				b = append(b, '\\', 'r')
+			case '\t':
+				b = append(b, '\\', 't')
+			default:
+				b = append(b, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if r == '\u2028' || r == '\u2029' {
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', '2', '0', '2', hexDigits[r&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	b = append(b, s[start:]...)
+	return append(b, '"')
+}

@@ -1,0 +1,111 @@
+package jsonx
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestAppendFloatMatchesStdlib pins the float appender to
+// encoding/json on the layout's edge cases: the 1e-6/1e21 notation
+// switchovers, negative zero, denormals, very small BERs, and
+// integers-as-floats.
+func TestAppendFloatMatchesStdlib(t *testing.T) {
+	cases := []float64{
+		0, math.Copysign(0, -1), 1, -1, 3.5, 1234.5678,
+		1e-6, 9.999999e-7, 1e-7, 1e21, 9.99999e20, -1e21, -1e-7,
+		1e-300, 5e-324, math.MaxFloat64, math.SmallestNonzeroFloat64,
+		42, -42, 1e6, 123456789012345680, 0.1, 2.0 / 3.0,
+		1.234e-10, 6.02214076e23, -273.15, 1e20, 1e-5,
+	}
+	for _, f := range cases {
+		want, err := json.Marshal(f)
+		if err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		if got := AppendFloat(nil, f); string(got) != string(want) {
+			t.Errorf("AppendFloat(%v) = %q, stdlib %q", f, got, want)
+		}
+	}
+	if err := quick.Check(func(f float64) bool {
+		if !Finite(f) {
+			return true
+		}
+		want, _ := json.Marshal(f)
+		return string(AppendFloat(nil, f)) == string(want)
+	}, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+	// Bit-pattern sweep catches shapes quick's generator underweights.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		f := math.Float64frombits(rng.Uint64())
+		if !Finite(f) {
+			continue
+		}
+		want, _ := json.Marshal(f)
+		if got := AppendFloat(nil, f); string(got) != string(want) {
+			t.Fatalf("AppendFloat(%x) = %q, stdlib %q", math.Float64bits(f), got, want)
+		}
+	}
+}
+
+// TestAppendStringMatchesStdlib pins the string appender to
+// encoding/json, HTML escaping included.
+func TestAppendStringMatchesStdlib(t *testing.T) {
+	cases := []string{
+		"", "plain", "with space", `quote"inside`, `back\slash`,
+		"tab\there", "new\nline", "carriage\rreturn", "nul\x00byte",
+		"ctrl\x1f", "<script>&amp;</script>", "café", "日本語",
+		"bad\xffutf8", "\xc3\x28", "line sep", "para sep",
+		"back\bspace", "form\ffeed", "emoji \U0001F600", " leading", "trailing ", "a;b;c",
+		"genome 1000/0100/0010",
+	}
+	for _, s := range cases {
+		want, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		if got := AppendString(nil, s); string(got) != string(want) {
+			t.Errorf("AppendString(%q) = %q, stdlib %q", s, got, want)
+		}
+	}
+	if err := quick.Check(func(s string) bool {
+		want, _ := json.Marshal(s)
+		return string(AppendString(nil, s)) == string(want)
+	}, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+	// Random raw byte strings exercise the invalid-UTF-8 path, which
+	// quick's valid-string generator never reaches.
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		raw := make([]byte, rng.Intn(24))
+		rng.Read(raw)
+		s := string(raw)
+		want, _ := json.Marshal(s)
+		if got := AppendString(nil, s); string(got) != string(want) {
+			t.Fatalf("AppendString(%x) = %q, stdlib %q", raw, got, want)
+		}
+	}
+}
+
+func TestAppendIntMatchesStdlib(t *testing.T) {
+	for _, i := range []int64{0, 1, -1, 42, -42, math.MaxInt64, math.MinInt64, 1 << 40} {
+		want, _ := json.Marshal(i)
+		if got := AppendInt(nil, i); string(got) != string(want) {
+			t.Errorf("AppendInt(%d) = %q, stdlib %q", i, got, want)
+		}
+	}
+}
+
+func TestFinite(t *testing.T) {
+	if Finite(math.NaN()) || Finite(math.Inf(1)) || Finite(math.Inf(-1)) {
+		t.Fatal("Finite accepts non-finite values")
+	}
+	if !Finite(0) || !Finite(-1e300) {
+		t.Fatal("Finite rejects finite values")
+	}
+}

@@ -51,6 +51,40 @@ func rankBenchPopulation(n, m int, dupHeavy bool) []Individual {
 // the retained pair-relation oracle (forcePairwise). CI gates the
 // sorted variants at 0 allocs/op and requires sorted < pairwise
 // within the same run for both population shapes.
+// BenchmarkRankAndCrowdSoA holds the engine's struct-of-arrays
+// ranking pass (columnar objectives + packed violation words feeding
+// the sort-based builder) against the retained array-of-structs
+// reference (fastNonDominatedSort + assignCrowding walking
+// per-individual slices) on the same dup-heavy merged population. CI
+// requires engine < reference within the run: the SoA layout must pay
+// for itself, not merely match.
+func BenchmarkRankAndCrowdSoA(b *testing.B) {
+	const n, m = 800, 3
+	pop := rankBenchPopulation(n, m, true)
+	b.Run("engine", func(b *testing.B) {
+		e := scratchEngine(n/2, m)
+		work := make([]Individual, n)
+		copy(work, pop)
+		e.rankAndCrowd(work) // warm-up: lazy scratch growth
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.rankAndCrowd(work)
+		}
+	})
+	b.Run("reference", func(b *testing.B) {
+		work := make([]Individual, n)
+		copy(work, pop)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, front := range fastNonDominatedSort(work) {
+				assignCrowding(work, front)
+			}
+		}
+	})
+}
+
 func BenchmarkRankAndCrowd(b *testing.B) {
 	const n, m = 800, 3
 	for _, shape := range []struct {

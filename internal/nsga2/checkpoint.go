@@ -201,14 +201,17 @@ func (e *Engine) readCheckpoint(r io.Reader) error {
 	key := make([]byte, e.gl)
 	for i := uint64(0); i < cacheLen; i++ {
 		cr.bytes(key)
-		objs := make([]float64, e.nObj)
+		// Objective and aux vectors are carved from the engine's
+		// chunked arena instead of boxed per entry: rehydration drops
+		// from two allocations per genotype to one per arena chunk.
+		objs := e.store.alloc(e.nObj)
 		for k := range objs {
 			objs[k] = cr.f64()
 		}
 		violation := cr.f64()
 		var aux []float64
 		if auxDim > 0 {
-			aux = make([]float64, auxDim)
+			aux = e.store.alloc(int(auxDim))
 			for k := range aux {
 				aux[k] = cr.f64()
 			}
@@ -326,17 +329,22 @@ func ReadCheckpointArchive(r io.Reader) (*CheckpointArchive, error) {
 		PopSize:       int(popSize),
 		Seed:          seed,
 	}
+	// One local arena for the whole decode: per-entry float vectors
+	// are carved from chunks instead of boxed individually (the
+	// entries retain the chunks, exactly like engine cache entries
+	// retain the engine's arena).
+	var store objStore
 	for i := uint64(0); i < cacheLen; i++ {
 		key := make([]byte, gl)
 		cr.bytes(key)
-		objs := make([]float64, nObj)
+		objs := store.alloc(int(nObj))
 		for k := range objs {
 			objs[k] = cr.f64()
 		}
 		violation := cr.f64()
 		var aux []float64
 		if auxDim > 0 {
-			aux = make([]float64, auxDim)
+			aux = store.alloc(int(auxDim))
 			for k := range aux {
 				aux[k] = cr.f64()
 			}
@@ -371,6 +379,11 @@ func (e *Engine) VisitArchive(fn func(genome []byte, objs []float64, violation f
 		fn(ent.key, ent.objs, ent.violation, ent.aux)
 	}
 }
+
+// ArchiveLen returns the number of distinct evaluated genotypes
+// VisitArchive will report, so resume paths can pre-size the side
+// state they rebuild instead of growing maps entry by entry.
+func (e *Engine) ArchiveLen() int { return len(e.cache.entries) }
 
 // crcWriter accumulates an IEEE CRC-32 over everything written
 // through it, encoding fixed-width little-endian. Errors stick.

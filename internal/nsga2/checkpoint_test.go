@@ -357,6 +357,66 @@ func TestVisitArchiveMatchesResult(t *testing.T) {
 	}
 }
 
+// TestResumeAllocsPerEntry pins the rehydration-cost contract: the
+// marginal price of one more archive entry is about one heap
+// allocation (the interned genome key) for both ResumeEngine and the
+// standalone ReadCheckpointArchive — objective and aux vectors are
+// carved from a chunked arena, not boxed per genotype. The bound is
+// measured as a marginal rate between a small and a large checkpoint,
+// so the fixed engine-construction cost cancels out.
+func TestResumeAllocsPerEntry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement")
+	}
+	p := ckptProblem(16)
+	mk := func(gens int) ([]byte, int, Config) {
+		cfg := Config{PopSize: 32, Generations: gens, Seed: 17, ArchiveAll: true, AuxLen: 3,
+			AuxFill: func(genome []byte, aux []float64) {
+				aux[0] = float64(countOnes(genome))
+				aux[1] = 2
+				aux[2] = 3
+			}}
+		e, err := NewEngine(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for g := 0; g < gens; g++ {
+			e.Step()
+		}
+		var buf bytes.Buffer
+		if err := e.WriteCheckpoint(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), e.ArchiveLen(), cfg
+	}
+	smallRaw, smallN, smallCfg := mk(2)
+	largeRaw, largeN, largeCfg := mk(40)
+	extra := largeN - smallN
+	if extra < 100 {
+		t.Fatalf("archives too close for a marginal measurement: %d vs %d entries", smallN, largeN)
+	}
+
+	marginal := func(label string, run func(raw []byte, cfg Config)) {
+		small := testing.AllocsPerRun(5, func() { run(smallRaw, smallCfg) })
+		large := testing.AllocsPerRun(5, func() { run(largeRaw, largeCfg) })
+		perEntry := (large - small) / float64(extra)
+		if perEntry > 2.0 {
+			t.Errorf("%s: %.2f allocs per marginal archive entry (%d extra entries, %.0f -> %.0f allocs), want <= 2.0",
+				label, perEntry, extra, small, large)
+		}
+	}
+	marginal("ResumeEngine", func(raw []byte, cfg Config) {
+		if _, err := ResumeEngine(p, cfg, bytes.NewReader(raw)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	marginal("ReadCheckpointArchive", func(raw []byte, cfg Config) {
+		if _, err := ReadCheckpointArchive(bytes.NewReader(raw)); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
 // FuzzSnapshotDecode fuzzes the checkpoint decoder: arbitrary bytes
 // must either resume cleanly or fail with an error — never panic and
 // never hang. Seeded with a valid checkpoint and structured

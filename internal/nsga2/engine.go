@@ -15,10 +15,11 @@ import (
 // the common case.
 //
 // The engine owns a scratch arena sized once at construction — genome
-// slabs for the population, offspring and survivors, flat objective /
-// violation / dominance buffers for the non-dominated sort, index
-// buffers for crowding and truncation, and the interned-key genome
-// cache — so a steady-state Step performs zero heap allocations
+// slabs for the population, offspring and survivors, per-objective
+// column buffers and packed violation words for the non-dominated
+// sort (see the SoA scratch fields), index buffers for crowding and
+// truncation, and the interned-key genome cache — so a steady-state
+// Step performs zero heap allocations
 // beyond the entries retained for newly discovered genotypes (and the
 // problem's own allocations while evaluating them). Everything a Step
 // hands out (OnGeneration populations, Population) aliases that
@@ -68,17 +69,39 @@ type Engine struct {
 	jobGene  []int32
 	deltaP   DeltaProblem   // e.p's delta view, when implemented
 	deltaW   []DeltaProblem // per-worker delta views, aligned with workers
+	// Write-into views (see IntoProblem): when implemented, cache
+	// entries get arena rows carved at insert time and the problem
+	// writes objectives straight into them — no per-evaluation boxing.
+	// deltaIntoP/deltaIntoW are only set when the plain into view is
+	// too, so every into-routed job has its row pre-carved.
+	intoP      IntoProblem
+	intoW      []IntoProblem
+	deltaIntoP DeltaIntoProblem
+	deltaIntoW []DeltaIntoProblem
 
-	// Rank/crowd scratch (sized for the merged 2*size population).
+	// Rank/crowd scratch (sized for the merged 2*size population),
+	// laid out struct-of-arrays: objCol holds one contiguous column
+	// per objective (all carved from objColBuf), and vfW packs each
+	// individual's violation/feasibility into one word — the IEEE-754
+	// bits of the violation, so feasibility is `vfW[i]<<1 == 0`
+	// (violation == ±0) and the numeric value is a free bitcast back.
+	// The relation kernels, the lexicographic pre-sort, the duplicate-
+	// group hash and the crowding sweeps all walk whole columns instead
+	// of striding interleaved rows.
 	// The pair-relation pass runs over duplicate groups — individuals
 	// with bit-identical (violation, objectives) vectors — instead of
 	// individuals: groupOf/gRep/gSize/gHash/gTable find the groups,
 	// gDom holds each group's dominated groups, gmStart/gMembers list
 	// each group's members, and zbuf batches individuals whose
 	// domination count hits zero so fronts keep the reference order.
-	objsFlat []float64
-	viol     []float64
-	feas     []bool
+	objCol    [][]float64
+	objColBuf []float64
+	vfW       []uint64
+	// relationBatch scratch: per-element better-than flags and the
+	// relation output block of the pairwise builder.
+	batchIB  []uint8
+	batchJB  []uint8
+	relOut   []int8
 	domCount []int32
 	groupOf  []int32
 	gRep     []int32
@@ -118,6 +141,14 @@ type Engine struct {
 	gSortPos      posSorter
 	fSort         frontSorter
 	forcePairwise bool
+
+	// store is the engine's chunked objective arena: cache entries'
+	// objective and aux vectors are carved from it instead of being
+	// boxed one allocation each (checkpoint rehydration, warm hits and
+	// — for IntoProblem problems — live evaluation all intern through
+	// it). Chunks are never reallocated, so carved slices stay valid
+	// for the engine's lifetime.
+	store objStore
 
 	// Instrumentation counters (see Stats).
 	cacheHits int64
@@ -240,22 +271,28 @@ func newEngineArena(p Problem, cfg Config) (*Engine, error) {
 		jobP2:    make([][]byte, 0, P),
 		jobGene:  make([]int32, 0, P),
 
-		objsFlat: make([]float64, 2*P*m),
-		viol:     make([]float64, 2*P),
-		feas:     make([]bool, 2*P),
-		domCount: make([]int32, 2*P),
-		groupOf:  make([]int32, 2*P),
-		gRep:     make([]int32, 2*P),
-		gSize:    make([]int32, 2*P),
-		gCur:     make([]int32, 2*P),
-		gHash:    make([]uint64, 2*P),
-		gDom:     make([][]int32, 2*P),
-		gmStart:  make([]int32, 2*P+1),
-		gMembers: make([]int32, 2*P),
-		zbuf:     make([]int, 0, 2*P),
-		frontBuf: make([]int, 0, 2*P),
-		crowdIdx: make([]int, 2*P),
-		rest:     make([]int, 0, 2*P),
+		objCol:    make([][]float64, m),
+		objColBuf: make([]float64, 2*P*m),
+		vfW:       make([]uint64, 2*P),
+		batchIB:   make([]uint8, 2*P),
+		batchJB:   make([]uint8, 2*P),
+		relOut:    make([]int8, 2*P),
+		domCount:  make([]int32, 2*P),
+		groupOf:   make([]int32, 2*P),
+		gRep:      make([]int32, 2*P),
+		gSize:     make([]int32, 2*P),
+		gCur:      make([]int32, 2*P),
+		gHash:     make([]uint64, 2*P),
+		gDom:      make([][]int32, 2*P),
+		gmStart:   make([]int32, 2*P+1),
+		gMembers:  make([]int32, 2*P),
+		zbuf:      make([]int, 0, 2*P),
+		frontBuf:  make([]int, 0, 2*P),
+		crowdIdx:  make([]int, 2*P),
+		rest:      make([]int, 0, 2*P),
+	}
+	for k := 0; k < m; k++ {
+		e.objCol[k] = e.objColBuf[k*2*P : (k+1)*2*P : (k+1)*2*P]
 	}
 	// The group hash table stays at most half full at 4*P slots.
 	gt := 1
@@ -269,9 +306,17 @@ func newEngineArena(p Problem, cfg Config) (*Engine, error) {
 	if dp, ok := p.(DeltaProblem); ok {
 		e.deltaP = dp
 	}
+	if ip, ok := p.(IntoProblem); ok {
+		e.intoP = ip
+		if dip, ok := p.(DeltaIntoProblem); ok {
+			e.deltaIntoP = dip
+		}
+	}
 	if cfg.Workers > 1 {
 		e.workers = make([]Problem, cfg.Workers)
 		e.deltaW = make([]DeltaProblem, cfg.Workers)
+		e.intoW = make([]IntoProblem, cfg.Workers)
+		e.deltaIntoW = make([]DeltaIntoProblem, cfg.Workers)
 		for w := range e.workers {
 			if pw, ok := p.(PerWorkerProblem); ok {
 				e.workers[w] = pw.NewWorker()
@@ -280,6 +325,15 @@ func newEngineArena(p Problem, cfg Config) (*Engine, error) {
 			}
 			if dw, ok := e.workers[w].(DeltaProblem); ok {
 				e.deltaW[w] = dw
+			}
+			// Workers only use the into views when the parent problem
+			// has them too: the parent's view is what gates the
+			// arena-row pre-carve at insert time.
+			if iw, ok := e.workers[w].(IntoProblem); ok && e.intoP != nil {
+				e.intoW[w] = iw
+				if diw, ok := e.workers[w].(DeltaIntoProblem); ok {
+					e.deltaIntoW[w] = diw
+				}
 			}
 		}
 	}
@@ -385,13 +439,21 @@ func (e *Engine) evaluateBatch(genomes [][]byte, meta []offMeta, out []Individua
 				if objs, viol, warm := e.cfg.WarmLookup(g); warm {
 					// Warm hit: the entry is resolved without any
 					// evaluation work; counters and archive order are
-					// untouched.
+					// untouched. The vector is interned into the
+					// engine's arena, so the lookup may alias its own
+					// storage instead of detaching a copy per hit.
 					e.warmHits++
 					ent := &e.cache.entries[idx]
-					ent.objs, ent.violation = objs, viol
+					ent.objs, ent.violation = e.store.intern(objs), viol
 					e.entryIdx = append(e.entryIdx, idx)
 					continue
 				}
+			}
+			if e.intoP != nil {
+				// Arena row for the objective write-out: carved
+				// serially here so the concurrent fill below never
+				// touches the store.
+				e.cache.entries[idx].objs = e.store.alloc(e.nObj)
 			}
 			e.jobs = append(e.jobs, idx)
 			if meta != nil {
@@ -417,7 +479,7 @@ func (e *Engine) evaluateBatch(genomes [][]byte, meta []offMeta, out []Individua
 		var wg sync.WaitGroup
 		for w := 0; w < len(e.workers) && w < len(e.jobs); w++ {
 			wg.Add(1)
-			go func(p Problem, dp DeltaProblem) {
+			go func(p Problem, dp DeltaProblem, ip IntoProblem, dip DeltaIntoProblem) {
 				defer wg.Done()
 				for {
 					i := int(next.Add(1)) - 1
@@ -425,21 +487,31 @@ func (e *Engine) evaluateBatch(genomes [][]byte, meta []offMeta, out []Individua
 						return
 					}
 					ent := &e.cache.entries[e.jobs[i]]
-					if dp != nil && e.jobP1[i] != nil {
+					switch {
+					case dip != nil && e.jobP1[i] != nil:
+						ent.violation = dip.EvaluateDeltaObjsInto(ent.objs, ent.key, e.jobP1[i], e.jobP2[i], int(e.jobGene[i]))
+					case dp != nil && e.jobP1[i] != nil:
 						ent.objs, ent.violation = dp.EvaluateDelta(ent.key, e.jobP1[i], e.jobP2[i], int(e.jobGene[i]))
-					} else {
+					case ip != nil:
+						ent.violation = ip.EvaluateObjsInto(ent.objs, ent.key)
+					default:
 						ent.objs, ent.violation = p.Evaluate(ent.key)
 					}
 				}
-			}(e.workers[w], e.deltaW[w])
+			}(e.workers[w], e.deltaW[w], e.intoW[w], e.deltaIntoW[w])
 		}
 		wg.Wait()
 	} else {
 		for i, ji := range e.jobs {
 			ent := &e.cache.entries[ji]
-			if e.deltaP != nil && e.jobP1[i] != nil {
+			switch {
+			case e.deltaIntoP != nil && e.jobP1[i] != nil:
+				ent.violation = e.deltaIntoP.EvaluateDeltaObjsInto(ent.objs, ent.key, e.jobP1[i], e.jobP2[i], int(e.jobGene[i]))
+			case e.deltaP != nil && e.jobP1[i] != nil:
 				ent.objs, ent.violation = e.deltaP.EvaluateDelta(ent.key, e.jobP1[i], e.jobP2[i], int(e.jobGene[i]))
-			} else {
+			case e.intoP != nil:
+				ent.violation = e.intoP.EvaluateObjsInto(ent.objs, ent.key)
+			default:
 				ent.objs, ent.violation = e.p.Evaluate(ent.key)
 			}
 		}
@@ -617,17 +689,21 @@ func (e *Engine) rankAndCrowd(m []Individual) [][]int {
 	clean := true
 	for i := 0; i < n; i++ {
 		v := m[i].Violation
-		e.viol[i] = v
-		e.feas[i] = v == 0
+		e.vfW[i] = math.Float64bits(v)
 		if v != v {
 			clean = false
 		}
-		row := e.objsFlat[i*mo : (i+1)*mo]
-		c := copy(row, m[i].Objs)
-		for k := c; k < mo; k++ {
-			row[k] = 0
-		}
-		for _, x := range row {
+	}
+	// Scatter the interleaved Individual.Objs into per-objective
+	// columns (zero-padding short vectors, like the row copy used to).
+	for k := 0; k < mo; k++ {
+		col := e.objCol[k]
+		for i := 0; i < n; i++ {
+			var x float64
+			if k < len(m[i].Objs) {
+				x = m[i].Objs[k]
+			}
+			col[i] = x
 			if x != x {
 				clean = false
 			}
@@ -677,19 +753,26 @@ func (e *Engine) buildFrontsPairwise(n, G int) {
 		e.domCount[i] = 0
 	}
 
-	// Group-representative relation pass: one early-exiting objective
-	// comparison per unordered group pair.
+	// Group-representative relation pass: one batched relation block
+	// per representative against every later representative (gRep is
+	// already the index block relationBatch wants).
 	for g := 0; g < G; g++ {
 		e.gDom[g] = e.gDom[g][:0]
 	}
 	for a := 0; a < G; a++ {
-		ra := int(e.gRep[a])
-		for b := a + 1; b < G; b++ {
-			switch e.relation(ra, int(e.gRep[b])) {
+		js := e.gRep[a+1 : G]
+		if len(js) == 0 {
+			break
+		}
+		e.ensureBatchScratch(len(js))
+		out := e.relOut[:len(js)]
+		e.relationBatch(int(e.gRep[a]), js, out)
+		for t, r := range out {
+			switch r {
 			case 1:
-				e.gDom[a] = append(e.gDom[a], int32(b))
+				e.gDom[a] = append(e.gDom[a], int32(a+1+t))
 			case -1:
-				e.gDom[b] = append(e.gDom[b], int32(a))
+				e.gDom[a+1+t] = append(e.gDom[a+1+t], int32(a))
 			}
 		}
 	}
@@ -800,7 +883,7 @@ func (e *Engine) buildFrontsSorted(n, G int) {
 	for ; k < len(sg); k++ {
 		g := int(sg[k])
 		rg := int(e.gRep[g])
-		if !e.feas[rg] {
+		if !feasWord(e.vfW[rg]) {
 			break
 		}
 		f := 0
@@ -830,7 +913,7 @@ func (e *Engine) buildFrontsSorted(n, G int) {
 	// ascending, strictly after every feasible front.
 	for prev := 0.0; k < len(sg); k++ {
 		g := int(sg[k])
-		v := e.viol[e.gRep[g]]
+		v := math.Float64frombits(e.vfW[e.gRep[g]])
 		if numFronts == nf || v > prev {
 			e.gHead[numFronts] = -1
 			numFronts++
@@ -913,9 +996,9 @@ func (e *Engine) groupIndividuals(n int) int {
 	for i := 0; i < n; i++ {
 		const offset64, prime64 = 14695981039346656037, 1099511628211
 		h := uint64(offset64)
-		h = (h ^ math.Float64bits(e.viol[i])) * prime64
-		for _, v := range e.objsFlat[i*mo : (i+1)*mo] {
-			h = (h ^ math.Float64bits(v)) * prime64
+		h = (h ^ e.vfW[i]) * prime64
+		for k := 0; k < mo; k++ {
+			h = (h ^ math.Float64bits(e.objCol[k][i])) * prime64
 		}
 		h ^= h >> 29 // finalize: spread the low bits the probe uses
 		for slot := h & e.gMask; ; slot = (slot + 1) & e.gMask {
@@ -943,19 +1026,23 @@ func (e *Engine) groupIndividuals(n int) int {
 // sameVector reports bit-identity of two scratch rows' (violation,
 // objectives) vectors.
 func (e *Engine) sameVector(a, b int) bool {
-	if math.Float64bits(e.viol[a]) != math.Float64bits(e.viol[b]) {
+	if e.vfW[a] != e.vfW[b] {
 		return false
 	}
-	mo := e.nObj
-	ra := e.objsFlat[a*mo : (a+1)*mo]
-	rb := e.objsFlat[b*mo : (b+1)*mo]
-	for k := range ra {
-		if math.Float64bits(ra[k]) != math.Float64bits(rb[k]) {
+	for k := 0; k < e.nObj; k++ {
+		col := e.objCol[k]
+		if math.Float64bits(col[a]) != math.Float64bits(col[b]) {
 			return false
 		}
 	}
 	return true
 }
+
+// feasWord reports the feasibility packed into a violation word: the
+// word is the violation's IEEE-754 bits, so violation == ±0 (the
+// `v == 0` feasibility rule) means every bit but the sign is clear. A
+// NaN violation has payload bits set and correctly reads infeasible.
+func feasWord(w uint64) bool { return w<<1 == 0 }
 
 // relation decides one unordered pair under Deb's constraint
 // dominance: 1 if i dominates j, -1 if j dominates i, 0 otherwise.
@@ -963,7 +1050,8 @@ func (e *Engine) sameVector(a, b int) bool {
 // directions.
 func (e *Engine) relation(i, j int) int {
 	e.relations++
-	fi, fj := e.feas[i], e.feas[j]
+	wi, wj := e.vfW[i], e.vfW[j]
+	fi, fj := feasWord(wi), feasWord(wj)
 	if fi != fj {
 		if fi {
 			return 1
@@ -971,17 +1059,16 @@ func (e *Engine) relation(i, j int) int {
 		return -1
 	}
 	if !fi {
+		vi, vj := math.Float64frombits(wi), math.Float64frombits(wj)
 		switch {
-		case e.viol[i] < e.viol[j]:
+		case vi < vj:
 			return 1
-		case e.viol[j] < e.viol[i]:
+		case vj < vi:
 			return -1
 		}
 		return 0
 	}
 	mo := e.nObj
-	a := e.objsFlat[i*mo : (i+1)*mo]
-	b := e.objsFlat[j*mo : (j+1)*mo]
 	// The common widths (the 2- and 3-objective sets) compare unrolled:
 	// both better-than flags are folded over the whole vector with
 	// short-circuit ORs instead of the flagged scan. The final decision
@@ -992,23 +1079,27 @@ func (e *Engine) relation(i, j int) int {
 	var iBetter, jBetter bool
 	switch mo {
 	case 2:
-		iBetter = a[0] < b[0] || a[1] < b[1]
-		jBetter = a[0] > b[0] || a[1] > b[1]
+		c0, c1 := e.objCol[0], e.objCol[1]
+		iBetter = c0[i] < c0[j] || c1[i] < c1[j]
+		jBetter = c0[i] > c0[j] || c1[i] > c1[j]
 	case 3:
-		iBetter = a[0] < b[0] || a[1] < b[1] || a[2] < b[2]
-		jBetter = a[0] > b[0] || a[1] > b[1] || a[2] > b[2]
+		c0, c1, c2 := e.objCol[0], e.objCol[1], e.objCol[2]
+		iBetter = c0[i] < c0[j] || c1[i] < c1[j] || c2[i] < c2[j]
+		jBetter = c0[i] > c0[j] || c1[i] > c1[j] || c2[i] > c2[j]
 	case 4:
-		iBetter = a[0] < b[0] || a[1] < b[1] || a[2] < b[2] || a[3] < b[3]
-		jBetter = a[0] > b[0] || a[1] > b[1] || a[2] > b[2] || a[3] > b[3]
+		c0, c1, c2, c3 := e.objCol[0], e.objCol[1], e.objCol[2], e.objCol[3]
+		iBetter = c0[i] < c0[j] || c1[i] < c1[j] || c2[i] < c2[j] || c3[i] < c3[j]
+		jBetter = c0[i] > c0[j] || c1[i] > c1[j] || c2[i] > c2[j] || c3[i] > c3[j]
 	default:
 		for k := 0; k < mo; k++ {
+			col := e.objCol[k]
 			switch {
-			case a[k] < b[k]:
+			case col[i] < col[j]:
 				if jBetter {
 					return 0
 				}
 				iBetter = true
-			case a[k] > b[k]:
+			case col[i] > col[j]:
 				if iBetter {
 					return 0
 				}
@@ -1023,6 +1114,89 @@ func (e *Engine) relation(i, j int) int {
 		return -1
 	}
 	return 0
+}
+
+// ensureBatchScratch sizes the relationBatch flag and output buffers
+// for blocks up to n. NewEngine pre-sizes them for 2*PopSize;
+// hand-built test engines hit the lazy growth instead.
+func (e *Engine) ensureBatchScratch(n int) {
+	if len(e.batchIB) >= n {
+		return
+	}
+	e.batchIB = make([]uint8, n)
+	e.batchJB = make([]uint8, n)
+	e.relOut = make([]int8, n)
+}
+
+// b2u8 converts a comparison result to a flag byte; the compiler turns
+// it into a branch-free SETcc, keeping the column folds below tight.
+func b2u8(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// relationBatch computes relation(i, j) for a whole block of
+// candidates j at once, writing one int8 per element of js into out
+// (len(out) must be at least len(js)). Instead of finishing one pair
+// before starting the next, it folds each objective COLUMN across the
+// entire block — contiguous loads of col[js[t]] against one scalar
+// col[i], with branch-free flag ORs the compiler can vectorize — and
+// only then combines the flags with the packed violation words into
+// the Deb verdicts. Per element the fold accumulates the same two
+// better-than flags the scalar relation's unrolled OR folds produce
+// (NaN included: every NaN comparison is false, so both flags stay
+// clear), and the combine replays relation's feasibility/violation
+// ladder exactly, so out[t] == relation(i, js[t]) bit-for-bit — the
+// property tests pin this against the scalar kernel.
+func (e *Engine) relationBatch(i int, js []int32, out []int8) {
+	n := len(js)
+	if n == 0 {
+		return
+	}
+	e.relations += int64(n)
+	e.ensureBatchScratch(n)
+	iB, jB := e.batchIB[:n], e.batchJB[:n]
+	for t := range iB {
+		iB[t], jB[t] = 0, 0
+	}
+	for k := 0; k < e.nObj; k++ {
+		col := e.objCol[k]
+		a := col[i]
+		for t, j := range js {
+			b := col[j]
+			iB[t] |= b2u8(a < b)
+			jB[t] |= b2u8(a > b)
+		}
+	}
+	wi := e.vfW[i]
+	fi := feasWord(wi)
+	vi := math.Float64frombits(wi)
+	for t, j := range js {
+		wj := e.vfW[j]
+		fj := feasWord(wj)
+		switch {
+		case fi != fj:
+			if fi {
+				out[t] = 1
+			} else {
+				out[t] = -1
+			}
+		case !fi:
+			vj := math.Float64frombits(wj)
+			switch {
+			case vi < vj:
+				out[t] = 1
+			case vj < vi:
+				out[t] = -1
+			default:
+				out[t] = 0
+			}
+		default:
+			out[t] = int8(iB[t]) - int8(jB[t])
+		}
+	}
 }
 
 // assignCrowdingScratch mirrors the reference assignCrowding on the
@@ -1044,12 +1218,13 @@ func (e *Engine) assignCrowdingScratch(m []Individual, front []int) {
 	mo := e.nObj
 	idx := e.crowdIdx[:len(front)]
 	for obj := 0; obj < mo; obj++ {
+		col := e.objCol[obj]
 		copy(idx, front)
-		e.oSort.idx, e.oSort.objs, e.oSort.stride, e.oSort.obj = idx, e.objsFlat, mo, obj
+		e.oSort.idx, e.oSort.col = idx, col
 		sort.Stable(&e.oSort)
-		e.oSort.idx, e.oSort.objs = nil, nil
-		lo := e.objsFlat[idx[0]*mo+obj]
-		hi := e.objsFlat[idx[len(idx)-1]*mo+obj]
+		e.oSort.idx, e.oSort.col = nil, nil
+		lo := col[idx[0]]
+		hi := col[idx[len(idx)-1]]
 		spread := hi - lo
 		m[idx[0]].Crowding = math.Inf(1)
 		m[idx[len(idx)-1]].Crowding = math.Inf(1)
@@ -1059,7 +1234,7 @@ func (e *Engine) assignCrowdingScratch(m []Individual, front []int) {
 			continue
 		}
 		for k := 1; k < len(idx)-1; k++ {
-			d := (e.objsFlat[idx[k+1]*mo+obj] - e.objsFlat[idx[k-1]*mo+obj]) / spread
+			d := (col[idx[k+1]] - col[idx[k-1]]) / spread
 			if !math.IsInf(m[idx[k]].Crowding, 1) {
 				m[idx[k]].Crowding += d
 			}
@@ -1067,19 +1242,19 @@ func (e *Engine) assignCrowdingScratch(m []Individual, front []int) {
 	}
 }
 
-// objSorter stable-sorts an index slice by one flat-stored objective.
-// A stable sort's output is uniquely determined by the comparator, so
-// sort.Stable here reproduces the reference sort.SliceStable exactly
-// — without the reflection swapper's allocations.
+// objSorter stable-sorts an index slice by one objective column —
+// contiguous keyed loads, no stride arithmetic. A stable sort's output
+// is uniquely determined by the comparator, so sort.Stable here
+// reproduces the reference sort.SliceStable exactly — without the
+// reflection swapper's allocations.
 type objSorter struct {
-	idx         []int
-	objs        []float64
-	stride, obj int
+	idx []int
+	col []float64
 }
 
 func (s *objSorter) Len() int { return len(s.idx) }
 func (s *objSorter) Less(a, b int) bool {
-	return s.objs[s.idx[a]*s.stride+s.obj] < s.objs[s.idx[b]*s.stride+s.obj]
+	return s.col[s.idx[a]] < s.col[s.idx[b]]
 }
 func (s *objSorter) Swap(a, b int) { s.idx[a], s.idx[b] = s.idx[b], s.idx[a] }
 
@@ -1112,23 +1287,22 @@ func (s *lexSorter) Less(a, b int) bool {
 	e := s.e
 	ga, gb := s.ids[a], s.ids[b]
 	ra, rb := int(e.gRep[ga]), int(e.gRep[gb])
-	fa, fb := e.feas[ra], e.feas[rb]
+	wa, wb := e.vfW[ra], e.vfW[rb]
+	fa, fb := feasWord(wa), feasWord(wb)
 	if fa != fb {
 		return fa
 	}
 	if !fa {
-		va, vb := e.viol[ra], e.viol[rb]
+		va, vb := math.Float64frombits(wa), math.Float64frombits(wb)
 		if va != vb {
 			return va < vb
 		}
 		return ga < gb
 	}
-	mo := e.nObj
-	oa := e.objsFlat[ra*mo : (ra+1)*mo]
-	ob := e.objsFlat[rb*mo : (rb+1)*mo]
-	for k := 0; k < mo; k++ {
-		if oa[k] != ob[k] {
-			return oa[k] < ob[k]
+	for k := 0; k < e.nObj; k++ {
+		col := e.objCol[k]
+		if col[ra] != col[rb] {
+			return col[ra] < col[rb]
 		}
 	}
 	return ga < gb

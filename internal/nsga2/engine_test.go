@@ -43,12 +43,10 @@ func scratchEngine(half, m int) *Engine {
 	for gt < 4*half {
 		gt *= 2
 	}
-	return &Engine{
+	e := &Engine{
 		nObj:     m,
 		size:     half,
-		objsFlat: make([]float64, 2*half*m),
-		viol:     make([]float64, 2*half),
-		feas:     make([]bool, 2*half),
+		vfW:      make([]uint64, 2*half),
 		domCount: make([]int32, 2*half),
 		groupOf:  make([]int32, 2*half),
 		gRep:     make([]int32, 2*half),
@@ -70,6 +68,12 @@ func scratchEngine(half, m int) *Engine {
 		curSlab:  make([]byte, half),
 		gl:       1,
 	}
+	e.objCol = make([][]float64, m)
+	e.objColBuf = make([]float64, 2*half*m)
+	for k := 0; k < m; k++ {
+		e.objCol[k] = e.objColBuf[k*2*half : (k+1)*2*half : (k+1)*2*half]
+	}
+	return e
 }
 
 // TestRankAndCrowdMatchesReference pins the scratch non-dominated

@@ -8,15 +8,15 @@ import (
 	"testing/quick"
 )
 
-// loadFlat copies a population's objective vectors, violations and
-// feasibility flags into the engine's flat dominance buffers, the way
+// loadFlat copies a population's objective vectors and packed
+// violation words into the engine's SoA dominance buffers, the way
 // rankAndCrowd does before front building.
 func loadFlat(e *Engine, pop []Individual) {
-	mo := e.nObj
 	for i, ind := range pop {
-		e.viol[i] = ind.Violation
-		e.feas[i] = ind.Violation == 0
-		copy(e.objsFlat[i*mo:(i+1)*mo], ind.Objs)
+		e.vfW[i] = math.Float64bits(ind.Violation)
+		for k := 0; k < e.nObj && k < len(ind.Objs); k++ {
+			e.objCol[k][i] = ind.Objs[k]
+		}
 	}
 }
 
@@ -92,6 +92,62 @@ func BenchmarkRelation(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkRelationBatch measures one individual against a 64-wide
+// block of opponents, batch kernel vs the scalar relation looped over
+// the same block — the exact comparison CI's relative-speed gate
+// enforces (batch < scalar within the run). Tie-heavy feasible
+// vectors defeat the early exit, so both sides do full-width work.
+func BenchmarkRelationBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	const n, m = 64, 3
+	pop := make([]Individual, n)
+	for i := range pop {
+		objs := make([]float64, m)
+		for k := range objs {
+			objs[k] = float64(rng.Intn(4))
+		}
+		pop[i] = Individual{Objs: objs}
+	}
+	js := make([]int32, n)
+	for j := range js {
+		js[j] = int32(j)
+	}
+	b.Run("batch", func(b *testing.B) {
+		e := scratchEngine(n, m)
+		loadFlat(e, pop)
+		e.ensureBatchScratch(n)
+		out := make([]int8, n)
+		b.ReportAllocs()
+		b.ResetTimer()
+		sink := int8(0)
+		for it := 0; it < b.N; it++ {
+			e.relationBatch(it%n, js, out)
+			sink += out[it%n]
+		}
+		if sink == math.MaxInt8 {
+			b.Fatal("unreachable")
+		}
+	})
+	b.Run("scalar", func(b *testing.B) {
+		e := scratchEngine(n, m)
+		loadFlat(e, pop)
+		out := make([]int8, n)
+		b.ReportAllocs()
+		b.ResetTimer()
+		sink := int8(0)
+		for it := 0; it < b.N; it++ {
+			i := it % n
+			for idx, j := range js {
+				out[idx] = int8(e.relation(i, int(j)))
+			}
+			sink += out[i]
+		}
+		if sink == math.MaxInt8 {
+			b.Fatal("unreachable")
+		}
+	})
 }
 
 func newTestEngine(t *testing.T, n, pop, gens int, seed int64) *Engine {

@@ -64,6 +64,27 @@ type DeltaProblem interface {
 	EvaluateDelta(genome, parent1, parent2 []byte, gene int) (objs []float64, violation float64)
 }
 
+// IntoProblem is an optional Problem extension for allocation-free
+// objective write-out: EvaluateObjsInto writes the objective vector
+// into dst (len NumObjectives, an engine-arena row carved at cache-
+// insert time) and returns the violation. Results MUST be bit-for-bit
+// identical to Evaluate(genome) — the into path only changes where
+// the floats land, never their values. Implementations must not
+// retain dst or the genome slice past the call.
+type IntoProblem interface {
+	Problem
+	EvaluateObjsInto(dst []float64, genome []byte) (violation float64)
+}
+
+// DeltaIntoProblem combines the delta and write-into extensions: the
+// engine only routes through it when the problem (and worker view)
+// also implements IntoProblem. Same equivalence contract as
+// EvaluateDelta.
+type DeltaIntoProblem interface {
+	DeltaProblem
+	EvaluateDeltaObjsInto(dst []float64, genome, parent1, parent2 []byte, gene int) (violation float64)
+}
+
 // EvalStats is a problem-side split of how evaluations were served:
 // full kernel runs, single-gene delta replays, few-row (near) delta
 // replays off one parent, and two-parent crossover delta replays.
@@ -158,8 +179,10 @@ type Config struct {
 	// so the equality holds by construction); anything else silently
 	// diverges the run. Counters, cache insertion order, the archive
 	// and all results are identical with or without the hook — only
-	// evaluation work is skipped. The engine retains the returned objs
-	// slice; the callback must not reuse it.
+	// evaluation work is skipped. The engine interns the returned objs
+	// slice into its own arena before returning, so the callback may
+	// hand out a slice it owns (even one aliasing its backing store)
+	// without detaching a copy per hit.
 	WarmLookup func(genome []byte) (objs []float64, violation float64, ok bool)
 	// AuxLen is the number of auxiliary float64 values serialized per
 	// evaluation-cache entry in checkpoints (format v2): problem-side

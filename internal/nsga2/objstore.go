@@ -1,0 +1,42 @@
+package nsga2
+
+// objStore is a chunked float64 arena for cache-entry objective and
+// aux vectors. Rehydrating a checkpoint (or decoding a warm-cache
+// archive) used to box two small slices per entry; the store carves
+// them out of large chunks instead, cutting the resume path to one
+// allocation per chunk. Chunks are never reallocated or reused —
+// previously carved slices stay valid for the owner's lifetime, which
+// is exactly the retention contract cache entries already have.
+type objStore struct {
+	cur []float64
+}
+
+// storeChunk is the arena chunk size in float64s (128 KiB chunks):
+// large enough to amortize to well under one allocation per entry,
+// small enough that a mostly-unused tail chunk costs little.
+const storeChunk = 16384
+
+// alloc carves an n-float slice (len n, full capacity) from the
+// current chunk, starting a fresh chunk when it would overflow.
+func (s *objStore) alloc(n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	if len(s.cur)+n > cap(s.cur) {
+		c := storeChunk
+		if c < n {
+			c = n
+		}
+		s.cur = make([]float64, 0, c)
+	}
+	off := len(s.cur)
+	s.cur = s.cur[: off+n : cap(s.cur)]
+	return s.cur[off : off+n : off+n]
+}
+
+// intern copies v into the arena and returns the arena-owned copy.
+func (s *objStore) intern(v []float64) []float64 {
+	dst := s.alloc(len(v))
+	copy(dst, v)
+	return dst
+}

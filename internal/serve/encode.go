@@ -1,0 +1,239 @@
+package serve
+
+import (
+	"sync"
+
+	"repro/internal/jsonx"
+)
+
+// This file is the serving-side assembly fast path: hand-rolled
+// compact encoders for the wire types every request marshals. The
+// bytes are identical to encoding/json's — encode_test.go diffs each
+// composed response against the stdlib, float notation, omitempty
+// rules and HTML escaping included — so the CLI/daemon byte-identity
+// contract (see encodeJSON) is untouched; only the reflection and the
+// per-response allocation storm are gone. Types the switch does not
+// know (the cold status endpoints' maps) and documents carrying
+// non-finite floats fall back to encoding/json.
+
+// jenc composes compact JSON into an append-only buffer.
+type jenc struct {
+	b   []byte
+	bad bool // non-finite float seen: the caller must fall back
+}
+
+func (e *jenc) raw(s string) { e.b = append(e.b, s...) }
+func (e *jenc) str(s string) { e.b = jsonx.AppendString(e.b, s) }
+func (e *jenc) num(i int)    { e.b = jsonx.AppendInt(e.b, int64(i)) }
+func (e *jenc) i64(i int64)  { e.b = jsonx.AppendInt(e.b, i) }
+func (e *jenc) boolv(v bool) {
+	if v {
+		e.raw("true")
+	} else {
+		e.raw("false")
+	}
+}
+func (e *jenc) f64(f float64) {
+	if !jsonx.Finite(f) {
+		e.bad = true
+		e.b = append(e.b, '0')
+		return
+	}
+	e.b = jsonx.AppendFloat(e.b, f)
+}
+
+func (e *jenc) ints(xs []int) {
+	if xs == nil {
+		e.raw("null")
+		return
+	}
+	e.b = append(e.b, '[')
+	for i, x := range xs {
+		if i > 0 {
+			e.b = append(e.b, ',')
+		}
+		e.num(x)
+	}
+	e.b = append(e.b, ']')
+}
+
+func (e *jenc) metrics(m *MetricsJSON) {
+	e.raw(`{"makespan_cycles":`)
+	e.f64(m.MakespanCycles)
+	e.raw(`,"time_kcc":`)
+	e.f64(m.TimeKCC)
+	e.raw(`,"bit_energy_fj":`)
+	e.f64(m.BitEnergyFJ)
+	e.raw(`,"mean_ber":`)
+	e.f64(m.MeanBER)
+	e.raw(`,"log10_mean_ber":`)
+	e.f64(m.Log10MeanBER)
+	e.raw(`,"worst_ber":`)
+	e.f64(m.WorstBER)
+	e.raw(`,"counts":`)
+	e.ints(m.Counts)
+	e.raw("}")
+}
+
+func (e *jenc) evaluate(r *EvaluateResponse) {
+	e.raw(`{"workload":`)
+	e.str(r.Workload)
+	e.raw(`,"backend":`)
+	e.str(r.Backend)
+	e.raw(`,"nw":`)
+	e.num(r.NW)
+	e.raw(`,"genome":`)
+	e.str(r.Genome)
+	e.raw(`,"valid":`)
+	e.boolv(r.Valid)
+	e.raw(`,"violation":`)
+	e.f64(r.Violation)
+	if r.Reason != "" {
+		e.raw(`,"reason":`)
+		e.str(r.Reason)
+	}
+	if r.Metrics != nil {
+		e.raw(`,"metrics":`)
+		e.metrics(r.Metrics)
+	}
+	e.raw("}")
+}
+
+func (e *jenc) explain(r *ExplainResponse) {
+	e.raw(`{"evaluate":`)
+	e.evaluate(&r.Evaluate)
+	e.raw(`,"report":`)
+	e.str(r.Report)
+	e.raw("}")
+}
+
+func (e *jenc) solution(s *SolutionJSON) {
+	e.raw(`{"genome":`)
+	e.str(s.Genome)
+	e.raw(`,"counts":`)
+	e.ints(s.Counts)
+	e.raw(`,"time_kcc":`)
+	e.f64(s.TimeKCC)
+	e.raw(`,"bit_energy_fj":`)
+	e.f64(s.BitEnergyFJ)
+	e.raw(`,"mean_ber":`)
+	e.f64(s.MeanBER)
+	e.raw("}")
+}
+
+func (e *jenc) solutions(ss []SolutionJSON) {
+	if ss == nil {
+		e.raw("null")
+		return
+	}
+	e.b = append(e.b, '[')
+	for i := range ss {
+		if i > 0 {
+			e.b = append(e.b, ',')
+		}
+		e.solution(&ss[i])
+	}
+	e.b = append(e.b, ']')
+}
+
+func (e *jenc) optimizeResult(r *OptimizeResult) {
+	e.raw(`{"front":`)
+	e.solutions(r.Front)
+	e.raw(`,"front_time_energy":`)
+	e.solutions(r.FrontTimeEnergy)
+	e.raw(`,"front_time_ber":`)
+	e.solutions(r.FrontTimeBER)
+	e.raw(`,"evaluations":`)
+	e.num(r.Evaluations)
+	e.raw(`,"valid_evaluations":`)
+	e.num(r.ValidEvaluations)
+	e.raw(`,"distinct_valid":`)
+	e.num(r.DistinctValid)
+	e.raw("}")
+}
+
+func (e *jenc) optimize(r *OptimizeResponse) {
+	e.raw(`{"workload":`)
+	e.str(r.Workload)
+	e.raw(`,"backend":`)
+	e.str(r.Backend)
+	e.raw(`,"nw":`)
+	e.num(r.NW)
+	e.raw(`,"objectives":`)
+	e.str(r.Objectives)
+	e.raw(`,"pop":`)
+	e.num(r.Pop)
+	e.raw(`,"generations":`)
+	e.num(r.Generations)
+	e.raw(`,"seed":`)
+	e.i64(r.Seed)
+	e.raw(`,"generation":`)
+	e.num(r.Generation)
+	e.raw(`,"done":`)
+	e.boolv(r.Done)
+	if r.Draining {
+		e.raw(`,"draining":true`)
+	}
+	if r.Session != "" {
+		e.raw(`,"session":`)
+		e.str(r.Session)
+	}
+	if r.Result != nil {
+		e.raw(`,"result":`)
+		e.optimizeResult(r.Result)
+	}
+	e.raw("}")
+}
+
+func (e *jenc) errorResp(r *ErrorResponse) {
+	e.raw(`{"error":`)
+	e.str(r.Error)
+	if r.Reason != "" {
+		e.raw(`,"reason":`)
+		e.str(r.Reason)
+	}
+	if r.RetryAfterMS != 0 {
+		e.raw(`,"retry_after_ms":`)
+		e.num(r.RetryAfterMS)
+	}
+	e.raw("}")
+}
+
+// appendJSON appends v's canonical compact rendering when v is one of
+// the known wire types and carries only finite floats; ok reports
+// whether it did. On ok=false nothing usable was appended — the
+// caller must delegate to encoding/json (which reproduces both the
+// bytes for unknown types and the error for non-finite floats).
+func appendJSON(b []byte, v any) ([]byte, bool) {
+	e := jenc{b: b}
+	switch t := v.(type) {
+	case EvaluateResponse:
+		e.evaluate(&t)
+	case *EvaluateResponse:
+		e.evaluate(t)
+	case ExplainResponse:
+		e.explain(&t)
+	case *ExplainResponse:
+		e.explain(t)
+	case OptimizeResponse:
+		e.optimize(&t)
+	case *OptimizeResponse:
+		e.optimize(t)
+	case ErrorResponse:
+		e.errorResp(&t)
+	case *ErrorResponse:
+		e.errorResp(t)
+	default:
+		return b, false
+	}
+	if e.bad {
+		return b, false
+	}
+	return e.b, true
+}
+
+// respPool recycles per-request response buffers for writeJSON.
+var respPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 1024)
+	return &b
+}}

@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// Golden diffs for the serving fast path: every wire shape the
+// appendJSON type switch knows is rendered both ways and compared
+// byte for byte. The serve-smoke CI job diffs daemon output against
+// the CLI literally, so any drift here would surface as a user-facing
+// incompatibility — these tests catch it at unit scope first.
+
+func negZero() float64 { return math.Copysign(0, -1) }
+
+func serveFixtures() []any {
+	metrics := &MetricsJSON{
+		MakespanCycles: 123456, // integer-valued float
+		TimeKCC:        0.123456789,
+		BitEnergyFJ:    9.999999e-7,
+		MeanBER:        1e-300,
+		Log10MeanBER:   -300,
+		WorstBER:       5e-324,
+		Counts:         []int{1, 2, 3, 4},
+	}
+	sols := []SolutionJSON{
+		{Genome: "1000/0100", Counts: []int{1, 2}, TimeKCC: 42, BitEnergyFJ: 1e21, MeanBER: 2.5e-13},
+		{Genome: "", Counts: []int{}, TimeKCC: negZero(), BitEnergyFJ: 1e-6, MeanBER: 9.99999e20},
+	}
+	return []any{
+		EvaluateResponse{Workload: "paper", Backend: "ring", NW: 8,
+			Genome: "1000/0100", Valid: true, Violation: 0, Metrics: metrics},
+		EvaluateResponse{Workload: "hot<spot>", Backend: "crossbar", NW: 16,
+			Genome: `g"1`, Valid: false, Violation: 2.5, Reason: "conflict on <waveguide> & comb"},
+		&EvaluateResponse{Workload: "paper", Backend: "ring", NW: 8,
+			Genome: "1000", Valid: false, Violation: negZero()},
+		ExplainResponse{
+			Evaluate: EvaluateResponse{Workload: "paper", Backend: "ring", NW: 8,
+				Genome: "1000/0100", Valid: true, Metrics: metrics},
+			Report: "link budget:\n  λ0 → node 3\t<ok>\n",
+		},
+		OptimizeResponse{Workload: "paper", Backend: "ring", NW: 8, Objectives: "teb",
+			Pop: 80, Generations: 60, Seed: 42, Generation: 60, Done: true,
+			Result: &OptimizeResult{Front: sols, FrontTimeEnergy: sols[:1], FrontTimeBER: []SolutionJSON{},
+				Evaluations: 4800, ValidEvaluations: 3200, DistinctValid: 1500}},
+		OptimizeResponse{Workload: "paper", Backend: "crossbar", NW: 8, Objectives: "te",
+			Pop: 24, Generations: 10, Seed: 5, Generation: 4, Done: false,
+			Draining: true, Session: "opaque/token+base64=="},
+		&OptimizeResponse{Workload: "paper", Backend: "ring", NW: 4, Objectives: "tb",
+			Pop: 24, Generations: 10, Seed: -7, Generation: 10, Done: true,
+			Result: &OptimizeResult{}},
+		ErrorResponse{Error: "instance (paper, ring, nw=8) is not served; serving: []"},
+		ErrorResponse{Error: "queue full", RetryAfterMS: 250},
+		&ErrorResponse{Error: "invalid chromosome", Reason: `conflict: "λ3" <shared>`},
+	}
+}
+
+func TestEncodeJSONGolden(t *testing.T) {
+	for i, v := range serveFixtures() {
+		got, err := encodeJSON(v)
+		if err != nil {
+			t.Fatalf("fixture %d: %v", i, err)
+		}
+		m, err := json.Marshal(v)
+		if err != nil {
+			t.Fatalf("fixture %d: stdlib: %v", i, err)
+		}
+		want := append(m, '\n')
+		if !bytes.Equal(got, want) {
+			t.Errorf("fixture %d (%T):\n got: %s\nwant: %s", i, v, got, want)
+		}
+		// The fast path must actually engage for every known shape.
+		if _, ok := appendJSON(nil, v); !ok {
+			t.Errorf("fixture %d (%T): appendJSON declined a known wire type", i, v)
+		}
+	}
+}
+
+// TestEncodeJSONFallback pins the two escape hatches: unknown types
+// render through the stdlib unchanged, and non-finite floats reject
+// with the stdlib's error instead of emitting corrupt bytes.
+func TestEncodeJSONFallback(t *testing.T) {
+	v := map[string]any{"status": "ok", "instances": 3}
+	if _, ok := appendJSON(nil, v); ok {
+		t.Fatal("appendJSON claimed a map it cannot canonically order")
+	}
+	got, err := encodeJSON(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := json.Marshal(v)
+	if want := append(m, '\n'); !bytes.Equal(got, want) {
+		t.Errorf("map fallback:\n got: %s\nwant: %s", got, want)
+	}
+
+	bad := EvaluateResponse{Workload: "paper", Violation: math.NaN()}
+	if _, ok := appendJSON(nil, bad); ok {
+		t.Fatal("appendJSON accepted a NaN violation")
+	}
+	if _, err := encodeJSON(bad); err == nil {
+		t.Fatal("encodeJSON swallowed a NaN violation")
+	}
+	inf := OptimizeResponse{Result: &OptimizeResult{Front: []SolutionJSON{{TimeKCC: math.Inf(1)}}}}
+	if _, ok := appendJSON(nil, inf); ok {
+		t.Fatal("appendJSON accepted an infinite objective")
+	}
+}
+
+// BenchmarkServeEncode measures the per-request response rendering:
+// the fast composer into a reused buffer (gated 0 allocs/op in CI)
+// against the reflection-based stdlib rendering of the same response.
+func BenchmarkServeEncode(b *testing.B) {
+	resp := serveFixtures()[0]
+	b.Run("fast", func(b *testing.B) {
+		buf := make([]byte, 0, 1024)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out, ok := appendJSON(buf[:0], resp)
+			if !ok {
+				b.Fatal("fast path declined")
+			}
+			buf = out[:0]
+		}
+	})
+	b.Run("stdlib", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := json.Marshal(resp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
